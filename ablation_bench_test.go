@@ -1,0 +1,220 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// O(n) synopsis trail vs raw-history analysis, the GF(2^61−1) field vs
+// exact rationals, and the closed-form decision paths vs their
+// clone-and-fold references.
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/audit/maxdup"
+	"queryaudit/internal/audit/maxfull"
+	"queryaudit/internal/audit/offline"
+	"queryaudit/internal/audit/sumfull"
+	"queryaudit/internal/extreme"
+	"queryaudit/internal/query"
+	"queryaudit/internal/randx"
+	"queryaudit/internal/synopsis"
+)
+
+// BenchmarkAblationSynopsisVsRawHistory compares compromise analysis
+// through the O(n) synopsis against the same analysis over the raw
+// answered query log — the paper's reason for blackbox B.
+func BenchmarkAblationSynopsisVsRawHistory(b *testing.B) {
+	const n = 300
+	rng := randx.New(1)
+	xs := randx.DuplicateFreeDataset(rng, n, 0, 1)
+	syn := synopsis.NewMaxMin(n, 0, 1)
+	var raw []extreme.Constraint
+	answered := 0
+	for answered < 120 {
+		set := query.NewSet(randx.SubsetSizeBetween(rng, n, 20, 150)...)
+		q := query.Query{Set: set, Kind: query.Max}
+		ans := q.Eval(xs)
+		if err := syn.AddMax(set, ans); err != nil {
+			continue
+		}
+		raw = append(raw, extreme.Constraint{Set: set, Value: ans, IsMax: true, Rel: extreme.RelEq})
+		answered++
+	}
+	b.Run("synopsis", func(b *testing.B) {
+		cons := extreme.FromSynopsis(syn)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			extreme.Analyze(n, cons)
+		}
+		b.ReportMetric(float64(len(cons)), "constraints")
+	})
+	b.Run("raw-history", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			extreme.Analyze(n, raw)
+		}
+		b.ReportMetric(float64(len(raw)), "constraints")
+	})
+}
+
+// BenchmarkAblationFieldGF61VsRat compares one sum-auditing decision in
+// the fast prime field against exact rationals.
+func BenchmarkAblationFieldGF61VsRat(b *testing.B) {
+	const n = 200
+	setup := func(record func(q query.Query)) []query.Query {
+		rng := randx.New(2)
+		var probes []query.Query
+		for t := 0; t < n-20; t++ {
+			q := query.Query{Set: query.NewSet(randx.Subset(rng, n)...), Kind: query.Sum}
+			record(q)
+		}
+		for t := 0; t < 32; t++ {
+			probes = append(probes, query.Query{Set: query.NewSet(randx.Subset(rng, n)...), Kind: query.Sum})
+		}
+		return probes
+	}
+	b.Run("gf61", func(b *testing.B) {
+		a := sumfull.New(n)
+		probes := setup(func(q query.Query) {
+			if d, _ := a.Decide(q); d == audit.Answer {
+				a.Record(q, 0)
+			}
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.Decide(probes[i%len(probes)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rat", func(b *testing.B) {
+		a := sumfull.NewExact(n)
+		probes := setup(func(q query.Query) {
+			if d, _ := a.Decide(q); d == audit.Answer {
+				a.Record(q, 0)
+			}
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.Decide(probes[i%len(probes)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationMaxFastVsReference compares the closed-form candidate
+// evaluation of the no-duplicates max auditor against the direct
+// clone-and-fold Algorithm 3.
+func BenchmarkAblationMaxFastVsReference(b *testing.B) {
+	const n = 300
+	rng := randx.New(3)
+	xs := randx.DuplicateFreeDataset(rng, n, 0, 1)
+	a := maxfull.New(n)
+	for t := 0; t < 2*n; t++ {
+		q := query.Query{Set: query.NewSet(randx.Subset(rng, n)...), Kind: query.Max}
+		if d, _ := a.Decide(q); d == audit.Answer {
+			a.Record(q, q.Eval(xs))
+		}
+	}
+	probes := make([]query.Query, 32)
+	for i := range probes {
+		probes[i] = query.Query{Set: query.NewSet(randx.Subset(rng, n)...), Kind: query.Max}
+	}
+	b.Run("fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := a.Decide(probes[i%len(probes)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := a.DecideReference(probes[i%len(probes)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationDuplicatesVsNo compares per-decision cost of the
+// duplicates-allowed [21] auditor against the no-duplicates Section 4
+// auditor on identical histories.
+func BenchmarkAblationDuplicatesVsNo(b *testing.B) {
+	const n = 300
+	build := func(record func(q query.Query, ans float64) bool) []query.Query {
+		rng := randx.New(4)
+		xs := randx.DuplicateFreeDataset(rng, n, 0, 1)
+		for t := 0; t < 2*n; t++ {
+			q := query.Query{Set: query.NewSet(randx.Subset(rng, n)...), Kind: query.Max}
+			record(q, q.Eval(xs))
+		}
+		probes := make([]query.Query, 32)
+		for i := range probes {
+			probes[i] = query.Query{Set: query.NewSet(randx.Subset(rng, n)...), Kind: query.Max}
+		}
+		return probes
+	}
+	b.Run("duplicates-allowed", func(b *testing.B) {
+		a := maxdup.New(n)
+		probes := build(func(q query.Query, ans float64) bool {
+			if d, _ := a.Decide(q); d == audit.Answer {
+				a.Record(q, ans)
+				return true
+			}
+			return false
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.Decide(probes[i%len(probes)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("no-duplicates", func(b *testing.B) {
+		a := maxfull.New(n)
+		probes := build(func(q query.Query, ans float64) bool {
+			if d, _ := a.Decide(q); d == audit.Answer {
+				a.Record(q, ans)
+				return true
+			}
+			return false
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.Decide(probes[i%len(probes)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkOfflineSumMaxGrowth shows the NP-hardness of offline
+// sum-and-max auditing operationally: per-decision time grows with the
+// witness-assignment space (product of max-query set sizes), unlike the
+// polynomial single-aggregate auditors.
+func BenchmarkOfflineSumMaxGrowth(b *testing.B) {
+	for _, queries := range []int{2, 4, 6, 8} {
+		b.Run(fmt.Sprintf("maxqueries-%d", queries), func(b *testing.B) {
+			n := 10
+			rng := randx.New(int64(queries))
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(rng.Intn(50))
+			}
+			var hist []query.Answered
+			total := query.New(query.Sum, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9)
+			hist = append(hist, query.Answered{Query: total, Answer: total.Eval(xs)})
+			for k := 0; k < queries; k++ {
+				set := query.NewSet(randx.SubsetOfSize(rng, n, 3)...)
+				q := query.Query{Set: set, Kind: query.Max}
+				hist = append(hist, query.Answered{Query: q, Answer: q.Eval(xs)})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := offline.AuditSumMax(n, hist, 1<<20); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

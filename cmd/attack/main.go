@@ -1,0 +1,81 @@
+// Command attack reproduces the denial-leakage attack of the paper's
+// Section 2.2 example: against a naive, answer-dependent max auditor the
+// attacker converts denials into exact values and strips the database;
+// against the simulatable auditor the same strategy learns nothing.
+//
+// It also runs the classic sum-complement subtraction attack against an
+// unaudited engine and the simulatable sum auditor.
+//
+// Usage:
+//
+//	attack [-n 40] [-queries 4000] [-seed 1] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"queryaudit/internal/audit/naive"
+	"queryaudit/internal/audit/sumfull"
+	"queryaudit/internal/core"
+	"queryaudit/internal/dataset"
+	"queryaudit/internal/experiments"
+	"queryaudit/internal/game"
+	"queryaudit/internal/query"
+	"queryaudit/internal/randx"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 40, "database size")
+		queries = flag.Int("queries", 4000, "attacker query budget")
+		seed    = flag.Int64("seed", 1, "random seed")
+		verbose = flag.Bool("v", false, "list every extracted value")
+	)
+	flag.Parse()
+
+	r := experiments.AttackDemo(*n, *queries, *seed)
+
+	fmt.Println("=== Denial-leakage attack (Section 2.2) ===")
+	fmt.Printf("database size: %d, attacker budget: %d queries\n\n", *n, *queries)
+
+	fmt.Println("against the NAIVE (answer-dependent) max auditor:")
+	fmt.Printf("  values correctly extracted: %d / %d (%.0f%%)\n",
+		r.Naive.Correct, *n, 100*r.NaiveCorrectFrac)
+	fmt.Printf("  queries posed: %d, denials observed: %d\n", r.Naive.Queries, r.Naive.Denials)
+	if *verbose {
+		printRevealed(r.Naive.Revealed)
+	}
+
+	fmt.Println("\nagainst the SIMULATABLE max auditor (Section 4):")
+	fmt.Printf("  values correctly extracted: %d / %d (%.0f%%)\n",
+		r.Simulatable.Correct, *n, 100*r.SimulatableCorrectFrac)
+	fmt.Printf("  queries posed: %d, denials observed: %d\n", r.Simulatable.Queries, r.Simulatable.Denials)
+	fmt.Println("\nsimulatable denials depend only on the query history, so the")
+	fmt.Println("attacker's \"denial ⇒ value\" deduction rule stops working.")
+
+	fmt.Println("\n=== Sum-complement subtraction attack ===")
+	xs := randx.UniformDataset(randx.New(*seed), *n, 0, 1)
+	open := core.NewEngine(dataset.FromValues(xs))
+	open.Use(naive.Oblivious{}, query.Sum)
+	rOpen := game.SumComplementAttack(open)
+	fmt.Printf("unaudited engine:     %d/%d values extracted (%d queries)\n",
+		rOpen.Correct, *n, rOpen.Queries)
+	guarded := core.NewEngine(dataset.FromValues(xs))
+	guarded.Use(sumfull.New(*n), query.Sum)
+	rGuarded := game.SumComplementAttack(guarded)
+	fmt.Printf("simulatable auditor:  %d/%d values extracted (%d queries, %d denials)\n",
+		rGuarded.Correct, *n, rGuarded.Queries, rGuarded.Denials)
+}
+
+func printRevealed(revealed map[int]float64) {
+	idx := make([]int, 0, len(revealed))
+	for i := range revealed {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		fmt.Printf("    x[%d] = %.6f\n", i, revealed[i])
+	}
+}

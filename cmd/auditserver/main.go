@@ -1,0 +1,117 @@
+// Command auditserver serves an audited statistical database over HTTP —
+// the census-bureau deployment shape of the paper's introduction. It
+// loads (or generates) a company-salary table, guards it with the
+// full-disclosure auditors, and answers a JSON API:
+//
+//	auditserver -n 300 -addr :8080 [-snapshot state.json]
+//
+//	curl -s localhost:8080/v1/schema
+//	curl -s -X POST localhost:8080/v1/query \
+//	     -d '{"sql":"SELECT sum(salary) WHERE age BETWEEN 30 AND 40"}'
+//	curl -s -X POST localhost:8080/v1/queryset \
+//	     -d '{"kind":"max","indices":[0,1,2,3]}'
+//	curl -s localhost:8080/v1/stats
+//
+// With -snapshot the sum auditor's trail is loaded at startup (if the
+// file exists) and written back on SIGINT/SIGTERM, so restarting the
+// service does not forget what it already revealed.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"queryaudit/internal/audit/maxminfull"
+	"queryaudit/internal/audit/sumfull"
+	"queryaudit/internal/core"
+	"queryaudit/internal/dataset"
+	"queryaudit/internal/field"
+	"queryaudit/internal/persist"
+	"queryaudit/internal/query"
+	"queryaudit/internal/randx"
+	"queryaudit/internal/server"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 300, "number of records in the synthetic table")
+		seed     = flag.Int64("seed", 1, "random seed for the synthetic table")
+		addr     = flag.String("addr", ":8080", "listen address")
+		snapshot = flag.String("snapshot", "", "path for the sum auditor's persisted trail")
+	)
+	flag.Parse()
+
+	ds := dataset.GenerateCompany(randx.New(*seed), dataset.DefaultCompanyConfig(*n))
+	eng := core.NewEngine(ds)
+
+	sumAud := sumfull.New(*n)
+	if *snapshot != "" {
+		if a, ok := loadSnapshot(*snapshot, *n); ok {
+			sumAud = a
+		}
+	}
+	eng.Use(sumAud, query.Sum)
+	eng.Use(maxminfull.New(*n), query.Max, query.Min)
+
+	sdb := core.NewSDB(eng, "salary")
+	srv := server.New(sdb)
+
+	if *snapshot != "" {
+		go saveOnSignal(*snapshot, sumAud)
+	}
+	fmt.Printf("auditserver: %s\n", ds.Describe())
+	if err := srv.ListenAndServe(*addr); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// loadSnapshot restores the sum auditor from path when present and
+// compatible; a missing file is a clean first boot.
+func loadSnapshot(path string, n int) (*sumfull.Auditor[field.Elem61, field.GF61], bool) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snapshot: %v (starting fresh)\n", err)
+		return nil, false
+	}
+	defer f.Close()
+	restored, kind, err := persist.Load(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snapshot: %v (starting fresh)\n", err)
+		return nil, false
+	}
+	a, ok := restored.(*sumfull.Auditor[field.Elem61, field.GF61])
+	if !ok || kind != persist.KindSumFull || a.N() != n {
+		fmt.Fprintf(os.Stderr, "snapshot: kind %q / n mismatch (starting fresh)\n", kind)
+		return nil, false
+	}
+	fmt.Printf("auditserver: restored sum audit trail from %s (rank %d)\n", path, a.Rank())
+	return a, true
+}
+
+// saveOnSignal writes the trail on shutdown signals, then exits.
+func saveOnSignal(path string, a *sumfull.Auditor[field.Elem61, field.GF61]) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	f, err := os.Create(path)
+	if err == nil {
+		err = persist.Save(f, a)
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snapshot save failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("auditserver: audit trail saved to %s\n", path)
+	os.Exit(0)
+}

@@ -1,0 +1,81 @@
+// Command audittrace replays a session recorded by `auditdb -record`
+// against a freshly built engine and reports whether every decision (and
+// answer, when the table is regenerated identically) reproduces — the
+// upgrade-verification workflow: record under the old build, replay
+// under the new one, ship only on a clean report.
+//
+// Usage:
+//
+//	audittrace -trace session.jsonl [-n 300] [-seed 1] [-mode full]
+//
+// Flags must match the auditdb invocation that produced the trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"queryaudit/internal/audit/maxfull"
+	"queryaudit/internal/audit/maxminfull"
+	"queryaudit/internal/audit/sumfull"
+	"queryaudit/internal/core"
+	"queryaudit/internal/dataset"
+	"queryaudit/internal/query"
+	"queryaudit/internal/randx"
+	"queryaudit/internal/trace"
+)
+
+func main() {
+	var (
+		path = flag.String("trace", "", "JSONL trace file to replay (required)")
+		n    = flag.Int("n", 300, "number of records (must match the recording)")
+		seed = flag.Int64("seed", 1, "table seed (must match the recording)")
+		mode = flag.String("mode", "full", "auditing mode (must match the recording)")
+	)
+	flag.Parse()
+	if *path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ds := dataset.GenerateCompany(randx.New(*seed), dataset.DefaultCompanyConfig(*n))
+	eng := core.NewEngine(ds)
+	switch *mode {
+	case "full":
+		eng.Use(sumfull.New(*n), query.Sum)
+		eng.Use(maxfull.New(*n), query.Max)
+	case "maxmin":
+		eng.Use(sumfull.New(*n), query.Sum)
+		eng.Use(maxminfull.New(*n), query.Max, query.Min)
+	default:
+		fmt.Fprintf(os.Stderr, "replay supports modes full and maxmin, got %q\n", *mode)
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	rep, err := trace.Replay(f, eng)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("replayed %d queries, %d updates\n", rep.Queries, rep.Updates)
+	if rep.Clean() && len(rep.AnswerMismatches) == 0 {
+		fmt.Println("CLEAN: every decision and answer reproduced")
+		return
+	}
+	if len(rep.DecisionMismatches) > 0 {
+		fmt.Printf("DECISION MISMATCHES at query positions %v\n", rep.DecisionMismatches)
+	}
+	if len(rep.AnswerMismatches) > 0 {
+		fmt.Printf("answer mismatches at query positions %v (expected when the table differs)\n",
+			rep.AnswerMismatches)
+	}
+	os.Exit(1)
+}

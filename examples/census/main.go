@@ -1,0 +1,87 @@
+// Census: the Section 7 specialization — counting queries over
+// one-dimensional age ranges of boolean data ("how many individuals
+// between 15 and 25 have the condition?"). Shows the efficient offline
+// auditor over prefix-sum difference constraints, the exact bits a
+// published table of range counts gives away, and the provable collapse
+// of simulatable online auditing on boolean data.
+package main
+
+import (
+	"fmt"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/audit/boolrange"
+	"queryaudit/internal/query"
+	"queryaudit/internal/randx"
+)
+
+func main() {
+	// 20 individuals sorted by age; the sensitive bit is a diagnosis.
+	rng := randx.New(11)
+	n := 20
+	bits := make([]int, n)
+	for i := range bits {
+		if randx.Bernoulli(rng, 0.4) {
+			bits[i] = 1
+		}
+	}
+
+	rangeQuery := func(i, j int) query.Query {
+		var idx []int
+		for k := i; k <= j; k++ {
+			idx = append(idx, k)
+		}
+		return query.New(query.Count, idx...)
+	}
+	countOf := func(q query.Query) float64 {
+		c := 0
+		for _, i := range q.Set {
+			c += bits[i]
+		}
+		return float64(c)
+	}
+
+	// A published contingency-style table of range counts.
+	published := []query.Query{
+		rangeQuery(0, 9),
+		rangeQuery(10, 19),
+		rangeQuery(0, 14),
+		rangeQuery(5, 19),
+		rangeQuery(8, 11),
+		// The last two rows differ by one individual — a classic
+		// contingency-table pitfall.
+		rangeQuery(0, 13),
+	}
+	var hist []query.Answered
+	fmt.Println("published range counts:")
+	for _, q := range published {
+		a := countOf(q)
+		hist = append(hist, query.Answered{Query: q, Answer: a})
+		fmt.Printf("  count[%2d..%2d] = %.0f\n", q.Set[0], q.Set[len(q.Set)-1], a)
+	}
+
+	consistent, determined, err := boolrange.OfflineAudit(n, hist)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\noffline audit: consistent=%v\n", consistent)
+	if len(determined) == 0 {
+		fmt.Println("no individual's bit is determined by the published table")
+	} else {
+		fmt.Println("the published table DETERMINES these individuals' bits:")
+		for _, i := range determined {
+			fmt.Printf("  individual %2d: bit = %d\n", i, bits[i])
+		}
+	}
+
+	// The online simulatable auditor collapses on boolean data: any
+	// range could have answered 0 (all zeros) or width (all ones), both
+	// of which reveal — so everything is denied up front.
+	online := boolrange.New(n)
+	d, _ := online.Decide(rangeQuery(3, 12))
+	fmt.Printf("\nsimulatable online boolean auditing: count[3..12] → %v\n", d)
+	if d == audit.Deny {
+		fmt.Println("(provably deny-all on boolean data — one of the reasons the")
+		fmt.Println(" paper's partial-disclosure definition exists; see package docs)")
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: open an audited statistical database over a handful of
+// salaries, ask sum queries, and watch the auditor deny exactly the
+// query that would expose an individual value.
+package main
+
+import (
+	"fmt"
+
+	"queryaudit/internal/audit/sumfull"
+	"queryaudit/internal/core"
+	"queryaudit/internal/dataset"
+	"queryaudit/internal/query"
+)
+
+func main() {
+	// Five employees' salaries — the sensitive attribute.
+	salaries := []float64{83_000, 91_500, 62_000, 120_000, 75_250}
+	ds := dataset.FromValues(salaries)
+
+	// The classical (full-disclosure) simulatable sum auditor of the
+	// paper's Section 5: it denies a sum query exactly when its answer,
+	// combined with everything answered before, would pin down some
+	// individual's salary.
+	eng := core.NewEngine(ds)
+	eng.Use(sumfull.New(ds.N()), query.Sum)
+
+	ask := func(indices ...int) {
+		q := query.New(query.Sum, indices...)
+		resp, err := eng.Ask(q)
+		switch {
+		case err != nil:
+			fmt.Printf("%-16v error: %v\n", q, err)
+		case resp.Denied:
+			fmt.Printf("%-16v DENIED\n", q)
+		default:
+			fmt.Printf("%-16v = %.2f\n", q, resp.Answer)
+		}
+	}
+
+	fmt.Println("auditing sum queries over 5 salaries:")
+	ask(0, 1, 2, 3, 4) // whole-company total: fine
+	ask(0, 1)          // two-person subtotal: fine
+	ask(2, 3, 4)       // complement of the above, given the total:
+	//                    answering would reveal nothing new — also fine
+	ask(1, 2, 3, 4) // but THIS complement would expose employee 0: denied
+	ask(0)          // direct probe: denied
+
+	fmt.Printf("\nprotocol counters: answered=%d denied=%d\n",
+		eng.Answered(), eng.Denied())
+}

@@ -1,0 +1,3 @@
+module queryaudit
+
+go 1.22

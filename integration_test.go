@@ -1,0 +1,183 @@
+// Integration test: one long randomized session through the whole stack
+// — HTTP server → SDB → engine → auditors — with trail persistence and
+// trace replay, asserting the global privacy invariant (no record ever
+// determined) and protocol bookkeeping at every step.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/audit/maxminfull"
+	"queryaudit/internal/audit/offline"
+	"queryaudit/internal/audit/sumfull"
+	"queryaudit/internal/core"
+	"queryaudit/internal/dataset"
+	"queryaudit/internal/extreme"
+	"queryaudit/internal/persist"
+	"queryaudit/internal/query"
+	"queryaudit/internal/randx"
+	"queryaudit/internal/server"
+	"queryaudit/internal/trace"
+)
+
+func TestEndToEndSession(t *testing.T) {
+	const n = 60
+	rng := randx.New(12)
+	ds := dataset.GenerateHospital(rng, dataset.DefaultHospitalConfig(n))
+
+	eng := core.NewEngine(ds)
+	sumAud := sumfull.New(n)
+	mmAud := maxminfull.New(n)
+	eng.Use(sumAud, query.Sum)
+	eng.Use(mmAud, query.Max, query.Min)
+
+	srv := httptest.NewServer(server.New(core.NewSDB(eng, "severity")))
+	defer srv.Close()
+
+	var answeredMaxMin []extreme.Constraint
+	var sumHistory []query.Answered
+	var traceBuf bytes.Buffer
+	recEnc := json.NewEncoder(&traceBuf)
+
+	post := func(body server.QuerySetRequest) (map[string]any, int) {
+		raw, _ := json.Marshal(body)
+		resp, err := http.Post(srv.URL+"/v1/queryset", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return out, resp.StatusCode
+	}
+
+	kinds := []query.Kind{query.Sum, query.Max, query.Min}
+	answered, denied := 0, 0
+	for step := 0; step < 250; step++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		set := query.NewSet(randx.SubsetSizeBetween(rng, n, 2, n)...)
+		out, code := post(server.QuerySetRequest{Kind: kind.String(), Indices: set})
+		if code != http.StatusOK {
+			t.Fatalf("step %d: status %d (%v)", step, code, out)
+		}
+		ev := trace.Event{Type: "query", Kind: kind.String(), Indices: set}
+		if out["denied"] == true {
+			denied++
+			ev.Denied = true
+		} else {
+			answered++
+			ans := out["answer"].(float64)
+			ev.Answer = ans
+			switch kind {
+			case query.Sum:
+				sumHistory = append(sumHistory, query.Answered{
+					Query: query.Query{Set: set, Kind: kind}, Answer: ans,
+				})
+			default:
+				answeredMaxMin = append(answeredMaxMin, extreme.Constraint{
+					Set: set, Value: ans, IsMax: kind == query.Max, Rel: extreme.RelEq,
+				})
+			}
+		}
+		if err := recEnc.Encode(ev); err != nil {
+			t.Fatal(err)
+		}
+
+		// Global privacy invariant, re-derived from scratch every 25
+		// steps by the independent offline analyses.
+		if step%25 == 24 {
+			res := extreme.Analyze(n, answeredMaxMin)
+			if !res.Consistent {
+				t.Fatalf("step %d: answered max/min history inconsistent", step)
+			}
+			if res.Compromised {
+				t.Fatalf("step %d: max/min history determines a record", step)
+			}
+			sumRes, err := offline.AuditSum(n, sumHistory)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sumRes.Compromised || sumAud.Compromised() {
+				t.Fatalf("step %d: sum trail compromised", step)
+			}
+		}
+	}
+	if answered == 0 || denied == 0 {
+		t.Fatalf("degenerate session: answered=%d denied=%d", answered, denied)
+	}
+	if eng.Answered() != answered || eng.Denied() != denied {
+		t.Fatalf("counter drift: engine (%d,%d) vs observed (%d,%d)",
+			eng.Answered(), eng.Denied(), answered, denied)
+	}
+
+	// Persist the sum trail, restore it, and check decision agreement.
+	var snap bytes.Buffer
+	if err := persist.Save(&snap, sumAud); err != nil {
+		t.Fatal(err)
+	}
+	snapBytes := snap.Len()
+	restoredAny, _, err := persist.Load(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := restoredAny.(interface {
+		Decide(query.Query) (audit.Decision, error)
+	})
+	for probe := 0; probe < 40; probe++ {
+		set := query.NewSet(randx.SubsetSizeBetween(rng, n, 2, n)...)
+		q := query.Query{Set: set, Kind: query.Sum}
+		d1, _ := sumAud.Decide(q)
+		d2, _ := restored.Decide(q)
+		if d1 != d2 {
+			t.Fatalf("restored sum auditor diverged on %v", q)
+		}
+	}
+
+	// Replay the recorded trace against a fresh identical stack: every
+	// decision must reproduce (simulatability makes them functions of
+	// the history alone) and answers must match (same data).
+	ds2 := dataset.GenerateHospital(randx.New(12), dataset.DefaultHospitalConfig(n))
+	eng2 := core.NewEngine(ds2)
+	eng2.Use(sumfull.New(n), query.Sum)
+	eng2.Use(maxminfull.New(n), query.Max, query.Min)
+	rep, err := trace.Replay(bytes.NewReader(traceBuf.Bytes()), eng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || len(rep.AnswerMismatches) != 0 {
+		t.Fatalf("replay drift: %+v", rep)
+	}
+
+	// The knowledge endpoint agrees with the synopsis-derived exposure.
+	resp, err := http.Get(srv.URL + "/v1/knowledge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var know server.KnowledgeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&know); err != nil {
+		t.Fatal(err)
+	}
+	ks, ok := know.Auditors[mmAud.Name()]
+	if !ok || len(ks) != n {
+		t.Fatalf("knowledge report missing or wrong size: %v", know.Auditors)
+	}
+	for _, k := range ks {
+		if k.Pinned {
+			t.Fatalf("knowledge reports a pinned record %d — privacy invariant broken", k.Index)
+		}
+		v := ds.Sensitive(k.Index)
+		if v < k.Lower || v > k.Upper {
+			t.Fatalf("record %d: true value %g outside reported bounds [%g, %g]",
+				k.Index, v, k.Lower, k.Upper)
+		}
+	}
+	fmt.Printf("integration session: %d answered, %d denied, trail %d bytes\n",
+		answered, denied, snapBytes)
+}

@@ -1,0 +1,256 @@
+// Package boolrange implements the specialization the paper's Section 7
+// singles out as tractable: auditing *count queries over one-dimensional
+// ranges of boolean data* ("how many individuals are between the ages of
+// 15 and 25"), where the general boolean auditing problem is coNP-hard
+// but the 1-D form has an efficient solution [Kleinberg–Papadimitriou–
+// Raghavan].
+//
+// Model: x_1..x_n ∈ {0,1} sorted along a public dimension; a query is a
+// contiguous range [i, j] answered with the count Σ_{k∈[i,j]} x_k.
+// Writing S_k for the prefix sum x_1+…+x_k, an answered query pins the
+// difference S_j − S_{i−1}, and booleanness adds the chain constraints
+// 0 ≤ S_k − S_{k−1} ≤ 1. The whole history is therefore a difference-
+// constraint system; its constraint graph has an edge u→v of weight w
+// for every inequality S_v − S_u ≤ w. Standard facts about such systems
+// (the constraint matrix is totally unimodular) give:
+//
+//   - the history is consistent iff the graph has no negative cycle;
+//   - the feasible values of x_k = S_k − S_{k−1} form exactly the
+//     integer interval [−dist(k→k−1), dist(k−1→k)];
+//   - x_k is *determined* (classical compromise) iff that interval is a
+//     single point.
+//
+// The online auditor is simulatable via the finite-candidate technique:
+// a new range [i, j] has only |j−i+2| possible answers; deny iff some
+// consistent candidate would determine a previously undetermined bit.
+//
+// A provable degeneracy worth knowing (and asserted by this package's
+// tests): for *boolean* data under classical compromise, the simulatable
+// online auditor denies every range. The saturating candidate answers —
+// count 0 (all zeros) and count = width (all ones) — are always
+// consistent with a fresh range and always determine its bits, so no
+// range survives the candidate sweep. This mirrors the discussion in
+// Kenthapadi–Mishra–Nissim '05 that classical simulatable auditing can
+// collapse on discrete data, and is one of the motivations for the
+// paper's partial-disclosure definition. The substantive functionality
+// here is therefore OfflineAudit, the efficient 1-D offline auditor;
+// Decide is provided for completeness and demonstrates the collapse.
+package boolrange
+
+import (
+	"fmt"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/query"
+)
+
+// edge is a difference constraint S_to − S_from ≤ w.
+type edge struct {
+	from, to int
+	w        int
+}
+
+// Auditor audits 1-D boolean range counts over n bits (prefix nodes
+// 0..n).
+type Auditor struct {
+	n     int
+	edges []edge
+}
+
+// New returns an auditor over n boolean values.
+func New(n int) *Auditor {
+	a := &Auditor{n: n}
+	// Chain constraints: 0 ≤ S_k − S_{k−1} ≤ 1.
+	for k := 1; k <= n; k++ {
+		a.edges = append(a.edges,
+			edge{from: k - 1, to: k, w: 1}, // S_k ≤ S_{k−1} + 1
+			edge{from: k, to: k - 1, w: 0}, // S_{k−1} ≤ S_k
+		)
+	}
+	return a
+}
+
+// Name implements audit.Auditor.
+func (a *Auditor) Name() string { return "bool-1d-range-count" }
+
+// N returns the number of bits.
+func (a *Auditor) N() int { return a.n }
+
+// rangeOf validates that the query set is a contiguous range and returns
+// its 1-based endpoints.
+func rangeOf(s query.Set) (i, j int, err error) {
+	if len(s) == 0 {
+		return 0, 0, fmt.Errorf("boolrange: empty query set")
+	}
+	for k := 1; k < len(s); k++ {
+		if s[k] != s[k-1]+1 {
+			return 0, 0, fmt.Errorf("boolrange: query set %v is not a contiguous range", s)
+		}
+	}
+	return s[0] + 1, s[len(s)-1] + 1, nil
+}
+
+// withConstraint returns the edge list extended by S_j − S_{i−1} = c.
+func (a *Auditor) withConstraint(i, j, c int) []edge {
+	out := make([]edge, len(a.edges), len(a.edges)+2)
+	copy(out, a.edges)
+	return append(out,
+		edge{from: i - 1, to: j, w: c},  // S_j ≤ S_{i−1} + c
+		edge{from: j, to: i - 1, w: -c}, // S_{i−1} ≤ S_j − c
+	)
+}
+
+// bellmanFord returns single-source shortest distances over nodes
+// 0..n, or ok=false when a negative cycle is reachable (infeasible
+// system). Unreachable nodes get dist = maxInt (no bound).
+func bellmanFord(n int, edges []edge, src int) (dist []int, ok bool) {
+	const inf = int(^uint(0) >> 2)
+	dist = make([]int, n+1)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	for iter := 0; iter <= n; iter++ {
+		changed := false
+		for _, e := range edges {
+			if dist[e.from] >= inf {
+				continue
+			}
+			if d := dist[e.from] + e.w; d < dist[e.to] {
+				dist[e.to] = d
+				changed = true
+			}
+		}
+		if !changed {
+			return dist, true
+		}
+		if iter == n {
+			return nil, false // still relaxing after n rounds: negative cycle
+		}
+	}
+	return dist, true
+}
+
+// analyze returns consistency and the set of determined bit indices
+// (0-based) for an edge list.
+func analyze(n int, edges []edge) (consistent bool, determined []int) {
+	// Feasibility: run from a virtual source by seeding all dists at 0
+	// (equivalent to adding zero-weight edges from a super-source).
+	const inf = int(^uint(0) >> 2)
+	dist := make([]int, n+1)
+	for iter := 0; iter <= n; iter++ {
+		changed := false
+		for _, e := range edges {
+			if d := dist[e.from] + e.w; d < dist[e.to] {
+				dist[e.to] = d
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter == n {
+			return false, nil
+		}
+	}
+	// Determination: x_k fixed iff dist(k−1→k) == −dist(k→k−1).
+	// Cache SSSP runs per source node actually needed.
+	distFrom := make(map[int][]int)
+	get := func(src int) []int {
+		if d, ok := distFrom[src]; ok {
+			return d
+		}
+		d, ok := bellmanFord(n, edges, src)
+		if !ok {
+			return nil
+		}
+		distFrom[src] = d
+		return d
+	}
+	for k := 1; k <= n; k++ {
+		du := get(k - 1)
+		dv := get(k)
+		if du == nil || dv == nil {
+			return false, nil
+		}
+		ub, lb := du[k], -dv[k-1]
+		if ub >= inf || -lb >= inf {
+			continue
+		}
+		if ub == lb {
+			determined = append(determined, k-1)
+		}
+	}
+	return true, determined
+}
+
+// Determined returns the currently determined bit indices (always empty
+// after a run of correct online decisions; used by the offline API and
+// tests).
+func (a *Auditor) Determined() []int {
+	_, det := analyze(a.n, a.edges)
+	return det
+}
+
+// Decide implements audit.Auditor: deny iff some consistent candidate
+// count would determine a bit.
+func (a *Auditor) Decide(q query.Query) (audit.Decision, error) {
+	if q.Kind != query.Count && q.Kind != query.Sum {
+		return audit.Deny, fmt.Errorf("%w: %v", audit.ErrUnsupportedKind, q.Kind)
+	}
+	i, j, err := rangeOf(q.Set)
+	if err != nil {
+		return audit.Deny, err
+	}
+	anyConsistent := false
+	for c := 0; c <= j-i+1; c++ {
+		edges := a.withConstraint(i, j, c)
+		consistent, determined := analyze(a.n, edges)
+		if !consistent {
+			continue
+		}
+		anyConsistent = true
+		if len(determined) > 0 {
+			return audit.Deny, nil
+		}
+	}
+	if !anyConsistent {
+		return audit.Deny, nil // defensive: the true count is consistent
+	}
+	return audit.Answer, nil
+}
+
+// Record implements audit.Auditor.
+func (a *Auditor) Record(q query.Query, answer float64) {
+	i, j, err := rangeOf(q.Set)
+	if err != nil {
+		panic(fmt.Sprintf("boolrange: recording invalid query: %v", err))
+	}
+	c := int(answer)
+	if float64(c) != answer || c < 0 || c > j-i+1 {
+		panic(fmt.Sprintf("boolrange: impossible count %g for range [%d,%d]", answer, i, j))
+	}
+	a.edges = append(a.edges,
+		edge{from: i - 1, to: j, w: c},
+		edge{from: j, to: i - 1, w: -c},
+	)
+}
+
+// OfflineAudit answers the offline question for a 1-D boolean range
+// history: is it consistent, and which bits does it determine?
+func OfflineAudit(n int, history []query.Answered) (consistent bool, determined []int, err error) {
+	a := New(n)
+	for _, h := range history {
+		i, j, rerr := rangeOf(h.Query.Set)
+		if rerr != nil {
+			return false, nil, rerr
+		}
+		c := int(h.Answer)
+		a.edges = append(a.edges,
+			edge{from: i - 1, to: j, w: c},
+			edge{from: j, to: i - 1, w: -c},
+		)
+	}
+	consistent, determined = analyze(n, a.edges)
+	return consistent, determined, nil
+}

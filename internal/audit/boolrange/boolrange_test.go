@@ -1,0 +1,226 @@
+package boolrange
+
+import (
+	"math/rand"
+	"testing"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/query"
+)
+
+func rangeQuery(i, j int) query.Query {
+	var idx []int
+	for k := i; k <= j; k++ {
+		idx = append(idx, k)
+	}
+	return query.New(query.Count, idx...)
+}
+
+func countOf(bits []int, q query.Query) float64 {
+	c := 0
+	for _, i := range q.Set {
+		c += bits[i]
+	}
+	return float64(c)
+}
+
+// TestSingleBitDenied: a width-1 range is an immediate reveal.
+func TestSingleBitDenied(t *testing.T) {
+	a := New(5)
+	if d, _ := a.Decide(rangeQuery(2, 2)); d != audit.Deny {
+		t.Fatal("single-bit count must be denied")
+	}
+}
+
+// TestNonContiguousRejected.
+func TestNonContiguousRejected(t *testing.T) {
+	a := New(5)
+	if _, err := a.Decide(query.New(query.Count, 0, 2)); err == nil {
+		t.Fatal("non-contiguous set must error")
+	}
+}
+
+// TestSimulatableCollapse asserts the documented degeneracy: for boolean
+// data under classical compromise, the simulatable online auditor denies
+// every range, because the saturating candidate answers (count 0,
+// count = width) are always consistent and always determine bits.
+func TestSimulatableCollapse(t *testing.T) {
+	a := New(6)
+	for _, r := range [][2]int{{0, 1}, {0, 5}, {2, 4}, {3, 3}} {
+		if d, _ := a.Decide(rangeQuery(r[0], r[1])); d != audit.Deny {
+			t.Fatalf("range %v must be denied by the simulatable boolean auditor", r)
+		}
+	}
+}
+
+// TestOfflineAdjacentDifference: [1..3]=2 then [2..3]=1 reveals x_0
+// offline (the auditor that sees true answers detects it).
+func TestOfflineAdjacentDifference(t *testing.T) {
+	bits := []int{1, 0, 1, 1}
+	q1 := rangeQuery(0, 2)
+	q2 := rangeQuery(1, 2)
+	hist := []query.Answered{
+		{Query: q1, Answer: countOf(bits, q1)},
+		{Query: q2, Answer: countOf(bits, q2)},
+	}
+	consistent, det, err := OfflineAudit(4, hist)
+	if err != nil || !consistent {
+		t.Fatal(err)
+	}
+	if len(det) != 1 || det[0] != 0 {
+		t.Fatalf("determined = %v, want [0]", det)
+	}
+}
+
+// TestOfflineDisjointSafe: disjoint unsaturated ranges determine nothing.
+func TestOfflineDisjointSafe(t *testing.T) {
+	bits := []int{1, 0, 1, 1, 0, 1}
+	var hist []query.Answered
+	for _, r := range [][2]int{{0, 1}, {3, 4}} {
+		q := rangeQuery(r[0], r[1])
+		hist = append(hist, query.Answered{Query: q, Answer: countOf(bits, q)})
+	}
+	consistent, det, err := OfflineAudit(6, hist)
+	if err != nil || !consistent {
+		t.Fatal(err)
+	}
+	if len(det) != 0 {
+		t.Fatalf("determined %v for a safe history", det)
+	}
+}
+
+// TestOfflineAudit: determined bits and consistency classification.
+func TestOfflineAudit(t *testing.T) {
+	// History: count[1..3]=2, count[2..3]=1 over x_0..x_3 (1-based
+	// ranges over prefix nodes). Difference gives x_1 exactly.
+	hist := []query.Answered{
+		{Query: rangeQuery(0, 2), Answer: 2},
+		{Query: rangeQuery(1, 2), Answer: 1},
+	}
+	consistent, det, err := OfflineAudit(4, hist)
+	if err != nil || !consistent {
+		t.Fatalf("consistent history misclassified: %v %v", consistent, err)
+	}
+	if len(det) != 1 || det[0] != 0 {
+		t.Fatalf("determined = %v, want [0]", det)
+	}
+
+	// Saturated count determines every bit in range.
+	consistent, det, err = OfflineAudit(4, []query.Answered{{Query: rangeQuery(1, 3), Answer: 3}})
+	if err != nil || !consistent {
+		t.Fatal(err)
+	}
+	if len(det) != 3 {
+		t.Fatalf("saturation must determine 3 bits, got %v", det)
+	}
+
+	// Contradictory counts are inconsistent.
+	consistent, _, err = OfflineAudit(4, []query.Answered{
+		{Query: rangeQuery(0, 2), Answer: 3},
+		{Query: rangeQuery(0, 3), Answer: 1},
+	})
+	if err != nil || consistent {
+		t.Fatal("contradiction not caught")
+	}
+}
+
+// TestOfflineConsistencyOnTruth: true histories are always consistent.
+func TestOfflineConsistencyOnTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		n := 6 + rng.Intn(8)
+		bits := make([]int, n)
+		for i := range bits {
+			bits[i] = rng.Intn(2)
+		}
+		var hist []query.Answered
+		for step := 0; step < 10; step++ {
+			i := rng.Intn(n)
+			j := i + rng.Intn(n-i)
+			q := rangeQuery(i, j)
+			hist = append(hist, query.Answered{Query: q, Answer: countOf(bits, q)})
+		}
+		consistent, _, err := OfflineAudit(n, hist)
+		if err != nil || !consistent {
+			t.Fatalf("trial %d: true history ruled inconsistent (%v)", trial, err)
+		}
+	}
+}
+
+// TestOfflineMatchesBruteForce enumerates all boolean datasets on small
+// instances and checks the difference-constraint determination against
+// ground truth.
+func TestOfflineMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(5)
+		bits := make([]int, n)
+		for i := range bits {
+			bits[i] = rng.Intn(2)
+		}
+		var hist []query.Answered
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			i := rng.Intn(n)
+			j := i + rng.Intn(n-i)
+			q := rangeQuery(i, j)
+			hist = append(hist, query.Answered{Query: q, Answer: countOf(bits, q)})
+		}
+		consistent, det, err := OfflineAudit(n, hist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !consistent {
+			t.Fatalf("trial %d: true history ruled inconsistent", trial)
+		}
+		want := bruteDetermined(n, hist)
+		if !sameInts(det, want) {
+			t.Fatalf("trial %d: determined %v, brute force %v (hist=%v bits=%v)", trial, det, want, hist, bits)
+		}
+	}
+}
+
+func bruteDetermined(n int, hist []query.Answered) []int {
+	possible := make([]map[int]bool, n)
+	for i := range possible {
+		possible[i] = map[int]bool{}
+	}
+	total := 1 << n
+	for mask := 0; mask < total; mask++ {
+		ok := true
+		for _, h := range hist {
+			c := 0
+			for _, idx := range h.Query.Set {
+				c += (mask >> idx) & 1
+			}
+			if float64(c) != h.Answer {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			possible[i][(mask>>i)&1] = true
+		}
+	}
+	var det []int
+	for i := 0; i < n; i++ {
+		if len(possible[i]) == 1 {
+			det = append(det, i)
+		}
+	}
+	return det
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,28 @@
+package boolrange_test
+
+import (
+	"fmt"
+
+	"queryaudit/internal/audit/boolrange"
+	"queryaudit/internal/query"
+)
+
+// ExampleOfflineAudit: two published range counts differing by one
+// individual determine that individual's bit.
+func ExampleOfflineAudit() {
+	rangeQ := func(i, j int) query.Query {
+		var idx []int
+		for k := i; k <= j; k++ {
+			idx = append(idx, k)
+		}
+		return query.New(query.Count, idx...)
+	}
+	hist := []query.Answered{
+		{Query: rangeQ(0, 4), Answer: 3},
+		{Query: rangeQ(0, 3), Answer: 2},
+	}
+	consistent, determined, _ := boolrange.OfflineAudit(5, hist)
+	fmt.Println(consistent, determined)
+	// Output:
+	// true [4]
+}

@@ -1,0 +1,76 @@
+package audit
+
+import "sort"
+
+// CandidateAnswers builds the finite representative answer set behind
+// the paper's Theorem 5: every relevant value itself, plus one
+// representative of each open interval those values delimit (one below
+// the smallest, one between each consecutive pair, one above the
+// largest).
+//
+// Interval representatives are chosen to avoid the `avoid` set — the
+// values held by equality predicates anywhere in the synopsis. A
+// representative that collided with a foreign equality value would be
+// spuriously inconsistent (two elements cannot share a value in a
+// duplicate-free database) and its whole interval's behaviour would go
+// unexamined — which can both hide compromising intervals (a privacy
+// hole) and mask answerable ones (lost utility). The collision case is
+// reachable whenever data values sit on a lattice, e.g. integer-valued
+// salaries.
+func CandidateAnswers(values []float64, avoid map[float64]bool) []float64 {
+	if len(values) == 0 {
+		c := 0.0
+		for avoid[c] {
+			c++
+		}
+		return []float64{c}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	// Dedup.
+	uniq := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	out := make([]float64, 0, 2*len(uniq)+1)
+	out = append(out, below(uniq[0], avoid))
+	for i, v := range uniq {
+		out = append(out, v)
+		if i+1 < len(uniq) {
+			out = append(out, between(v, uniq[i+1], avoid))
+		}
+	}
+	out = append(out, above(uniq[len(uniq)-1], avoid))
+	return out
+}
+
+// below returns a representative strictly under v avoiding the set.
+func below(v float64, avoid map[float64]bool) float64 {
+	c := v - 1
+	for avoid[c] {
+		c--
+	}
+	return c
+}
+
+// above returns a representative strictly over v avoiding the set.
+func above(v float64, avoid map[float64]bool) float64 {
+	c := v + 1
+	for avoid[c] {
+		c++
+	}
+	return c
+}
+
+// between returns a representative in the open interval (lo, hi)
+// avoiding the set, bisecting toward lo on collision (the avoid set is
+// finite, so this terminates).
+func between(lo, hi float64, avoid map[float64]bool) float64 {
+	c := (lo + hi) / 2
+	for avoid[c] && c > lo {
+		c = (lo + c) / 2
+	}
+	return c
+}

@@ -1,0 +1,95 @@
+// Package djl implements the Dobkin–Jones–Lipton / Reiss query-overlap
+// restriction auditor the paper recounts in Section 2.1: every query set
+// must have size ≥ k, every pair of answered query sets may overlap in at
+// most r elements, and at most (2k − (l+1))/r distinct queries are ever
+// answered, where l is the number of values assumed known to the attacker
+// a priori.
+//
+// The scheme is the historical baseline motivating auditors with better
+// utility: with k = n/c and r = 1 it exhausts after a constant number of
+// distinct queries. It is trivially simulatable — decisions depend only
+// on query sets.
+package djl
+
+import (
+	"fmt"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/query"
+)
+
+// Config holds the restriction parameters.
+type Config struct {
+	// K is the minimum query-set size.
+	K int
+	// R is the maximum pairwise overlap between answered query sets.
+	R int
+	// L is the number of data values assumed already known to the
+	// attacker (l in the (2k−(l+1))/r bound).
+	L int
+}
+
+// Auditor enforces the size/overlap restrictions.
+type Auditor struct {
+	cfg      Config
+	answered []query.Set
+	budget   int
+}
+
+// New returns a DJL auditor. The answer budget is ⌊(2k−(l+1))/r⌋ distinct
+// queries, the bound under which the scheme provably prevents
+// compromise.
+func New(cfg Config) (*Auditor, error) {
+	if cfg.K < 1 || cfg.R < 1 || cfg.L < 0 {
+		return nil, fmt.Errorf("djl: invalid config %+v", cfg)
+	}
+	budget := (2*cfg.K - (cfg.L + 1)) / cfg.R
+	if budget < 0 {
+		budget = 0
+	}
+	return &Auditor{cfg: cfg, budget: budget}, nil
+}
+
+// Name implements audit.Auditor.
+func (a *Auditor) Name() string { return "dobkin-jones-lipton" }
+
+// Budget returns how many more distinct queries can be answered.
+func (a *Auditor) Budget() int { return a.budget - len(a.answered) }
+
+// Decide implements audit.Auditor: any aggregate is accepted (the scheme
+// restricts only query sets), and a query is allowed iff it meets the
+// size bound, overlaps every answered set in at most r elements, and the
+// distinct-query budget is not exhausted. Repeats of already-answered
+// sets are free.
+func (a *Auditor) Decide(q query.Query) (audit.Decision, error) {
+	if len(q.Set) == 0 {
+		return audit.Deny, fmt.Errorf("djl: empty query set")
+	}
+	for _, prev := range a.answered {
+		if prev.Equal(q.Set) {
+			return audit.Answer, nil // exact repeat: no new information
+		}
+	}
+	if len(q.Set) < a.cfg.K {
+		return audit.Deny, nil
+	}
+	if len(a.answered) >= a.budget {
+		return audit.Deny, nil
+	}
+	for _, prev := range a.answered {
+		if len(prev.Intersect(q.Set)) > a.cfg.R {
+			return audit.Deny, nil
+		}
+	}
+	return audit.Answer, nil
+}
+
+// Record implements audit.Auditor.
+func (a *Auditor) Record(q query.Query, _ float64) {
+	for _, prev := range a.answered {
+		if prev.Equal(q.Set) {
+			return
+		}
+	}
+	a.answered = append(a.answered, q.Set.Clone())
+}

@@ -1,0 +1,82 @@
+package djl
+
+import (
+	"testing"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/query"
+)
+
+// TestBudgetFormula: (2k − (l+1))/r.
+func TestBudgetFormula(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want int
+	}{
+		{Config{K: 40, R: 1, L: 0}, 79},
+		{Config{K: 40, R: 2, L: 0}, 39},
+		{Config{K: 40, R: 1, L: 10}, 69},
+		{Config{K: 1, R: 4, L: 5}, 0}, // negative clamps to zero
+	}
+	for _, c := range cases {
+		a, err := New(c.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Budget() != c.want {
+			t.Errorf("budget(%+v) = %d, want %d", c.cfg, a.Budget(), c.want)
+		}
+	}
+}
+
+// TestInvalidConfig rejected.
+func TestInvalidConfig(t *testing.T) {
+	for _, cfg := range []Config{{K: 0, R: 1}, {K: 1, R: 0}, {K: 1, R: 1, L: -1}} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+// TestRestrictions: size, overlap, budget, repeats.
+func TestRestrictions(t *testing.T) {
+	a, err := New(Config{K: 3, R: 1, L: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	answerOrFail := func(set ...int) {
+		t.Helper()
+		q := query.New(query.Sum, set...)
+		d, err := a.Decide(q)
+		if err != nil || d != audit.Answer {
+			t.Fatalf("query %v: %v %v", set, d, err)
+		}
+		a.Record(q, 0)
+	}
+	// Too small.
+	if d, _ := a.Decide(query.New(query.Sum, 0, 1)); d != audit.Deny {
+		t.Fatal("undersized query must be denied")
+	}
+	answerOrFail(0, 1, 2)
+	// Overlap 2 with the first: denied.
+	if d, _ := a.Decide(query.New(query.Sum, 1, 2, 3)); d != audit.Deny {
+		t.Fatal("overlap > r must be denied")
+	}
+	// Overlap 1: fine.
+	answerOrFail(2, 3, 4)
+	// Exact repeat: free.
+	if d, _ := a.Decide(query.New(query.Sum, 0, 1, 2)); d != audit.Answer {
+		t.Fatal("repeat must be answered")
+	}
+	// Budget = (6−1)/1 = 5; three more distinct disjoint-ish queries…
+	answerOrFail(5, 6, 7)
+	answerOrFail(8, 9, 10)
+	answerOrFail(11, 12, 13)
+	// …then the budget is spent.
+	if a.Budget() != 0 {
+		t.Fatalf("budget = %d, want 0", a.Budget())
+	}
+	if d, _ := a.Decide(query.New(query.Sum, 14, 15, 16)); d != audit.Deny {
+		t.Fatal("budget exhausted: deny")
+	}
+}

@@ -1,0 +1,30 @@
+package maxdup_test
+
+import (
+	"fmt"
+
+	"queryaudit/internal/audit/maxdup"
+	"queryaudit/internal/query"
+)
+
+// Example contrasts the duplicates-allowed auditor with the paper's §4
+// example: after max{a,b,c}=9, the overlapping query max{a,d,e} is
+// answerable here (if both answered 9, a duplicate — not a reveal —
+// would explain it), whereas the no-duplicates auditor must deny it.
+func Example() {
+	a := maxdup.New(5)
+	q1 := query.New(query.Max, 0, 1, 2)
+	if d, _ := a.Decide(q1); d == 1 {
+		a.Record(q1, 9)
+	}
+	d, _ := a.Decide(query.New(query.Max, 0, 3, 4))
+	fmt.Println("overlapping query:", d)
+
+	// But localizing probes stay denied: max{a,b} after max{a,b,c}=9
+	// could reveal x_c.
+	d, _ = a.Decide(query.New(query.Max, 0, 1))
+	fmt.Println("subset probe:     ", d)
+	// Output:
+	// overlapping query: answer
+	// subset probe:      deny
+}

@@ -1,0 +1,211 @@
+package maxdup
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/query"
+)
+
+// decideReference re-derives the decision by brute force: enumerate the
+// finitely many candidate answers (distinct bounds in Q, midpoints,
+// sentinels), fold each into a copy, and inspect every extreme set.
+func decideReference(a *Auditor, q query.Set) audit.Decision {
+	vals := map[float64]bool{}
+	for _, j := range q {
+		if !math.IsInf(a.mu[j], 1) {
+			vals[a.mu[j]] = true
+		}
+	}
+	var sorted []float64
+	for v := range vals {
+		sorted = append(sorted, v)
+	}
+	sort.Float64s(sorted)
+	var cands []float64
+	if len(sorted) == 0 {
+		cands = []float64{0}
+	} else {
+		cands = append(cands, sorted[0]-1)
+		for i, v := range sorted {
+			cands = append(cands, v)
+			if i+1 < len(sorted) {
+				cands = append(cands, (v+sorted[i+1])/2)
+			}
+		}
+		// Values above the top bound are inconsistent; values below all
+		// bounds matter, and +∞-ish candidates only when free elements
+		// exist.
+		free := false
+		for _, j := range q {
+			if math.IsInf(a.mu[j], 1) {
+				free = true
+			}
+		}
+		if free {
+			cands = append(cands, sorted[len(sorted)-1]+1)
+		}
+	}
+	anyConsistent := false
+	for _, cand := range cands {
+		cp := clone(a)
+		cp.Record(query.Query{Set: q, Kind: query.Max}, cand)
+		consistent := true
+		compromised := false
+		for _, k := range cp.queries {
+			if k.extremeCount == 0 {
+				consistent = false
+			}
+			if k.extremeCount == 1 {
+				compromised = true
+			}
+		}
+		if !consistent {
+			continue
+		}
+		anyConsistent = true
+		if compromised {
+			return audit.Deny
+		}
+	}
+	if !anyConsistent {
+		return audit.Deny
+	}
+	return audit.Answer
+}
+
+func clone(a *Auditor) *Auditor {
+	c := New(a.n)
+	copy(c.mu, a.mu)
+	c.queries = make([]answered, len(a.queries))
+	copy(c.queries, a.queries)
+	for j := range a.byElem {
+		c.byElem[j] = append([]int(nil), a.byElem[j]...)
+	}
+	return c
+}
+
+// TestSingletonDenied.
+func TestSingletonDenied(t *testing.T) {
+	a := New(4)
+	if d, _ := a.Decide(query.New(query.Max, 2)); d != audit.Deny {
+		t.Fatal("singleton must be denied")
+	}
+}
+
+// TestFreshPairAnswered — wait: with one free element a huge answer pins
+// it? With ≥2 free elements in Q no answer pins anything.
+func TestFreshPairAnswered(t *testing.T) {
+	a := New(4)
+	if d, _ := a.Decide(query.New(query.Max, 0, 1)); d != audit.Answer {
+		t.Fatal("fresh pair should be answered")
+	}
+}
+
+// TestPaperDuplicatesExample: with duplicates allowed, max{a,b,c}=9 then
+// max{a,d,e} is ANSWERABLE — the same history the no-duplicates auditor
+// must refuse (Section 4's conservativeness example).
+func TestPaperDuplicatesExample(t *testing.T) {
+	a := New(5)
+	q1 := query.New(query.Max, 0, 1, 2)
+	if d, _ := a.Decide(q1); d != audit.Answer {
+		t.Fatal("q1 should pass")
+	}
+	a.Record(q1, 9)
+	if d, _ := a.Decide(query.New(query.Max, 0, 3, 4)); d != audit.Answer {
+		t.Fatal("overlapping query must be answerable when duplicates are allowed")
+	}
+}
+
+// TestSubsetProbeDenied: max(S)=M then max(S\{i}) localizes the witness
+// when the probe's answer is lower — denied, duplicates or not.
+func TestSubsetProbeDenied(t *testing.T) {
+	a := New(3)
+	q1 := query.New(query.Max, 0, 1, 2)
+	a.Record(q1, 9)
+	if d, _ := a.Decide(query.New(query.Max, 0, 1)); d != audit.Deny {
+		t.Fatal("subset probe must be denied")
+	}
+}
+
+// TestClosedFormMatchesReference: random streams, every decision.
+func TestClosedFormMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(7)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(12)) // duplicates welcome
+		}
+		a := New(n)
+		for step := 0; step < 18; step++ {
+			var idx []int
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					idx = append(idx, i)
+				}
+			}
+			if len(idx) == 0 {
+				continue
+			}
+			q := query.New(query.Max, idx...)
+			fast, err := a.Decide(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := decideReference(a, q.Set)
+			if fast != ref {
+				t.Fatalf("trial %d step %d: fast=%v ref=%v (q=%v, mu=%v)", trial, step, fast, ref, q.Set, a.mu)
+			}
+			if fast == audit.Answer {
+				a.Record(q, q.Eval(xs))
+				if err := a.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+				if a.Compromised() {
+					t.Fatalf("trial %d: compromised after answering %v", trial, q.Set)
+				}
+			}
+		}
+	}
+}
+
+// TestNeverCompromisesOnTruth: long random streams with duplicated data.
+func TestNeverCompromisesOnTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(10)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		if trial%2 == 0 {
+			// Force heavy duplication half the time.
+			for i := range xs {
+				xs[i] = float64(rng.Intn(3))
+			}
+		}
+		a := New(n)
+		for step := 0; step < 40; step++ {
+			var idx []int
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					idx = append(idx, i)
+				}
+			}
+			if len(idx) == 0 {
+				continue
+			}
+			q := query.New(query.Max, idx...)
+			if d, _ := a.Decide(q); d == audit.Answer {
+				a.Record(q, q.Eval(xs))
+			}
+			if a.Compromised() {
+				t.Fatalf("trial %d: compromise", trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package maxfull
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/query"
+)
+
+// drive answers q against the true values, recording if allowed.
+func drive(t *testing.T, a *Auditor, set query.Set, xs []float64) bool {
+	t.Helper()
+	q := query.Query{Set: set, Kind: query.Max}
+	d, err := a.Decide(q)
+	if err != nil {
+		t.Fatalf("Decide(%v): %v", q, err)
+	}
+	if d == audit.Deny {
+		return false
+	}
+	a.Record(q, q.Eval(xs))
+	return true
+}
+
+// TestSingletonDenied: max over one element is the element.
+func TestSingletonDenied(t *testing.T) {
+	a := New(3)
+	d, err := a.Decide(query.New(query.Max, 2))
+	if err != nil || d != audit.Deny {
+		t.Fatalf("got %v,%v; want deny", d, err)
+	}
+}
+
+// TestFreshPairAnswered: a first query over ≥2 fresh elements is safe.
+func TestFreshPairAnswered(t *testing.T) {
+	a := New(3)
+	if d, _ := a.Decide(query.New(query.Max, 0, 1)); d != audit.Answer {
+		t.Fatal("fresh pair should be answered")
+	}
+}
+
+// TestPaperConservativeExample: after max{a,b,c}=9, the query
+// max{a,d,e} must be denied — if both answers were equal, x_a would be
+// revealed (Section 4's no-duplicates example).
+func TestPaperConservativeExample(t *testing.T) {
+	xs := []float64{9, 1, 2, 3, 4}
+	a := New(5)
+	if !drive(t, a, query.NewSet(0, 1, 2), xs) {
+		t.Fatal("first query should be answered")
+	}
+	if d, _ := a.Decide(query.New(query.Max, 0, 3, 4)); d != audit.Deny {
+		t.Fatal("overlapping query must be denied (equal answers would reveal x_a)")
+	}
+}
+
+// TestSubsetProbeDenied: after max(S) is answered, max(S\{i}) must be
+// denied — the answer comparison would reveal whether x_i is the max.
+func TestSubsetProbeDenied(t *testing.T) {
+	xs := []float64{3, 7, 5}
+	a := New(3)
+	if !drive(t, a, query.NewSet(0, 1, 2), xs) {
+		t.Fatal("first query should be answered")
+	}
+	for drop := 0; drop < 3; drop++ {
+		set := query.NewSet(0, 1, 2).Minus(query.Set{drop})
+		if d, _ := a.Decide(query.Query{Set: set, Kind: query.Max}); d != audit.Deny {
+			t.Fatalf("probe without %d must be denied", drop)
+		}
+	}
+}
+
+// TestDisjointQueriesFlow: disjoint query sets never interfere.
+func TestDisjointQueriesFlow(t *testing.T) {
+	xs := []float64{3, 7, 5, 1, 9, 2}
+	a := New(6)
+	if !drive(t, a, query.NewSet(0, 1), xs) {
+		t.Fatal("q1 denied")
+	}
+	if !drive(t, a, query.NewSet(2, 3), xs) {
+		t.Fatal("q2 denied")
+	}
+	if !drive(t, a, query.NewSet(4, 5), xs) {
+		t.Fatal("q3 denied")
+	}
+	if a.Compromised() {
+		t.Fatal("no compromise expected")
+	}
+}
+
+// TestFastMatchesReference drives random streams and checks the
+// closed-form decision equals the clone-and-fold reference at every
+// step, including after updates.
+func TestFastMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 150; trial++ {
+		n := 3 + rng.Intn(7)
+		xs := distinctValues(rng, n)
+		a := New(n)
+		for step := 0; step < 20; step++ {
+			set := randomSet(rng, n)
+			q := query.Query{Set: set, Kind: query.Max}
+			fast, err1 := a.Decide(q)
+			ref, err2 := a.DecideReference(q)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("error mismatch: %v vs %v", err1, err2)
+			}
+			if fast != ref {
+				t.Fatalf("trial %d step %d: fast=%v ref=%v\nsynopsis=%v\nquery=%v",
+					trial, step, fast, ref, a.syn, set)
+			}
+			if fast == audit.Answer {
+				a.Record(q, q.Eval(xs))
+			}
+			if a.Compromised() {
+				t.Fatalf("trial %d: compromised state after answering %v", trial, set)
+			}
+			if rng.Intn(8) == 0 {
+				i := rng.Intn(n)
+				a.NoteUpdate(i)
+				xs[i] = freshValue(rng, xs)
+			}
+		}
+	}
+}
+
+// TestNeverLeaks runs long random streams and verifies no answered
+// prefix ever uniquely determines an element (privacy invariant).
+func TestNeverLeaks(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(8)
+		xs := distinctValues(rng, n)
+		a := New(n)
+		for step := 0; step < 30; step++ {
+			set := randomSet(rng, n)
+			drive(t, a, set, xs)
+			if a.Compromised() {
+				t.Fatalf("trial %d step %d: compromise (synopsis %v)", trial, step, a.syn)
+			}
+		}
+	}
+}
+
+func distinctValues(rng *rand.Rand, n int) []float64 {
+	xs := make([]float64, n)
+	used := map[float64]bool{}
+	for i := range xs {
+		v := float64(rng.Intn(60))
+		for used[v] {
+			v = float64(rng.Intn(60))
+		}
+		used[v] = true
+		xs[i] = v
+	}
+	return xs
+}
+
+func freshValue(rng *rand.Rand, xs []float64) float64 {
+	used := map[float64]bool{}
+	for _, x := range xs {
+		used[x] = true
+	}
+	v := float64(rng.Intn(60))
+	for used[v] {
+		v = float64(rng.Intn(60))
+	}
+	return v
+}
+
+func randomSet(rng *rand.Rand, n int) query.Set {
+	for {
+		var q []int
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				q = append(q, i)
+			}
+		}
+		if len(q) > 0 {
+			sort.Ints(q)
+			return query.Set(q)
+		}
+	}
+}
+
+// TestCandidatesShape: candidate list is sorted and brackets the values.
+func TestCandidatesShape(t *testing.T) {
+	a := New(5)
+	xs := []float64{1, 5, 3, 8, 2}
+	drive(t, a, query.NewSet(0, 1), xs) // =5
+	drive(t, a, query.NewSet(2, 4), xs) // =3
+	cands := a.Candidates(query.NewSet(0, 2))
+	if len(cands) != 5 {
+		t.Fatalf("candidates = %v, want [2,3,4,5,6]", cands)
+	}
+	want := []float64{2, 3, 4, 5, 6}
+	for i, v := range want {
+		if cands[i] != v {
+			t.Fatalf("candidates = %v, want %v", cands, want)
+		}
+	}
+}

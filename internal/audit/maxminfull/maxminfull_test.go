@@ -1,0 +1,209 @@
+package maxminfull
+
+import (
+	"math/rand"
+	"testing"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/extreme"
+	"queryaudit/internal/query"
+)
+
+func drive(t *testing.T, a *Auditor, kind query.Kind, set query.Set, xs []float64) bool {
+	t.Helper()
+	q := query.Query{Set: set, Kind: kind}
+	d, err := a.Decide(q)
+	if err != nil {
+		t.Fatalf("Decide(%v): %v", q, err)
+	}
+	if d == audit.Deny {
+		return false
+	}
+	a.Record(q, q.Eval(xs))
+	return true
+}
+
+// TestSingletonDenied for both kinds.
+func TestSingletonDenied(t *testing.T) {
+	a := New(3)
+	if d, _ := a.Decide(query.New(query.Max, 1)); d != audit.Deny {
+		t.Fatal("singleton max must be denied")
+	}
+	if d, _ := a.Decide(query.New(query.Min, 1)); d != audit.Deny {
+		t.Fatal("singleton min must be denied")
+	}
+}
+
+// TestMaxThenMinSameSetDenied: answering min(S) after max(S) on a
+// 2-element set pins both elements up to the unknown permutation — but a
+// shared witness candidate answer (min == max answer is inconsistent for
+// |S|≥2; the dangerous case is min answer arbitrarily close) ... the
+// auditor must deny when some consistent answer would pin an element.
+// For S = {a,b}: after max{a,b}=M, the probe min{a,b} has a consistent
+// answer equal to M? No (duplicates). Any answer m<M keeps both
+// orderings open, so min{a,b} is actually safe. Verify it is answered.
+func TestMaxThenMinPairAnswered(t *testing.T) {
+	xs := []float64{3, 7}
+	a := New(2)
+	if !drive(t, a, query.Max, query.NewSet(0, 1), xs) {
+		t.Fatal("max should be answered")
+	}
+	if !drive(t, a, query.Min, query.NewSet(0, 1), xs) {
+		t.Fatal("min over the same pair should be answered")
+	}
+	if a.Compromised() {
+		t.Fatal("pair max+min must not compromise")
+	}
+}
+
+// TestMinOverlappingMaxDenied: after max{a,b,c}=M, the query min{c,d}
+// has a consistent answer equal to M (x_c = M, x_d > M) which would pin
+// x_c — deny.
+func TestMinOverlappingMaxDenied(t *testing.T) {
+	xs := []float64{1, 2, 9, 12}
+	a := New(4)
+	if !drive(t, a, query.Max, query.NewSet(0, 1, 2), xs) {
+		t.Fatal("max should be answered")
+	}
+	if d, _ := a.Decide(query.New(query.Min, 2, 3)); d != audit.Deny {
+		t.Fatal("min{c,d} must be denied: answer M would pin x_c")
+	}
+}
+
+// TestTruthStreamsNeverCompromise: the auditor must keep the invariant
+// that answered histories never uniquely determine an element, verified
+// independently through the extreme-element analysis.
+func TestTruthStreamsNeverCompromise(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 80; trial++ {
+		n := 3 + rng.Intn(6)
+		xs := distinct(rng, n)
+		a := New(n)
+		answered := 0
+		var cons []extreme.Constraint
+		for step := 0; step < 16; step++ {
+			set := randSet(rng, n)
+			kind := query.Max
+			if rng.Intn(2) == 0 {
+				kind = query.Min
+			}
+			q := query.Query{Set: set, Kind: kind}
+			d, err := a.Decide(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d == audit.Deny {
+				continue
+			}
+			ans := q.Eval(xs)
+			a.Record(q, ans)
+			answered++
+			cons = append(cons, extreme.Constraint{Set: set, Value: ans, IsMax: kind == query.Max, Rel: extreme.RelEq})
+			// Independent verification on the raw answered history.
+			res := extreme.Analyze(n, cons)
+			if !res.Consistent {
+				t.Fatalf("trial %d: true history inconsistent?!", trial)
+			}
+			if res.Compromised {
+				t.Fatalf("trial %d step %d: auditor answered a compromising stream\ncons=%v xs=%v",
+					trial, step, cons, xs)
+			}
+			if a.Compromised() {
+				t.Fatalf("trial %d: synopsis compromise after answering", trial)
+			}
+		}
+		_ = answered
+	}
+}
+
+// TestSynopsisMatchesRawHistory: compromise/consistency decisions through
+// the O(n) synopsis must match the extreme analysis over the raw query
+// log (the compression is information-preserving).
+func TestSynopsisMatchesRawHistory(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(5)
+		xs := distinct(rng, n)
+		a := New(n)
+		var raw []extreme.Constraint
+		for step := 0; step < 12; step++ {
+			set := randSet(rng, n)
+			kind := query.Max
+			if rng.Intn(2) == 0 {
+				kind = query.Min
+			}
+			q := query.Query{Set: set, Kind: kind}
+			if d, _ := a.Decide(q); d == audit.Answer {
+				ans := q.Eval(xs)
+				a.Record(q, ans)
+				raw = append(raw, extreme.Constraint{Set: set, Value: ans, IsMax: kind == query.Max, Rel: extreme.RelEq})
+			}
+			fromSyn := extreme.Analyze(n, extreme.FromSynopsis(a.Synopsis()))
+			fromRaw := extreme.Analyze(n, raw)
+			if fromSyn.Compromised != fromRaw.Compromised || fromSyn.Consistent != fromRaw.Consistent {
+				t.Fatalf("trial %d step %d: synopsis (%v,%v) vs raw (%v,%v)\nsynMax=%v\nraw=%v",
+					trial, step, fromSyn.Consistent, fromSyn.Compromised,
+					fromRaw.Consistent, fromRaw.Compromised, a.Synopsis().MaxPreds(), raw)
+			}
+		}
+	}
+}
+
+func distinct(rng *rand.Rand, n int) []float64 {
+	xs := make([]float64, n)
+	used := map[float64]bool{}
+	for i := range xs {
+		v := float64(rng.Intn(40))
+		for used[v] {
+			v = float64(rng.Intn(40))
+		}
+		used[v] = true
+		xs[i] = v
+	}
+	return xs
+}
+
+func randSet(rng *rand.Rand, n int) query.Set {
+	for {
+		var q []int
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				q = append(q, i)
+			}
+		}
+		if len(q) > 0 {
+			return query.NewSet(q...)
+		}
+	}
+}
+
+// TestKnowledgeReport: ranges reflect answered max/min queries and pins.
+func TestKnowledgeReport(t *testing.T) {
+	xs := []float64{1, 2, 9, 12}
+	a := New(4)
+	if !drive(t, a, query.Max, query.NewSet(0, 1, 2), xs) {
+		t.Fatal("max denied")
+	}
+	if !drive(t, a, query.Min, query.NewSet(0, 1), xs) {
+		t.Fatal("min denied")
+	}
+	ks := a.Knowledge()
+	if len(ks) != 4 {
+		t.Fatalf("%d entries", len(ks))
+	}
+	// x0, x1 ∈ [1, 9]; x2 ≤ 9; x3 unconstrained.
+	if ks[0].Lower != 1 || ks[0].Upper != 9 {
+		t.Errorf("x0 knowledge %+v", ks[0])
+	}
+	if ks[2].Upper != 9 {
+		t.Errorf("x2 knowledge %+v", ks[2])
+	}
+	if ks[3].Upper < 1e308 || ks[3].Lower > -1e308 {
+		t.Errorf("x3 should be unconstrained: %+v", ks[3])
+	}
+	for _, k := range ks {
+		if k.Pinned {
+			t.Errorf("nothing should be pinned: %+v", k)
+		}
+	}
+}

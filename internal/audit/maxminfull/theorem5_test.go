@@ -1,0 +1,136 @@
+package maxminfull
+
+import (
+	"math/rand"
+	"testing"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/query"
+)
+
+// denseDecide re-derives the decision by sweeping a fine grid of
+// hypothetical answers instead of the 2l+1 candidates of Theorem 5:
+// every value in a dense net over the relevant range (plus every exact
+// predicate value). If Theorem 5 is right — within each open interval
+// between relevant values all answers behave identically — this always
+// agrees with Decide.
+func denseDecide(a *Auditor, q query.Query) audit.Decision {
+	lo, hi := -2.0, 60.0 // generously brackets the test values
+	var cands []float64
+	const gridSteps = 240
+	for k := 0; k <= gridSteps; k++ {
+		cands = append(cands, lo+(hi-lo)*float64(k)/gridSteps)
+	}
+	// Exact predicate values matter too (the grid may miss them).
+	for _, p := range a.syn.MaxPreds() {
+		cands = append(cands, p.Value)
+	}
+	for _, p := range a.syn.MinPreds() {
+		cands = append(cands, p.Value)
+	}
+	anyConsistent := false
+	for _, cand := range cands {
+		trial := a.syn.Clone()
+		var err error
+		if q.Kind == query.Max {
+			err = trial.AddMax(q.Set, cand)
+		} else {
+			err = trial.AddMin(q.Set, cand)
+		}
+		if err != nil {
+			continue
+		}
+		anyConsistent = true
+		if compromised(trial) {
+			return audit.Deny
+		}
+	}
+	if !anyConsistent {
+		return audit.Deny
+	}
+	return audit.Answer
+}
+
+// TestTheorem5CandidateSufficiency: across random histories, the finite
+// candidate set's decision equals the dense sweep's.
+func TestTheorem5CandidateSufficiency(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 80; trial++ {
+		n := 3 + rng.Intn(5)
+		xs := distinct(rng, n)
+		a := New(n)
+		for step := 0; step < 10; step++ {
+			set := randSet(rng, n)
+			kind := query.Max
+			if rng.Intn(2) == 0 {
+				kind = query.Min
+			}
+			q := query.Query{Set: set, Kind: kind}
+			std, err := a.Decide(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dense := denseDecide(a, q)
+			if std != dense {
+				t.Fatalf("trial %d step %d: candidates=%v dense=%v\nmax=%v\nmin=%v\nq=%v",
+					trial, step, std, dense, a.syn.MaxPreds(), a.syn.MinPreds(), q)
+			}
+			if std == audit.Answer {
+				a.Record(q, q.Eval(xs))
+			}
+		}
+	}
+}
+
+// TestTheorem5Intervals: inside one open interval between consecutive
+// relevant values, all answers are equi-consistent and equi-compromising
+// (the statement of Theorem 5 itself).
+func TestTheorem5Intervals(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(4)
+		xs := distinct(rng, n)
+		a := New(n)
+		for step := 0; step < 6; step++ {
+			set := randSet(rng, n)
+			kind := query.Max
+			if rng.Intn(2) == 0 {
+				kind = query.Min
+			}
+			q := query.Query{Set: set, Kind: kind}
+			if d, _ := a.Decide(q); d == audit.Answer {
+				a.Record(q, q.Eval(xs))
+			}
+		}
+		// Probe one query's candidate intervals with three points each.
+		set := randSet(rng, n)
+		cands := a.Candidates(set)
+		kind := query.Max
+		apply := func(v float64) (bool, bool) {
+			trial := a.syn.Clone()
+			var err error
+			if kind == query.Max {
+				err = trial.AddMax(set, v)
+			} else {
+				err = trial.AddMin(set, v)
+			}
+			if err != nil {
+				return false, false
+			}
+			return true, compromised(trial)
+		}
+		for k := 0; k+1 < len(cands); k++ {
+			loV, hiV := cands[k], cands[k+1]
+			if hiV <= loV {
+				continue
+			}
+			a1, c1 := apply(loV + (hiV-loV)*0.25)
+			a2, c2 := apply(loV + (hiV-loV)*0.5)
+			a3, c3 := apply(loV + (hiV-loV)*0.75)
+			if a1 != a2 || a2 != a3 || (a1 && (c1 != c2 || c2 != c3)) {
+				t.Fatalf("trial %d: interval (%g,%g) not homogeneous: (%v,%v) (%v,%v) (%v,%v)",
+					trial, loV, hiV, a1, c1, a2, c2, a3, c3)
+			}
+		}
+	}
+}

@@ -1,0 +1,380 @@
+// Package maxminprob implements the paper's Section 3.2 contribution: a
+// (λ, δ, γ, T)-private simulatable auditor for *bags* of max and min
+// queries under partial disclosure, for datasets uniform on the
+// duplicate-free points of [0,1]^n.
+//
+// Posterior inference runs through the graph-coloring reduction of
+// Lemmas 1–3 (package coloring): witnesses of the equality predicates are
+// sampled by the Markov chain, and conditioned on a coloring every
+// remaining element is uniform on its synopsis range. The per-element
+// posterior therefore decomposes as
+//
+//	P(x_i ∈ I | B) = Σ_v π_i(v)·1[A(v) ∈ I] + (1 − Σ_v π_i(v))·|R_i ∩ I|/|R_i|
+//
+// where π_i(v) is the probability that i is node v's witness — the only
+// quantity the Monte Carlo has to estimate.
+//
+// The auditor additionally enforces Lemma 2's degree condition
+// |S(v)| ≥ d_v + 2 by outright denial: if any answer consistent with the
+// current synopsis could produce a graph violating the condition, the
+// query is refused before any sampling happens (the finite candidate-
+// answer technique of Section 4 makes this check effective).
+package maxminprob
+
+import (
+	"fmt"
+	"math/rand"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/coloring"
+	"queryaudit/internal/interval"
+	"queryaudit/internal/query"
+	"queryaudit/internal/randx"
+	"queryaudit/internal/synopsis"
+)
+
+// Params configure the (λ, δ, γ, T) game and the Monte Carlo effort.
+type Params struct {
+	// Lambda bounds the tolerated posterior/prior ratio drift (0<λ<1).
+	Lambda float64
+	// Gamma is the number of partition intervals of [0,1].
+	Gamma int
+	// Delta bounds the attacker's winning probability over T rounds.
+	Delta float64
+	// T is the number of game rounds.
+	T int
+	// OuterSamples is the number of hypothetical datasets per decision
+	// (0 → a small default).
+	OuterSamples int
+	// InnerSamples is the number of colorings per posterior estimate
+	// (0 → a small default).
+	InnerSamples int
+	// MixFactor is the constant in the O(k log k) mixing budget
+	// (0 → 3).
+	MixFactor float64
+	// EnumerateLimit bounds the coloring-space size under which the
+	// auditor switches from MCMC to exact enumeration — the paper's
+	// fallback when Lemma 2's degree condition fails (0 → 20000).
+	EnumerateLimit int
+	// Seed drives the auditor's randomness.
+	Seed int64
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.Lambda <= 0 || p.Lambda >= 1 {
+		return fmt.Errorf("maxminprob: lambda must be in (0,1), got %g", p.Lambda)
+	}
+	if p.Gamma < 1 {
+		return fmt.Errorf("maxminprob: gamma must be >= 1, got %d", p.Gamma)
+	}
+	if p.Delta <= 0 || p.Delta >= 1 {
+		return fmt.Errorf("maxminprob: delta must be in (0,1), got %g", p.Delta)
+	}
+	if p.T < 1 {
+		return fmt.Errorf("maxminprob: T must be >= 1, got %d", p.T)
+	}
+	return nil
+}
+
+func (p Params) outer() int {
+	if p.OuterSamples > 0 {
+		return p.OuterSamples
+	}
+	return 32
+}
+
+func (p Params) inner() int {
+	if p.InnerSamples > 0 {
+		return p.InnerSamples
+	}
+	return 48
+}
+
+func (p Params) mixFactor() float64 {
+	if p.MixFactor > 0 {
+		return p.MixFactor
+	}
+	return 3
+}
+
+func (p Params) enumerateLimit() int {
+	if p.EnumerateLimit > 0 {
+		return p.EnumerateLimit
+	}
+	return 20000
+}
+
+// Auditor is the Section 3.2 simulatable probabilistic max∧min auditor.
+type Auditor struct {
+	n             int
+	params        Params
+	part          interval.Partition
+	window        interval.RatioWindow
+	syn           *synopsis.MaxMin
+	rng           *rand.Rand
+	denyThreshold float64
+}
+
+// New returns an auditor over n records in [0,1].
+func New(n int, params Params) (*Auditor, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Auditor{
+		n:             n,
+		params:        params,
+		part:          interval.NewPartition(0, 1, params.Gamma),
+		window:        interval.RatioWindow{Lambda: params.Lambda},
+		syn:           synopsis.NewMaxMin(n, 0, 1),
+		rng:           randx.New(params.Seed),
+		denyThreshold: params.Delta / (2 * float64(params.T)),
+	}, nil
+}
+
+// Name implements audit.Auditor.
+func (a *Auditor) Name() string { return "maxmin-partial-disclosure" }
+
+// N returns the number of records.
+func (a *Auditor) N() int { return a.n }
+
+// Synopsis exposes a copy of the trail.
+func (a *Auditor) Synopsis() *synopsis.MaxMin { return a.syn.Clone() }
+
+// candidates mirrors the Algorithm 3 finite answer set, restricted to
+// [0,1]: predicate values touching q plus representatives of the open
+// intervals they delimit (collision-avoiding — see
+// audit.CandidateAnswers), clipped to the data range.
+func (a *Auditor) candidates(q query.Set) []float64 {
+	vals := map[float64]bool{0: true, 1: true}
+	for _, i := range q {
+		if p, ok := a.syn.MaxPredOf(i); ok {
+			vals[p.Value] = true
+		}
+		if p, ok := a.syn.MinPredOf(i); ok {
+			vals[p.Value] = true
+		}
+	}
+	values := make([]float64, 0, len(vals))
+	for v := range vals {
+		values = append(values, v)
+	}
+	all := audit.CandidateAnswers(values, a.syn.EqValues())
+	out := all[:0]
+	for _, v := range all {
+		if v >= 0 && v <= 1 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// inferenceTractableForAllAnswers reports whether posterior inference
+// stays tractable for every consistent candidate answer: either the
+// coloring graph meets Lemma 2's degree condition (MCMC mixes) or its
+// coloring space is small enough for the exact-enumeration fallback the
+// paper sketches. Queries failing both are denied outright, exactly as
+// Section 3.2 prescribes.
+func (a *Auditor) inferenceTractableForAllAnswers(q query.Query) bool {
+	limit := a.params.enumerateLimit()
+	for _, cand := range a.candidates(q.Set) {
+		trial := a.syn.Clone()
+		var err error
+		if q.Kind == query.Max {
+			err = trial.AddMax(q.Set, cand)
+		} else {
+			err = trial.AddMin(q.Set, cand)
+		}
+		if err != nil {
+			continue // inconsistent answers cannot occur
+		}
+		g, gerr := coloring.Build(trial)
+		if gerr != nil {
+			return false
+		}
+		if !g.MeetsLemma2() && g.SpaceSize(limit) >= limit {
+			return false
+		}
+	}
+	return true
+}
+
+// witnessProbs computes π_i(v) for a synopsis: exactly (by enumeration)
+// when the graph is small or fails Lemma 2's ergodicity condition, by
+// the Markov chain otherwise.
+func witnessProbs(b *synopsis.MaxMin, params Params, rng *rand.Rand) (*coloring.Graph, [][]float64, error) {
+	g, err := coloring.Build(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	limit := params.enumerateLimit()
+	if !g.MeetsLemma2() || g.SpaceSize(limit) < limit {
+		if probs, ok := coloring.ExactWitnessProbs(g, limit); ok {
+			return g, probs, nil
+		}
+		if !g.MeetsLemma2() {
+			return nil, nil, fmt.Errorf("maxminprob: graph fails Lemma 2 and exceeds the enumeration limit")
+		}
+	}
+	s, err := coloring.NewSampler(g, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.Mix(params.mixFactor()) // burn-in
+	inner := params.inner()
+	counts := make([][]float64, g.K())
+	for v := range counts {
+		counts[v] = make([]float64, len(g.Nodes[v].Colors))
+	}
+	thin := coloring.MixSteps(g.K(), params.mixFactor()/4+0.5)
+	for it := 0; it < inner; it++ {
+		for st := 0; st < thin; st++ {
+			s.Step()
+		}
+		c := s.Coloring()
+		for v, col := range c {
+			for ci, candidate := range g.Nodes[v].Colors {
+				if candidate == col {
+					counts[v][ci]++
+					break
+				}
+			}
+		}
+	}
+	for v := range counts {
+		for ci := range counts[v] {
+			counts[v][ci] /= float64(inner)
+		}
+	}
+	return g, counts, nil
+}
+
+// safeState checks the λ-window for every element × interval given a
+// synopsis state, using Monte Carlo witness probabilities.
+func (a *Auditor) safeState(b *synopsis.MaxMin) (bool, error) {
+	g, probs, err := witnessProbs(b, a.params, a.rng)
+	if err != nil {
+		return false, err
+	}
+	// Gather, per element, its witness probability mass per node value.
+	type mass struct {
+		value float64
+		p     float64
+	}
+	witMass := make([][]mass, a.n)
+	for v, node := range g.Nodes {
+		for ci, col := range node.Colors {
+			if probs[v][ci] > 0 {
+				witMass[col] = append(witMass[col], mass{value: node.Value, p: probs[v][ci]})
+			}
+		}
+	}
+	prior := a.part.Prior()
+	for i := 0; i < a.n; i++ {
+		r := b.RangeOf(i)
+		constrained := len(witMass[i]) > 0 || r.Lo > 0 || r.Hi < 1
+		if !constrained {
+			continue // posterior equals prior exactly
+		}
+		var witTotal float64
+		for _, m := range witMass[i] {
+			witTotal += m.p
+		}
+		free := 1 - witTotal
+		iv := interval.Interval{Lo: r.Lo, Hi: r.Hi}
+		for j := 1; j <= a.params.Gamma; j++ {
+			cell := a.part.Cell(j)
+			post := free * iv.OverlapFraction(cell)
+			for _, m := range witMass[i] {
+				if m.value >= cell.Lo && (m.value < cell.Hi || (j == a.params.Gamma && m.value == cell.Hi)) {
+					post += m.p
+				}
+			}
+			if !a.window.SafePosterior(post, prior) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Decide implements audit.Auditor: Lemma 2 pre-check, then the sampled
+// privacy estimate of the Section 3.2 simulatable auditor.
+func (a *Auditor) Decide(q query.Query) (audit.Decision, error) {
+	if q.Kind != query.Max && q.Kind != query.Min {
+		return audit.Deny, fmt.Errorf("%w: %v", audit.ErrUnsupportedKind, q.Kind)
+	}
+	if len(q.Set) == 0 {
+		return audit.Deny, fmt.Errorf("maxminprob: empty query set")
+	}
+	for _, i := range q.Set {
+		if i < 0 || i >= a.n {
+			return audit.Deny, fmt.Errorf("maxminprob: index %d out of range", i)
+		}
+	}
+	if !a.inferenceTractableForAllAnswers(q) {
+		return audit.Deny, nil
+	}
+	outer := a.params.outer()
+	unsafe := 0
+	for s := 0; s < outer; s++ {
+		xs, err := a.sampleConsistent()
+		if err != nil {
+			return audit.Deny, err
+		}
+		ans := q.Eval(xs)
+		trial := a.syn.Clone()
+		var aerr error
+		if q.Kind == query.Max {
+			aerr = trial.AddMax(q.Set, ans)
+		} else {
+			aerr = trial.AddMin(q.Set, ans)
+		}
+		if aerr != nil {
+			unsafe++ // sampled-consistent answers should fold cleanly
+			continue
+		}
+		ok, serr := a.safeState(trial)
+		if serr != nil || !ok {
+			unsafe++
+		}
+	}
+	if float64(unsafe)/float64(outer) > a.denyThreshold {
+		return audit.Deny, nil
+	}
+	return audit.Answer, nil
+}
+
+// sampleConsistent draws one dataset from P(X | B) via the coloring
+// chain (Lemma 1).
+func (a *Auditor) sampleConsistent() ([]float64, error) {
+	g, err := coloring.Build(a.syn)
+	if err != nil {
+		return nil, err
+	}
+	s, err := coloring.NewSampler(g, a.rng)
+	if err != nil {
+		return nil, err
+	}
+	s.Mix(a.params.mixFactor())
+	return s.SampleDataset(a.rng), nil
+}
+
+// Record implements audit.Auditor.
+func (a *Auditor) Record(q query.Query, answer float64) {
+	var err error
+	switch q.Kind {
+	case query.Max:
+		err = a.syn.AddMax(q.Set, answer)
+	case query.Min:
+		err = a.syn.AddMin(q.Set, answer)
+	default:
+		err = fmt.Errorf("%w: %v", audit.ErrUnsupportedKind, q.Kind)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("maxminprob: recording true answer failed: %v", err))
+	}
+}
+
+// MixSteps re-exports the chain budget for benchmarks.
+func MixSteps(k int, factor float64) int { return coloring.MixSteps(k, factor) }

@@ -1,0 +1,278 @@
+// Package maxprob implements the paper's Section 3.1 contribution: a
+// (λ, δ, γ, T)-private simulatable auditor for max queries under partial
+// disclosure (probabilistic compromise), for datasets drawn uniformly
+// from the duplicate-free points of [0,1]^n.
+//
+// Algorithm 1 ("Safe") decides whether a hypothetical answered history is
+// safe: for every element and every interval of the γ-partition, the
+// posterior/prior ratio must stay within [1−λ, 1/(1−λ)]. The synopsis
+// makes the posterior closed-form — an element under [max(S)=M] is
+// uniform on [0, M) with mass (1−1/|S|) plus a point mass 1/|S| at M; an
+// element under [max(S)<M] is uniform on [0, M).
+//
+// Algorithm 2 (the simulatable auditor) samples datasets consistent with
+// the current synopsis, computes the answer each sample would give to the
+// new query, and denies iff the fraction of samples whose answer would
+// violate safety exceeds δ/(2T). Theorem 1 proves (λ, δ, γ, T)-privacy.
+package maxprob
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/interval"
+	"queryaudit/internal/query"
+	"queryaudit/internal/randx"
+	"queryaudit/internal/synopsis"
+)
+
+// Params are the privacy-game parameters of the (λ, δ, γ, T) game plus
+// sampling knobs.
+type Params struct {
+	// Lambda bounds the tolerated posterior/prior ratio change (0<λ<1).
+	Lambda float64
+	// Gamma is the number of partition intervals of [0,1].
+	Gamma int
+	// Delta bounds the attacker's winning probability over T rounds.
+	Delta float64
+	// T is the number of game rounds.
+	T int
+	// Samples overrides the number of Monte Carlo datasets per decision;
+	// 0 selects the Chernoff-derived default O((T/δ)·log(T/δ)).
+	Samples int
+	// Seed drives the auditor's internal randomness.
+	Seed int64
+	// Alpha, Beta optionally widen the data range from the default [0,1]
+	// (the paper's footnote: "the algorithm can easily be extended to
+	// other ranges"). Internally everything is affinely normalized to
+	// [0,1]; posterior/prior ratios are invariant under that map.
+	Alpha, Beta float64
+}
+
+// rangeBounds returns the configured data range, defaulting to [0,1].
+func (p Params) rangeBounds() (alpha, beta float64) {
+	if p.Beta > p.Alpha {
+		return p.Alpha, p.Beta
+	}
+	return 0, 1
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.Lambda <= 0 || p.Lambda >= 1 {
+		return fmt.Errorf("maxprob: lambda must be in (0,1), got %g", p.Lambda)
+	}
+	if p.Gamma < 1 {
+		return fmt.Errorf("maxprob: gamma must be >= 1, got %d", p.Gamma)
+	}
+	if p.Delta <= 0 || p.Delta >= 1 {
+		return fmt.Errorf("maxprob: delta must be in (0,1), got %g", p.Delta)
+	}
+	if p.T < 1 {
+		return fmt.Errorf("maxprob: T must be >= 1, got %d", p.T)
+	}
+	if p.Beta < p.Alpha {
+		return fmt.Errorf("maxprob: beta %g below alpha %g", p.Beta, p.Alpha)
+	}
+	return nil
+}
+
+// DefaultSamples is the Chernoff-derived sample count for distinguishing
+// breach probability above δ/T from below δ/(2T).
+func (p Params) DefaultSamples() int {
+	if p.Samples > 0 {
+		return p.Samples
+	}
+	r := float64(p.T) / p.Delta
+	n := int(math.Ceil(r * math.Log(r)))
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+// Auditor is the Section 3.1 simulatable probabilistic max auditor.
+type Auditor struct {
+	n      int
+	params Params
+	part   interval.Partition
+	window interval.RatioWindow
+	syn    *synopsis.Max
+	rng    *rand.Rand
+	// denyThreshold is δ/(2T).
+	denyThreshold float64
+	samples       int
+	// alpha, scale implement the affine normalization onto [0,1].
+	alpha, scale float64
+}
+
+// New returns an auditor over n records in [0,1].
+func New(n int, params Params) (*Auditor, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	alpha, beta := params.rangeBounds()
+	return &Auditor{
+		n:             n,
+		params:        params,
+		part:          interval.NewPartition(0, 1, params.Gamma),
+		window:        interval.RatioWindow{Lambda: params.Lambda},
+		syn:           synopsis.NewMax(n),
+		rng:           randx.New(params.Seed),
+		denyThreshold: params.Delta / (2 * float64(params.T)),
+		samples:       params.DefaultSamples(),
+		alpha:         alpha,
+		scale:         beta - alpha,
+	}, nil
+}
+
+// normalize maps a raw answer into the internal [0,1] coordinates.
+func (a *Auditor) normalize(v float64) float64 { return (v - a.alpha) / a.scale }
+
+// Name implements audit.Auditor.
+func (a *Auditor) Name() string { return "max-partial-disclosure" }
+
+// N returns the number of records.
+func (a *Auditor) N() int { return a.n }
+
+// SafeSynopsis is Algorithm 1 over a synopsis: it reports whether every
+// element × interval posterior/prior ratio is inside the λ-window.
+//
+// The per-element check is O(1): within one predicate the ratio takes at
+// most three distinct values (intervals fully below M, the interval
+// containing M, intervals beyond M — the latter always unsafe because
+// the posterior there is 0). Elements outside every predicate have ratio
+// exactly 1.
+func SafeSynopsis(syn *synopsis.Max, part interval.Partition, window interval.RatioWindow) bool {
+	gamma := float64(part.Gamma)
+	for _, p := range syn.Preds() {
+		M := p.Value
+		if M <= 0 || M > 1 {
+			return false // degenerate bound: everything pinned or absurd
+		}
+		mIdx := math.Ceil(M * gamma) // ⌈Mγ⌉, the 1-based cell containing M
+		if mIdx < gamma {
+			// Some interval lies wholly beyond M: posterior 0 there.
+			return false
+		}
+		frac := M*gamma - mIdx + 1 // fraction of the M-cell below M
+		switch p.Op {
+		case synopsis.OpEq:
+			s := float64(len(p.Set))
+			y := (1 - 1/s) / (M * gamma) // P(x ∈ cell) for cells below M
+			if mIdx > 1 {
+				if !window.Safe(gamma * y) {
+					return false
+				}
+			}
+			if !window.Safe(gamma * (y*frac + 1/s)) {
+				return false
+			}
+		default: // OpLt and OpLe: uniform on [0, M)
+			y := 1 / (M * gamma)
+			if mIdx > 1 {
+				if !window.Safe(gamma * y) {
+					return false
+				}
+			}
+			if !window.Safe(gamma * y * frac) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SampleConsistent draws a dataset uniformly from all datasets consistent
+// with the synopsis: per equality predicate a uniformly chosen witness
+// takes the bound and the rest fall uniformly below it; strict-predicate
+// elements fall uniformly below their bound; unconstrained elements are
+// uniform on [0,1].
+func SampleConsistent(syn *synopsis.Max, n int, rng *rand.Rand) []float64 {
+	xs := make([]float64, n)
+	constrained := make([]bool, n)
+	for _, p := range syn.Preds() {
+		switch p.Op {
+		case synopsis.OpEq:
+			w := p.Set[rng.Intn(len(p.Set))]
+			for _, i := range p.Set {
+				if i == w {
+					xs[i] = p.Value
+				} else {
+					xs[i] = rng.Float64() * p.Value
+				}
+				constrained[i] = true
+			}
+		default:
+			for _, i := range p.Set {
+				xs[i] = rng.Float64() * p.Value
+				constrained[i] = true
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !constrained[i] {
+			xs[i] = rng.Float64()
+		}
+	}
+	return xs
+}
+
+// Decide implements audit.Auditor (Algorithm 2). The true answer is never
+// consulted: answers are simulated from datasets consistent with the
+// already-released history.
+func (a *Auditor) Decide(q query.Query) (audit.Decision, error) {
+	if q.Kind != query.Max {
+		return audit.Deny, fmt.Errorf("%w: %v", audit.ErrUnsupportedKind, q.Kind)
+	}
+	if len(q.Set) == 0 {
+		return audit.Deny, fmt.Errorf("maxprob: empty query set")
+	}
+	for _, i := range q.Set {
+		if i < 0 || i >= a.n {
+			return audit.Deny, fmt.Errorf("maxprob: index %d out of range", i)
+		}
+	}
+	unsafe := 0
+	for s := 0; s < a.samples; s++ {
+		xs := SampleConsistent(a.syn, a.n, a.rng)
+		ans := maxOver(xs, q.Set)
+		trial := a.syn.Clone()
+		if err := trial.Add(q.Set, ans); err != nil {
+			// A sampled dataset is consistent by construction; Add can
+			// only fail on float pathologies. Count as unsafe.
+			unsafe++
+			continue
+		}
+		if !SafeSynopsis(trial, a.part, a.window) {
+			unsafe++
+		}
+	}
+	if float64(unsafe)/float64(a.samples) > a.denyThreshold {
+		return audit.Deny, nil
+	}
+	return audit.Answer, nil
+}
+
+// Record implements audit.Auditor. Raw answers are normalized onto the
+// internal [0,1] coordinates.
+func (a *Auditor) Record(q query.Query, answer float64) {
+	if err := a.syn.Add(q.Set, a.normalize(answer)); err != nil {
+		panic(fmt.Sprintf("maxprob: recording true answer failed: %v", err))
+	}
+}
+
+// Synopsis exposes a copy of the trail (tests and diagnostics).
+func (a *Auditor) Synopsis() *synopsis.Max { return a.syn.Clone() }
+
+func maxOver(xs []float64, s query.Set) float64 {
+	best := xs[s[0]]
+	for _, i := range s[1:] {
+		if xs[i] > best {
+			best = xs[i]
+		}
+	}
+	return best
+}

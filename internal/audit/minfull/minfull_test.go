@@ -1,0 +1,86 @@
+package minfull
+
+import (
+	"math/rand"
+	"testing"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/query"
+)
+
+// TestMirrorsBehaviour: the canonical max-auditor behaviours hold in
+// min orientation.
+func TestMirrorsBehaviour(t *testing.T) {
+	xs := []float64{3, 7, 5}
+	a := New(3)
+	if d, _ := a.Decide(query.New(query.Min, 1)); d != audit.Deny {
+		t.Fatal("singleton min must be denied")
+	}
+	full := query.New(query.Min, 0, 1, 2)
+	if d, _ := a.Decide(full); d != audit.Answer {
+		t.Fatal("fresh min should be answered")
+	}
+	a.Record(full, full.Eval(xs))
+	// Probing without one element would localize the minimum.
+	if d, _ := a.Decide(query.New(query.Min, 1, 2)); d != audit.Deny {
+		t.Fatal("subset probe must be denied")
+	}
+	if a.Compromised() {
+		t.Fatal("no compromise expected")
+	}
+}
+
+// TestWrongKind.
+func TestWrongKind(t *testing.T) {
+	a := New(3)
+	if _, err := a.Decide(query.New(query.Max, 0, 1)); err == nil {
+		t.Fatal("max must be rejected by the min auditor")
+	}
+}
+
+// TestTruthStreamsSafe: random min streams never compromise.
+func TestTruthStreamsSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(8)
+		xs := make([]float64, n)
+		used := map[float64]bool{}
+		for i := range xs {
+			v := float64(rng.Intn(50))
+			for used[v] {
+				v = float64(rng.Intn(50))
+			}
+			used[v] = true
+			xs[i] = v
+		}
+		a := New(n)
+		for step := 0; step < 25; step++ {
+			var idx []int
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					idx = append(idx, i)
+				}
+			}
+			if len(idx) == 0 {
+				continue
+			}
+			q := query.New(query.Min, idx...)
+			if d, _ := a.Decide(q); d == audit.Answer {
+				a.Record(q, q.Eval(xs))
+			}
+			if a.Compromised() {
+				t.Fatalf("trial %d: compromise", trial)
+			}
+			if rng.Intn(10) == 0 {
+				i := rng.Intn(n)
+				a.NoteUpdate(i)
+				v := float64(rng.Intn(50))
+				for used[v] {
+					v = float64(rng.Intn(50))
+				}
+				used[v] = true
+				xs[i] = v
+			}
+		}
+	}
+}

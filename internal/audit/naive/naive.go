@@ -1,0 +1,95 @@
+// Package naive implements the answer-dependent max auditor whose denials
+// the Section 2.2 example shows to leak private data, plus the "oblivious"
+// auditor that answers everything. Both exist solely as attack baselines:
+// the game harness uses them to reproduce the denial-leakage breach that
+// motivates simulatable auditing. They must never protect real data.
+package naive
+
+import (
+	"fmt"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/query"
+	"queryaudit/internal/synopsis"
+)
+
+// MaxAuditor is the non-simulatable max auditor of the Section 2.2
+// example: it looks at the true answer of the current query and denies
+// exactly when releasing that answer would uniquely determine some value.
+// The denial itself then leaks: an attacker who sees "deny" learns the
+// answer must have been one of the compromising values.
+type MaxAuditor struct {
+	n   int
+	syn *synopsis.Max
+}
+
+// NewMax returns the answer-dependent max auditor over n records.
+func NewMax(n int) *MaxAuditor {
+	return &MaxAuditor{n: n, syn: synopsis.NewMax(n)}
+}
+
+// Name implements audit.AnswerDependent.
+func (a *MaxAuditor) Name() string { return "naive-max-answer-dependent" }
+
+// DecideWithAnswer implements audit.AnswerDependent: it folds the *true*
+// answer into a trial synopsis and denies iff that reveals a value. This
+// is precisely the unsafe behaviour the paper warns about.
+func (a *MaxAuditor) DecideWithAnswer(q query.Query, trueAnswer float64) (audit.Decision, error) {
+	if q.Kind != query.Max {
+		return audit.Deny, fmt.Errorf("%w: %v", audit.ErrUnsupportedKind, q.Kind)
+	}
+	if len(q.Set) == 0 {
+		return audit.Deny, fmt.Errorf("naive: empty query set")
+	}
+	trial := a.syn.Clone()
+	if err := trial.Add(q.Set, trueAnswer); err != nil {
+		// The true answer can never be inconsistent; treat as deny.
+		return audit.Deny, nil
+	}
+	if trial.SingletonEqCount() > 0 {
+		return audit.Deny, nil
+	}
+	return audit.Answer, nil
+}
+
+// Record implements audit.AnswerDependent.
+func (a *MaxAuditor) Record(q query.Query, answer float64) {
+	if err := a.syn.Add(q.Set, answer); err != nil {
+		panic(fmt.Sprintf("naive: recording true answer failed: %v", err))
+	}
+}
+
+// Synopsis exposes a copy of the trail (used by the attack demo to show
+// what the attacker can reconstruct).
+func (a *MaxAuditor) Synopsis() *synopsis.Max { return a.syn.Clone() }
+
+// Oblivious answers every well-formed query — the "no auditing" lower
+// bound for privacy and upper bound for utility.
+type Oblivious struct{}
+
+// Name implements audit.Auditor.
+func (Oblivious) Name() string { return "oblivious" }
+
+// Decide implements audit.Auditor: always answer.
+func (Oblivious) Decide(q query.Query) (audit.Decision, error) {
+	if len(q.Set) == 0 {
+		return audit.Deny, fmt.Errorf("oblivious: empty query set")
+	}
+	return audit.Answer, nil
+}
+
+// Record implements audit.Auditor.
+func (Oblivious) Record(query.Query, float64) {}
+
+// DenyAll denies every query — the trivially private, zero-utility
+// auditor the introduction dismisses.
+type DenyAll struct{}
+
+// Name implements audit.Auditor.
+func (DenyAll) Name() string { return "deny-all" }
+
+// Decide implements audit.Auditor: always deny.
+func (DenyAll) Decide(query.Query) (audit.Decision, error) { return audit.Deny, nil }
+
+// Record implements audit.Auditor.
+func (DenyAll) Record(query.Query, float64) {}

@@ -1,0 +1,59 @@
+package naive
+
+import (
+	"testing"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/query"
+)
+
+// TestNaiveLeaksThroughDenial reproduces the Section 2.2 example
+// literally: max{a,b,c}=9 answered; the probe max{a,b} is denied exactly
+// when x_c = 9 — so the denial hands the attacker x_c.
+func TestNaiveLeaksThroughDenial(t *testing.T) {
+	// Case 1: c is the maximum. Probe denied.
+	a := NewMax(3)
+	full := query.New(query.Max, 0, 1, 2)
+	if d, err := a.DecideWithAnswer(full, 9); err != nil || d != audit.Answer {
+		t.Fatalf("full query: %v %v", d, err)
+	}
+	a.Record(full, 9)
+	probe := query.New(query.Max, 0, 1)
+	if d, _ := a.DecideWithAnswer(probe, 7); d != audit.Deny {
+		t.Fatal("probe with smaller true answer must be denied (x_c pinned)")
+	}
+
+	// Case 2: the max is inside {a,b}. Probe answered.
+	b := NewMax(3)
+	if d, _ := b.DecideWithAnswer(full, 9); d != audit.Answer {
+		t.Fatal("full query should pass")
+	}
+	b.Record(full, 9)
+	if d, _ := b.DecideWithAnswer(probe, 9); d != audit.Answer {
+		t.Fatal("probe with equal answer is safe and must be answered")
+	}
+	// The pair of behaviours is the leak: deny ⇔ x_c = 9.
+}
+
+// TestObliviousAndDenyAll contracts.
+func TestObliviousAndDenyAll(t *testing.T) {
+	var o Oblivious
+	if d, err := o.Decide(query.New(query.Sum, 0, 1)); err != nil || d != audit.Answer {
+		t.Fatal("oblivious must answer")
+	}
+	if _, err := o.Decide(query.Query{Kind: query.Sum}); err == nil {
+		t.Fatal("empty set still invalid")
+	}
+	var da DenyAll
+	if d, _ := da.Decide(query.New(query.Sum, 0, 1)); d != audit.Deny {
+		t.Fatal("deny-all must deny")
+	}
+}
+
+// TestNaiveRejectsWrongKind.
+func TestNaiveRejectsWrongKind(t *testing.T) {
+	a := NewMax(3)
+	if _, err := a.DecideWithAnswer(query.New(query.Sum, 0, 1), 5); err == nil {
+		t.Fatal("sum must be rejected by the max auditor")
+	}
+}

@@ -1,0 +1,46 @@
+package offline_test
+
+import (
+	"fmt"
+
+	"queryaudit/internal/audit/offline"
+	"queryaudit/internal/query"
+)
+
+// ExampleAuditSum: the 3-cycle of pairwise sums solves every element.
+func ExampleAuditSum() {
+	hist := []query.Answered{
+		{Query: query.New(query.Sum, 0, 1), Answer: 3},
+		{Query: query.New(query.Sum, 1, 2), Answer: 6},
+		{Query: query.New(query.Sum, 0, 2), Answer: 5},
+	}
+	r, _ := offline.AuditSum(3, hist)
+	fmt.Println(r.Compromised, r.DeterminedIndices)
+	// Output:
+	// true [0 1 2]
+}
+
+// ExampleAuditMaxMin: the Section 4 overlap example offline.
+func ExampleAuditMaxMin() {
+	hist := []query.Answered{
+		{Query: query.New(query.Max, 0, 1, 2), Answer: 9},
+		{Query: query.New(query.Max, 0, 3, 4), Answer: 9},
+	}
+	r, _ := offline.AuditMaxMin(5, hist)
+	fmt.Println(r.Compromised, r.Determined[0])
+	// Output:
+	// true 9
+}
+
+// ExampleAuditSumMax: mixing aggregates determines what neither could
+// alone — the combination Chin proved NP-hard, solved exactly here.
+func ExampleAuditSumMax() {
+	hist := []query.Answered{
+		{Query: query.New(query.Sum, 0, 1), Answer: 4},
+		{Query: query.New(query.Max, 0), Answer: 3},
+	}
+	r, _ := offline.AuditSumMax(2, hist, 0)
+	fmt.Println(r.Determined[0], r.Determined[1])
+	// Output:
+	// 3 1
+}

@@ -1,0 +1,131 @@
+package offline
+
+// Offline max-and-min auditing WITH duplicates — the problem the paper
+// leaves open ("finding an efficient algorithm that works in the
+// presence of duplicates is an interesting avenue for future work",
+// §4). No polynomial algorithm is known: the paper shows duplicate
+// values let answered queries imply *new* query sets (its
+// max{a,b}=9, max{c,d}=9, min{b,d}=1 example forces max{a,c}=9), so the
+// synopsis compression breaks down. This solver explores the problem at
+// small scale the same way AuditSumMax does: enumerate witnesses per
+// query, reduce each assignment to a linear system over the reals, and
+// analyze the union of polyhedra exactly.
+
+import (
+	"math/big"
+
+	"queryaudit/internal/query"
+)
+
+// AuditMaxMinDuplicates audits a history of Max and Min queries over n
+// real values where duplicates ARE allowed (contrast AuditMaxMin, which
+// assumes them away and gains polynomial time). limit bounds the witness
+// enumeration (≤ 0 selects 10000).
+func AuditMaxMinDuplicates(n int, history []query.Answered, limit int) (SumMaxResult, error) {
+	if limit <= 0 {
+		limit = 10000
+	}
+	type extQ struct {
+		set   query.Set
+		ans   *big.Rat
+		isMax bool
+	}
+	var qs []extQ
+	for _, h := range history {
+		switch h.Query.Kind {
+		case query.Max, query.Min:
+			qs = append(qs, extQ{set: h.Query.Set, ans: ratOf(h.Answer), isMax: h.Query.Kind == query.Max})
+		default:
+			return SumMaxResult{}, errUnsupported
+		}
+	}
+	space := 1
+	for _, q := range qs {
+		space *= q.set.Size()
+		if space > limit {
+			return SumMaxResult{}, ErrTooLarge
+		}
+	}
+
+	// Shared bounds: every member of a max query is ≤ its answer; every
+	// member of a min query is ≥ its answer (−x ≤ −m).
+	base := newRatSystem(n)
+	for _, q := range qs {
+		for _, i := range q.set {
+			row := make([]*big.Rat, n)
+			if q.isMax {
+				row[i] = one()
+				base.addInequality(row, q.ans)
+			} else {
+				row[i] = new(big.Rat).Neg(one())
+				base.addInequality(row, new(big.Rat).Neg(q.ans))
+			}
+		}
+	}
+
+	res := SumMaxResult{Determined: map[int]float64{}}
+	type span struct {
+		lo, hi   *big.Rat
+		anything bool
+	}
+	spans := make([]span, n)
+	witness := make([]int, len(qs))
+	var rec func(k int) error
+	rec = func(k int) error {
+		if k == len(qs) {
+			sys := base.clone()
+			for qi, q := range qs {
+				row := make([]*big.Rat, n)
+				row[q.set[witness[qi]]] = one()
+				sys.addEquality(row, q.ans)
+			}
+			feasible, err := sys.solve()
+			if err != nil {
+				return err
+			}
+			if !feasible {
+				return nil
+			}
+			res.FeasibleRegions++
+			for i := 0; i < n; i++ {
+				lo, hi, err := sys.projection(i)
+				if err != nil {
+					return err
+				}
+				s := &spans[i]
+				if !s.anything {
+					s.lo, s.hi, s.anything = lo, hi, true
+					continue
+				}
+				if lo == nil || (s.lo != nil && lo.Cmp(s.lo) < 0) {
+					s.lo = lo
+				}
+				if hi == nil || (s.hi != nil && hi.Cmp(s.hi) > 0) {
+					s.hi = hi
+				}
+			}
+			return nil
+		}
+		for w := range qs[k].set {
+			witness[k] = w
+			if err := rec(k + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return SumMaxResult{}, err
+	}
+	res.Consistent = res.FeasibleRegions > 0
+	if res.Consistent {
+		for i := 0; i < n; i++ {
+			s := spans[i]
+			if s.anything && s.lo != nil && s.hi != nil && s.lo.Cmp(s.hi) == 0 {
+				v, _ := s.lo.Float64()
+				res.Determined[i] = v
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,136 @@
+package offline
+
+import (
+	"math/rand"
+	"testing"
+
+	"queryaudit/internal/query"
+)
+
+func minQ(a float64, idx ...int) query.Answered {
+	return query.Answered{Query: query.New(query.Min, idx...), Answer: a}
+}
+
+// TestDuplicatesPaperExample works the paper's own §4 duplicates
+// example: max{a,b}=9, max{c,d}=9, min{b,d}=1. One of b,d is 1, so the
+// *other pair's* max must cover 9 — the inferred query set the paper
+// warns about. Nothing is determined yet (four symmetric scenarios),
+// but the history is consistent, and adding min{a,c}=1 would force a
+// contradiction with max{a,b}=max{c,d}=9? No: check the solver agrees
+// with careful case analysis.
+func TestDuplicatesPaperExample(t *testing.T) {
+	hist := []query.Answered{
+		maxQ(9, 0, 1), // max{a,b} = 9
+		maxQ(9, 2, 3), // max{c,d} = 9
+		minQ(1, 1, 3), // min{b,d} = 1
+	}
+	r, err := AuditMaxMinDuplicates(4, hist, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Consistent {
+		t.Fatalf("the paper's duplicates example is consistent: %+v", r)
+	}
+	if len(r.Determined) != 0 {
+		t.Fatalf("nothing should be determined yet: %+v", r)
+	}
+	// The paper's inference: one of b,d equals 1, so max{a,c} = 9 is
+	// implied. Append max{a,c}=5 — contradicting the implication — and
+	// the solver must detect inconsistency.
+	bad := append(append([]query.Answered{}, hist...), maxQ(5, 0, 2))
+	r, err = AuditMaxMinDuplicates(4, bad, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Consistent {
+		t.Fatalf("max{a,c}=5 contradicts the implied max{a,c}=9: %+v", r)
+	}
+	// Whereas max{a,c}=9 is consistent and — combined with min{b,d}=1 —
+	// still leaves multiple scenarios.
+	good := append(append([]query.Answered{}, hist...), maxQ(9, 0, 2))
+	r, err = AuditMaxMinDuplicates(4, good, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Consistent {
+		t.Fatalf("max{a,c}=9 is the implied value: %+v", r)
+	}
+}
+
+// TestDuplicatesAllowEqualAnswers: with duplicates, two disjoint max
+// queries can share an answer — exactly what the no-duplicates analyses
+// reject.
+func TestDuplicatesAllowEqualAnswers(t *testing.T) {
+	hist := []query.Answered{maxQ(9, 0, 1), maxQ(9, 2, 3)}
+	r, err := AuditMaxMinDuplicates(4, hist, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Consistent || len(r.Determined) != 0 {
+		t.Fatalf("equal answers are fine with duplicates: %+v", r)
+	}
+	// The no-duplicates analysis rejects the same history.
+	nodup, err := AuditMaxMin(4, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodup.Consistent {
+		t.Fatal("no-duplicates analysis must reject disjoint equal answers")
+	}
+}
+
+// TestDuplicatesSqueeze: max{a,b}=5 and min{a,b}=5 force BOTH to 5 —
+// legal with duplicates, determined exactly.
+func TestDuplicatesSqueeze(t *testing.T) {
+	hist := []query.Answered{maxQ(5, 0, 1), minQ(5, 0, 1)}
+	r, err := AuditMaxMinDuplicates(2, hist, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Consistent || r.Determined[0] != 5 || r.Determined[1] != 5 {
+		t.Fatalf("squeeze must determine both: %+v", r)
+	}
+}
+
+// TestDuplicatesTruthHistories: true histories over data WITH duplicates
+// are always consistent and every determination matches the truth.
+func TestDuplicatesTruthHistories(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(3)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(4)) // heavy duplication
+		}
+		var hist []query.Answered
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			var idx []int
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					idx = append(idx, i)
+				}
+			}
+			if len(idx) == 0 {
+				continue
+			}
+			kind := query.Max
+			if rng.Intn(2) == 0 {
+				kind = query.Min
+			}
+			q := query.Query{Set: query.NewSet(idx...), Kind: kind}
+			hist = append(hist, query.Answered{Query: q, Answer: q.Eval(xs)})
+		}
+		r, err := AuditMaxMinDuplicates(n, hist, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !r.Consistent {
+			t.Fatalf("trial %d: true duplicated history inconsistent (hist=%v xs=%v)", trial, hist, xs)
+		}
+		for i, v := range r.Determined {
+			if v != xs[i] {
+				t.Fatalf("trial %d: x%d determined as %g, truth %g", trial, i, v, xs[i])
+			}
+		}
+	}
+}

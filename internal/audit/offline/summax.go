@@ -1,0 +1,466 @@
+package offline
+
+// Offline auditing of *mixed* sum-and-max histories — the combination
+// Section 2.1 recounts as NP-hard [Chin '86]. This solver is exact and
+// deliberately exponential: it enumerates, for every max query, which
+// element attains the bound (the witness), reduces each choice to a
+// linear system, and analyzes the union of the resulting polyhedra with
+// exact rational Fourier–Motzkin elimination. A limit guards the witness
+// product; past it the caller is told the instance is too large rather
+// than being given a wrong answer. Duplicates are allowed, matching
+// Chin's setting: a max answer means some element equals it and the rest
+// are ≤ it.
+
+import (
+	"fmt"
+	"math/big"
+
+	"queryaudit/internal/query"
+)
+
+// SumMaxResult reports the exact offline audit of a mixed history.
+type SumMaxResult struct {
+	// Consistent reports whether any dataset satisfies the history.
+	Consistent bool
+	// Determined maps element index → its uniquely determined value.
+	Determined map[int]float64
+	// FeasibleRegions counts witness assignments with non-empty regions
+	// (diagnostics: the exponential part of the work).
+	FeasibleRegions int
+}
+
+// ErrTooLarge reports that the witness space exceeds the caller's limit.
+var ErrTooLarge = fmt.Errorf("offline: sum-and-max instance exceeds the enumeration limit (the problem is NP-hard)")
+
+// AuditSumMax audits a history mixing Sum and Max queries over n real
+// values (duplicates allowed). limit bounds the number of witness
+// assignments enumerated (≤ 0 selects 10000).
+func AuditSumMax(n int, history []query.Answered, limit int) (SumMaxResult, error) {
+	if limit <= 0 {
+		limit = 10000
+	}
+	type maxQ struct {
+		set query.Set
+		ans *big.Rat
+	}
+	var sums []query.Answered
+	var maxes []maxQ
+	for _, h := range history {
+		switch h.Query.Kind {
+		case query.Sum:
+			sums = append(sums, h)
+		case query.Max:
+			maxes = append(maxes, maxQ{set: h.Query.Set, ans: ratOf(h.Answer)})
+		default:
+			return SumMaxResult{}, fmt.Errorf("offline: %w: %v", errUnsupported, h.Query.Kind)
+		}
+	}
+	space := 1
+	for _, m := range maxes {
+		space *= m.set.Size()
+		if space > limit {
+			return SumMaxResult{}, ErrTooLarge
+		}
+	}
+
+	// Shared constraints: sum equalities and the ≤ bounds of every max
+	// query (witness equalities vary per assignment).
+	base := newRatSystem(n)
+	for _, h := range sums {
+		row := make([]*big.Rat, n)
+		for _, i := range h.Query.Set {
+			row[i] = one()
+		}
+		base.addEquality(row, ratOf(h.Answer))
+	}
+	for _, m := range maxes {
+		for _, i := range m.set {
+			row := make([]*big.Rat, n)
+			row[i] = one()
+			base.addInequality(row, m.ans) // x_i ≤ M
+		}
+	}
+
+	res := SumMaxResult{Determined: map[int]float64{}}
+	// intervals[i] accumulates the union of per-region projections.
+	type span struct {
+		lo, hi   *big.Rat // nil = unbounded
+		anything bool
+	}
+	spans := make([]span, n)
+
+	witness := make([]int, len(maxes))
+	var rec func(k int) error
+	rec = func(k int) error {
+		if k == len(maxes) {
+			sys := base.clone()
+			for qi, m := range maxes {
+				row := make([]*big.Rat, n)
+				row[m.set[witness[qi]]] = one()
+				sys.addEquality(row, m.ans)
+			}
+			feasible, err := sys.solve()
+			if err != nil {
+				return err
+			}
+			if !feasible {
+				return nil
+			}
+			res.FeasibleRegions++
+			for i := 0; i < n; i++ {
+				lo, hi, err := sys.projection(i)
+				if err != nil {
+					return err
+				}
+				s := &spans[i]
+				if !s.anything {
+					s.lo, s.hi, s.anything = lo, hi, true
+					continue
+				}
+				if lo == nil || (s.lo != nil && lo.Cmp(s.lo) < 0) {
+					s.lo = lo
+				}
+				if hi == nil || (s.hi != nil && hi.Cmp(s.hi) > 0) {
+					s.hi = hi
+				}
+			}
+			return nil
+		}
+		for w := range maxes[k].set {
+			witness[k] = w
+			if err := rec(k + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return SumMaxResult{}, err
+	}
+	res.Consistent = res.FeasibleRegions > 0
+	if res.Consistent {
+		for i := 0; i < n; i++ {
+			s := spans[i]
+			if s.anything && s.lo != nil && s.hi != nil && s.lo.Cmp(s.hi) == 0 {
+				v, _ := s.lo.Float64()
+				res.Determined[i] = v
+			}
+		}
+	}
+	return res, nil
+}
+
+func ratOf(v float64) *big.Rat { return new(big.Rat).SetFloat64(v) }
+
+func one() *big.Rat { return big.NewRat(1, 1) }
+
+// ratSystem is a small exact linear system: equalities Ax = b and
+// inequalities Cx ≤ d, analyzed by elimination.
+type ratSystem struct {
+	n     int
+	eqs   []affine // Σ coef·x − rhs = 0
+	ineqs []affine // Σ coef·x − rhs ≤ 0
+}
+
+// affine is Σ coef_i x_i compared against rhs.
+type affine struct {
+	coef []*big.Rat // nil entries mean 0
+	rhs  *big.Rat
+}
+
+func (a affine) clone() affine {
+	out := affine{coef: make([]*big.Rat, len(a.coef)), rhs: new(big.Rat).Set(a.rhs)}
+	for i, c := range a.coef {
+		if c != nil {
+			out.coef[i] = new(big.Rat).Set(c)
+		}
+	}
+	return out
+}
+
+func newRatSystem(n int) *ratSystem { return &ratSystem{n: n} }
+
+func (s *ratSystem) clone() *ratSystem {
+	out := &ratSystem{n: s.n}
+	for _, e := range s.eqs {
+		out.eqs = append(out.eqs, e.clone())
+	}
+	for _, q := range s.ineqs {
+		out.ineqs = append(out.ineqs, q.clone())
+	}
+	return out
+}
+
+func (s *ratSystem) addEquality(coef []*big.Rat, rhs *big.Rat) {
+	s.eqs = append(s.eqs, affine{coef: coef, rhs: rhs})
+}
+
+func (s *ratSystem) addInequality(coef []*big.Rat, rhs *big.Rat) {
+	s.ineqs = append(s.ineqs, affine{coef: coef, rhs: rhs})
+}
+
+// fmLimit caps the inequality blowup of Fourier–Motzkin; instances this
+// solver targets stay far below it.
+const fmLimit = 20000
+
+// reduce eliminates the equalities by Gaussian elimination, rewriting
+// the inequalities over the free variables. It returns the substitution
+// (expressing each variable as an affine function of free variables) or
+// reports direct inconsistency (0 = nonzero).
+func (s *ratSystem) reduce() (sub []affine, freeVars []int, consistent bool) {
+	// sub[i]: x_i = Σ coef·x_free + rhs, initialized to identity.
+	sub = make([]affine, s.n)
+	for i := range sub {
+		coef := make([]*big.Rat, s.n)
+		coef[i] = one()
+		sub[i] = affine{coef: coef, rhs: new(big.Rat)}
+	}
+	isFree := make([]bool, s.n)
+	for i := range isFree {
+		isFree[i] = true
+	}
+	// Substitute-and-pivot each equality in turn.
+	for _, eq := range s.eqs {
+		cur := substitute(eq, sub, s.n)
+		pivot := -1
+		for j, c := range cur.coef {
+			if c != nil && c.Sign() != 0 {
+				pivot = j
+				break
+			}
+		}
+		if pivot < 0 {
+			if cur.rhs.Sign() != 0 {
+				return nil, nil, false
+			}
+			continue // redundant
+		}
+		// x_pivot = (rhs − Σ_{j≠pivot} coef_j x_j) / coef_pivot.
+		inv := new(big.Rat).Inv(cur.coef[pivot])
+		expr := affine{coef: make([]*big.Rat, s.n), rhs: new(big.Rat).Mul(cur.rhs, inv)}
+		for j, c := range cur.coef {
+			if j == pivot || c == nil || c.Sign() == 0 {
+				continue
+			}
+			m := new(big.Rat).Mul(c, inv)
+			expr.coef[j] = m.Neg(m)
+		}
+		isFree[pivot] = false
+		// Fold the new expression into every substitution.
+		for i := range sub {
+			sub[i] = substituteVar(sub[i], pivot, expr, s.n)
+		}
+	}
+	for i, f := range isFree {
+		if f {
+			freeVars = append(freeVars, i)
+		}
+	}
+	return sub, freeVars, true
+}
+
+// substitute rewrites an affine form through the substitution table.
+func substitute(a affine, sub []affine, n int) affine {
+	out := affine{coef: make([]*big.Rat, n), rhs: new(big.Rat).Set(a.rhs)}
+	for j, c := range a.coef {
+		if c == nil || c.Sign() == 0 {
+			continue
+		}
+		// c · (sub[j].coef · x + sub[j].rhs), moving the constant to rhs
+		// with flipped sign convention (rhs stays on the right side).
+		for k, sc := range sub[j].coef {
+			if sc == nil || sc.Sign() == 0 {
+				continue
+			}
+			t := new(big.Rat).Mul(c, sc)
+			if out.coef[k] == nil {
+				out.coef[k] = t
+			} else {
+				out.coef[k].Add(out.coef[k], t)
+			}
+		}
+		t := new(big.Rat).Mul(c, sub[j].rhs)
+		out.rhs.Sub(out.rhs, t)
+	}
+	return out
+}
+
+// substituteVar replaces variable v inside a with expr.
+func substituteVar(a affine, v int, expr affine, n int) affine {
+	c := a.coef[v]
+	if c == nil || c.Sign() == 0 {
+		return a
+	}
+	out := affine{coef: make([]*big.Rat, n), rhs: new(big.Rat).Set(a.rhs)}
+	for k, ac := range a.coef {
+		if k == v || ac == nil || ac.Sign() == 0 {
+			continue
+		}
+		out.coef[k] = new(big.Rat).Set(ac)
+	}
+	for k, ec := range expr.coef {
+		if ec == nil || ec.Sign() == 0 {
+			continue
+		}
+		t := new(big.Rat).Mul(c, ec)
+		if out.coef[k] == nil {
+			out.coef[k] = t
+		} else {
+			out.coef[k].Add(out.coef[k], t)
+		}
+	}
+	t := new(big.Rat).Mul(c, expr.rhs)
+	out.rhs.Add(out.rhs, t)
+	return out
+}
+
+// fourierMotzkin eliminates the listed variables from the inequalities,
+// returning the projected system or an error on blowup.
+func fourierMotzkin(ineqs []affine, vars []int, n int) ([]affine, error) {
+	cur := ineqs
+	for _, v := range vars {
+		var pos, neg, zero []affine
+		for _, q := range cur {
+			c := q.coef[v]
+			switch {
+			case c == nil || c.Sign() == 0:
+				zero = append(zero, q)
+			case c.Sign() > 0:
+				pos = append(pos, q)
+			default:
+				neg = append(neg, q)
+			}
+		}
+		next := zero
+		for _, p := range pos {
+			for _, m := range neg {
+				// p: c_p x_v + rest_p ≤ rhs_p with c_p > 0 → x_v ≤ …
+				// m: c_m x_v + rest_m ≤ rhs_m with c_m < 0 → x_v ≥ …
+				// Combine: c_p·m − c_m·p eliminates x_v (signs chosen to
+				// keep ≤ orientation).
+				comb := affine{coef: make([]*big.Rat, n), rhs: new(big.Rat)}
+				cp, cm := p.coef[v], m.coef[v]
+				for k := 0; k < n; k++ {
+					if k == v {
+						continue
+					}
+					var t big.Rat
+					if m.coef[k] != nil {
+						t.Mul(cp, m.coef[k])
+					}
+					if p.coef[k] != nil {
+						var u big.Rat
+						u.Mul(cm, p.coef[k])
+						t.Sub(&t, &u)
+					}
+					if t.Sign() != 0 {
+						comb.coef[k] = new(big.Rat).Set(&t)
+					}
+				}
+				var r1, r2 big.Rat
+				r1.Mul(cp, m.rhs)
+				r2.Mul(cm, p.rhs)
+				comb.rhs.Sub(&r1, &r2)
+				next = append(next, comb)
+				if len(next) > fmLimit {
+					return nil, fmt.Errorf("offline: Fourier–Motzkin blowup past %d inequalities", fmLimit)
+				}
+			}
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// solve reports feasibility of the full system.
+func (s *ratSystem) solve() (bool, error) {
+	sub, freeVars, ok := s.reduce()
+	if !ok {
+		return false, nil
+	}
+	reduced := make([]affine, 0, len(s.ineqs))
+	for _, q := range s.ineqs {
+		reduced = append(reduced, substitute(q, sub, s.n))
+	}
+	proj, err := fourierMotzkin(reduced, freeVars, s.n)
+	if err != nil {
+		return false, err
+	}
+	for _, q := range proj {
+		// All variables eliminated: 0 ≤ rhs must hold.
+		if q.rhs.Sign() < 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// projection returns the exact interval of variable i over the feasible
+// region (nil bounds mean unbounded). Must be called on feasible systems.
+func (s *ratSystem) projection(i int) (lo, hi *big.Rat, err error) {
+	sub, freeVars, ok := s.reduce()
+	if !ok {
+		return nil, nil, fmt.Errorf("offline: projection of infeasible system")
+	}
+	// Pinned by the equalities alone?
+	expr := sub[i]
+	constant := true
+	for _, c := range expr.coef {
+		if c != nil && c.Sign() != 0 {
+			constant = false
+			break
+		}
+	}
+	if constant {
+		v := new(big.Rat).Set(expr.rhs)
+		return v, new(big.Rat).Set(v), nil
+	}
+	// Keep only free variables; eliminate all of them from the system
+	// augmented with ±(x_i − t) ≤ 0 encoded by treating t's coefficient
+	// through a fresh slot: extend every affine by one column.
+	n1 := s.n + 1
+	extend := func(a affine) affine {
+		out := affine{coef: make([]*big.Rat, n1), rhs: new(big.Rat).Set(a.rhs)}
+		copy(out.coef, a.coef)
+		return out
+	}
+	var sysT []affine
+	for _, q := range s.ineqs {
+		sysT = append(sysT, extend(substitute(q, sub, s.n)))
+	}
+	// x_i − t ≤ 0 and t − x_i ≤ 0 with x_i replaced by expr.
+	up := extend(expr)
+	up.coef[s.n] = big.NewRat(-1, 1)
+	upRhs := new(big.Rat).Neg(expr.rhs)
+	up.rhs = upRhs
+	down := affine{coef: make([]*big.Rat, n1), rhs: new(big.Rat).Set(expr.rhs)}
+	for k, c := range expr.coef {
+		if c != nil && c.Sign() != 0 {
+			down.coef[k] = new(big.Rat).Neg(c)
+		}
+	}
+	down.coef[s.n] = big.NewRat(1, 1)
+	sysT = append(sysT, up, down)
+
+	proj, err := fourierMotzkin(sysT, freeVars, n1)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, q := range proj {
+		c := q.coef[s.n]
+		if c == nil || c.Sign() == 0 {
+			continue
+		}
+		bound := new(big.Rat).Quo(q.rhs, c)
+		if c.Sign() > 0 { // c·t ≤ rhs → t ≤ rhs/c
+			if hi == nil || bound.Cmp(hi) < 0 {
+				hi = bound
+			}
+		} else { // t ≥ rhs/c
+			if lo == nil || bound.Cmp(lo) > 0 {
+				lo = bound
+			}
+		}
+	}
+	return lo, hi, nil
+}

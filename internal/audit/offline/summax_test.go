@@ -1,0 +1,171 @@
+package offline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"queryaudit/internal/query"
+)
+
+func sumQ(a float64, idx ...int) query.Answered {
+	return query.Answered{Query: query.New(query.Sum, idx...), Answer: a}
+}
+
+func maxQ(a float64, idx ...int) query.Answered {
+	return query.Answered{Query: query.New(query.Max, idx...), Answer: a}
+}
+
+// TestSumMaxHandCases checks the solver on analytically solvable mixes.
+func TestSumMaxHandCases(t *testing.T) {
+	// sum{a,b}=5, max{a,b}=3: witness a → (3,2); witness b → (2,3).
+	// Consistent, nothing determined.
+	r, err := AuditSumMax(2, []query.Answered{sumQ(5, 0, 1), maxQ(3, 0, 1)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Consistent || len(r.Determined) != 0 || r.FeasibleRegions != 2 {
+		t.Fatalf("case1: %+v", r)
+	}
+
+	// sum{a,b}=6, max{a,b}=3: both must be exactly 3.
+	r, err = AuditSumMax(2, []query.Answered{sumQ(6, 0, 1), maxQ(3, 0, 1)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Consistent || r.Determined[0] != 3 || r.Determined[1] != 3 {
+		t.Fatalf("case2: %+v", r)
+	}
+
+	// sum{a,b}=10, max{a,b}=3: impossible (sum ≤ 6).
+	r, err = AuditSumMax(2, []query.Answered{sumQ(10, 0, 1), maxQ(3, 0, 1)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Consistent {
+		t.Fatalf("case3 must be inconsistent: %+v", r)
+	}
+
+	// The NP-hard flavour: sum{a,b,c}=6, max{a,b}=3, max{b,c}=3:
+	// if b=3 then a,c sum to 3 with both ≤3 — free; if a=3 and c=3 then
+	// b=0. Union leaves everything undetermined.
+	r, err = AuditSumMax(3, []query.Answered{sumQ(6, 0, 1, 2), maxQ(3, 0, 1), maxQ(3, 1, 2)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Consistent || len(r.Determined) != 0 {
+		t.Fatalf("case4: %+v", r)
+	}
+
+	// Forcing through the mix: sum{a,b}=4, max{a}=3 → a=3 pins b=1 even
+	// though no sum subset isolates b.
+	r, err = AuditSumMax(2, []query.Answered{sumQ(4, 0, 1), maxQ(3, 0)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Determined[0] != 3 || r.Determined[1] != 1 {
+		t.Fatalf("case5: %+v", r)
+	}
+}
+
+// TestSumMaxAgainstSumOnly: with no max queries the solver must agree
+// with the polynomial sum auditor on random histories.
+func TestSumMaxAgainstSumOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(4)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(7))
+		}
+		var hist []query.Answered
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			var idx []int
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					idx = append(idx, i)
+				}
+			}
+			if len(idx) == 0 {
+				continue
+			}
+			q := query.New(query.Sum, idx...)
+			hist = append(hist, query.Answered{Query: q, Answer: q.Eval(xs)})
+		}
+		got, err := AuditSumMax(n, hist, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Consistent {
+			t.Fatalf("trial %d: true sum history inconsistent", trial)
+		}
+		want, err := AuditSum(n, hist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (len(got.Determined) > 0) != want.Compromised {
+			t.Fatalf("trial %d: summax determined=%v, sum auditor compromised=%v (hist=%v)",
+				trial, got.Determined, want.Compromised, hist)
+		}
+		for _, i := range want.DeterminedIndices {
+			if v, ok := got.Determined[i]; !ok || v != xs[i] {
+				t.Fatalf("trial %d: element %d should be determined as %g, got %v", trial, i, xs[i], got.Determined)
+			}
+		}
+	}
+}
+
+// TestSumMaxTruthHistories: mixed true histories are consistent, the
+// true dataset lies inside every reported determination.
+func TestSumMaxTruthHistories(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(3)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(6))
+		}
+		var hist []query.Answered
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			var idx []int
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					idx = append(idx, i)
+				}
+			}
+			if len(idx) == 0 {
+				continue
+			}
+			kind := query.Sum
+			if rng.Intn(2) == 0 {
+				kind = query.Max
+			}
+			q := query.Query{Set: query.NewSet(idx...), Kind: kind}
+			hist = append(hist, query.Answered{Query: q, Answer: q.Eval(xs)})
+		}
+		r, err := AuditSumMax(n, hist, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v (hist=%v)", trial, err, hist)
+		}
+		if !r.Consistent {
+			t.Fatalf("trial %d: true history inconsistent (hist=%v xs=%v)", trial, hist, xs)
+		}
+		for i, v := range r.Determined {
+			if v != xs[i] {
+				t.Fatalf("trial %d: x%d determined as %g but truth is %g (hist=%v)", trial, i, v, xs[i], hist)
+			}
+		}
+	}
+}
+
+// TestSumMaxLimit: the enumeration guard fires.
+func TestSumMaxLimit(t *testing.T) {
+	var hist []query.Answered
+	for k := 0; k < 10; k++ {
+		hist = append(hist, maxQ(float64(k+1), 0, 1, 2, 3, 4))
+	}
+	_, err := AuditSumMax(5, hist, 100)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+}

@@ -1,0 +1,391 @@
+package sumprob
+
+// Geometry support: the set of datasets consistent with a history of
+// answered sum queries is the polytope
+//
+//	P = { x ∈ [0,1]^n : A x = b },
+//
+// with A the 0/1 matrix of (independent) query vectors. Sampling
+// uniformly from P is what makes probabilistic sum auditing expensive —
+// the paper's Section 3.1 remarks that its max auditor "is decidedly
+// more efficient than the probabilistic sum auditor of [21] which needs
+// to estimate volumes of convex polytopes"; this package exists to make
+// that comparison concrete.
+//
+// The sampler is textbook hit-and-run restricted to the affine subspace:
+// parameterize x = x₀ + N z with N an orthonormal basis of null(A), walk
+// in z-space, and intersect each random direction with the box
+// constraints. A feasible starting point comes from alternating
+// projections (POCS) between the affine subspace and the box.
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// ErrInfeasible reports an empty polytope (inconsistent history).
+var ErrInfeasible = errors.New("sumprob: constraint polytope is empty")
+
+// polytope is the sampling workspace for one constraint system.
+type polytope struct {
+	n int
+	// rows are linearly independent 0/1 query vectors; b their answers.
+	rows [][]float64
+	b    []float64
+	// basis is an orthonormal basis of null(rows) (k vectors of dim n).
+	basis [][]float64
+	// chol is the Cholesky factor of A·Aᵀ for affine projection.
+	chol [][]float64
+	// x0 is a feasible point of P (after newPolytope succeeds).
+	x0 []float64
+}
+
+const (
+	pivotTol = 1e-9
+	boxTol   = 1e-7
+)
+
+// newPolytope builds the workspace from a full (possibly dependent) set
+// of constraints, keeping an independent subset, and finds a feasible
+// point. rng drives the interior search.
+func newPolytope(all [][]float64, b []float64, n int, rng *rand.Rand) (*polytope, error) {
+	p := &polytope{n: n}
+	// Select independent rows by incremental elimination on copies.
+	work := make([][]float64, 0, len(all))
+	for r, row := range all {
+		cand := append([]float64(nil), row...)
+		candB := b[r]
+		for i, w := range work {
+			pv := pivotIndex(w)
+			if pv < 0 {
+				continue
+			}
+			f := cand[pv] / w[pv]
+			if f != 0 {
+				for j := range cand {
+					cand[j] -= f * w[j]
+				}
+				candB -= f * p.b[i]
+			}
+		}
+		if maxAbs(cand) <= pivotTol {
+			// Dependent: consistency requires the residual answer ≈ 0.
+			if math.Abs(candB) > 1e-6 {
+				return nil, ErrInfeasible
+			}
+			continue
+		}
+		work = append(work, cand)
+		p.rows = append(p.rows, append([]float64(nil), row...))
+		p.b = append(p.b, b[r])
+	}
+	p.buildNullBasis(work)
+	if err := p.buildCholesky(); err != nil {
+		return nil, err
+	}
+	x, err := p.feasiblePoint(rng)
+	if err != nil {
+		return nil, err
+	}
+	p.x0 = x
+	return p, nil
+}
+
+func pivotIndex(row []float64) int {
+	best, idx := pivotTol, -1
+	for j, v := range row {
+		if math.Abs(v) > best {
+			best, idx = math.Abs(v), j
+		}
+	}
+	return idx
+}
+
+func maxAbs(row []float64) float64 {
+	m := 0.0
+	for _, v := range row {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// buildNullBasis computes an orthonormal basis of the null space of the
+// eliminated rows via free-column parameterization + Gram–Schmidt.
+func (p *polytope) buildNullBasis(work [][]float64) {
+	// Reduce `work` to RREF-ish form with recorded pivots.
+	type pivoted struct {
+		row []float64
+		col int
+	}
+	var red []pivoted
+	for _, w := range work {
+		row := append([]float64(nil), w...)
+		for _, r := range red {
+			f := row[r.col] / r.row[r.col]
+			if f != 0 {
+				for j := range row {
+					row[j] -= f * r.row[j]
+				}
+			}
+		}
+		pv := pivotIndex(row)
+		if pv < 0 {
+			continue
+		}
+		red = append(red, pivoted{row: row, col: pv})
+	}
+	// Back-substitute to clear pivot columns above.
+	for i := len(red) - 1; i >= 0; i-- {
+		for k := 0; k < i; k++ {
+			f := red[k].row[red[i].col] / red[i].row[red[i].col]
+			if f != 0 {
+				for j := range red[k].row {
+					red[k].row[j] -= f * red[i].row[j]
+				}
+			}
+		}
+	}
+	isPivot := make([]bool, p.n)
+	for _, r := range red {
+		isPivot[r.col] = true
+	}
+	var raw [][]float64
+	for free := 0; free < p.n; free++ {
+		if isPivot[free] {
+			continue
+		}
+		v := make([]float64, p.n)
+		v[free] = 1
+		for _, r := range red {
+			v[r.col] = -r.row[free] / r.row[r.col]
+		}
+		raw = append(raw, v)
+	}
+	// Modified Gram–Schmidt.
+	var basis [][]float64
+	for _, v := range raw {
+		w := append([]float64(nil), v...)
+		for _, u := range basis {
+			d := dot(w, u)
+			for j := range w {
+				w[j] -= d * u[j]
+			}
+		}
+		nrm := math.Sqrt(dot(w, w))
+		if nrm > pivotTol {
+			for j := range w {
+				w[j] /= nrm
+			}
+			basis = append(basis, w)
+		}
+	}
+	p.basis = basis
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// buildCholesky factors A·Aᵀ (SPD for independent rows).
+func (p *polytope) buildCholesky() error {
+	m := len(p.rows)
+	g := make([][]float64, m)
+	for i := range g {
+		g[i] = make([]float64, m)
+		for j := range g[i] {
+			g[i][j] = dot(p.rows[i], p.rows[j])
+		}
+	}
+	l := make([][]float64, m)
+	for i := range l {
+		l[i] = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j <= i; j++ {
+			s := g[i][j]
+			for k := 0; k < j; k++ {
+				s -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if s <= pivotTol {
+					return errors.New("sumprob: gram matrix not positive definite")
+				}
+				l[i][i] = math.Sqrt(s)
+			} else {
+				l[i][j] = s / l[j][j]
+			}
+		}
+	}
+	p.chol = l
+	return nil
+}
+
+// solveGram solves (A·Aᵀ) w = r via the Cholesky factor.
+func (p *polytope) solveGram(r []float64) []float64 {
+	m := len(r)
+	y := make([]float64, m)
+	for i := 0; i < m; i++ {
+		s := r[i]
+		for k := 0; k < i; k++ {
+			s -= p.chol[i][k] * y[k]
+		}
+		y[i] = s / p.chol[i][i]
+	}
+	w := make([]float64, m)
+	for i := m - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < m; k++ {
+			s -= p.chol[k][i] * w[k]
+		}
+		w[i] = s / p.chol[i][i]
+	}
+	return w
+}
+
+// projectAffine maps x to the nearest point of {Ax = b}.
+func (p *polytope) projectAffine(x []float64) {
+	if len(p.rows) == 0 {
+		return
+	}
+	r := make([]float64, len(p.rows))
+	for i, row := range p.rows {
+		r[i] = dot(row, x) - p.b[i]
+	}
+	w := p.solveGram(r)
+	for i, row := range p.rows {
+		for j := range x {
+			x[j] -= w[i] * row[j]
+		}
+	}
+}
+
+// feasiblePoint alternates projections between the affine subspace and
+// the box (POCS), starting from the box center.
+func (p *polytope) feasiblePoint(rng *rand.Rand) ([]float64, error) {
+	x := make([]float64, p.n)
+	for i := range x {
+		x[i] = 0.45 + 0.1*rng.Float64()
+	}
+	for iter := 0; iter < 500; iter++ {
+		p.projectAffine(x)
+		ok := true
+		for j := range x {
+			if x[j] < -boxTol || x[j] > 1+boxTol {
+				ok = false
+			}
+			if x[j] < 0 {
+				x[j] = 0
+			}
+			if x[j] > 1 {
+				x[j] = 1
+			}
+		}
+		if ok {
+			p.projectAffine(x)
+			clipped := false
+			for j := range x {
+				if x[j] < -boxTol || x[j] > 1+boxTol {
+					clipped = true
+				}
+			}
+			if !clipped {
+				return x, nil
+			}
+		}
+	}
+	return nil, ErrInfeasible
+}
+
+// walker runs hit-and-run from the feasible point.
+type walker struct {
+	p     *polytope
+	x     []float64
+	d     []float64 // scratch direction in x-space
+	xPrev []float64 // scratch pre-move position for stepChord
+}
+
+func (p *polytope) newWalker() *walker {
+	return &walker{p: p, x: append([]float64(nil), p.x0...), d: make([]float64, p.n)}
+}
+
+// step performs one hit-and-run transition; a nil-dimension polytope
+// (point) stays put. It returns the chord parameters (pre-move position
+// is no longer available, so callers wanting the chord use stepChord).
+func (w *walker) step(rng *rand.Rand) {
+	w.stepChord(rng)
+}
+
+// stepChord performs one transition and reports the chord it sampled
+// from: the previous point moved along direction d for t ∈ [lo, hi]
+// uniformly. ok is false when the direction yielded no usable chord
+// (degenerate polytope); the position is then unchanged.
+//
+// The chord is the basis of a Rao–Blackwellized marginal estimator:
+// conditioned on the chord, coordinate j is uniform on
+// [x_j + lo·d_j, x_j + hi·d_j], whose overlap with any interval is exact
+// — far lower variance than binning endpoints, and every step counts.
+func (w *walker) stepChord(rng *rand.Rand) (xBefore, dir []float64, lo, hi float64, ok bool) {
+	k := len(w.p.basis)
+	if k == 0 {
+		return nil, nil, 0, 0, false
+	}
+	for j := range w.d {
+		w.d[j] = 0
+	}
+	// Random direction: Gaussian combination of the orthonormal basis.
+	for _, u := range w.p.basis {
+		g := rng.NormFloat64()
+		for j := range w.d {
+			w.d[j] += g * u[j]
+		}
+	}
+	lo, hi = math.Inf(-1), math.Inf(1)
+	for j := range w.d {
+		dj := w.d[j]
+		if math.Abs(dj) < 1e-12 {
+			continue
+		}
+		t0 := (0 - w.x[j]) / dj
+		t1 := (1 - w.x[j]) / dj
+		if t0 > t1 {
+			t0, t1 = t1, t0
+		}
+		if t0 > lo {
+			lo = t0
+		}
+		if t1 < hi {
+			hi = t1
+		}
+	}
+	if !(hi > lo) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		return nil, nil, 0, 0, false
+	}
+	if w.xPrev == nil {
+		w.xPrev = make([]float64, w.p.n)
+	}
+	copy(w.xPrev, w.x)
+	t := lo + rng.Float64()*(hi-lo)
+	for j := range w.x {
+		w.x[j] += t * w.d[j]
+		if w.x[j] < 0 {
+			w.x[j] = 0
+		}
+		if w.x[j] > 1 {
+			w.x[j] = 1
+		}
+	}
+	return w.xPrev, w.d, lo, hi, true
+}
+
+// point returns the current position (shared slice; copy to keep).
+func (w *walker) point() []float64 { return w.x }
+
+// dim returns the polytope's intrinsic dimension.
+func (p *polytope) dim() int { return len(p.basis) }

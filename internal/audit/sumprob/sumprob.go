@@ -1,0 +1,308 @@
+// Package sumprob implements the probabilistic (partial-disclosure) sum
+// auditor of [Kenthapadi–Mishra–Nissim '05] that this paper's Section 3
+// improves upon: data uniform on [0,1]^n, answered sum queries carving
+// the consistent-dataset polytope, and a simulatable decision rule that
+// estimates — by sampling that polytope — whether answering the new
+// query would push any element's interval posterior outside the
+// λ-window.
+//
+// The auditor is deliberately the expensive comparator: every decision
+// runs nested hit-and-run sampling over convex polytopes, which is what
+// the paper means by its max auditor being "decidedly more efficient".
+// BenchmarkProbSumVsMax quantifies the gap.
+package sumprob
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/interval"
+	"queryaudit/internal/query"
+	"queryaudit/internal/randx"
+)
+
+// Params configure the (λ, δ, γ, T) game and the Monte Carlo effort.
+type Params struct {
+	// Lambda bounds the tolerated posterior/prior ratio drift (0<λ<1).
+	Lambda float64
+	// Gamma partitions [0,1] into γ intervals.
+	Gamma int
+	// Delta bounds the attacker's winning probability over T rounds.
+	Delta float64
+	// T is the number of game rounds.
+	T int
+	// OuterSamples hypothetical datasets per decision (0 → 12).
+	OuterSamples int
+	// InnerSamples polytope points per posterior estimate (0 → 200).
+	InnerSamples int
+	// BurnIn hit-and-run steps before collecting (0 → 50 + 5·dim).
+	BurnIn int
+	// Thin steps between collected points (0 → max(4, dim), since the
+	// walk's autocorrelation grows with the polytope dimension).
+	Thin int
+	// Seed drives the auditor's randomness.
+	Seed int64
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.Lambda <= 0 || p.Lambda >= 1 {
+		return fmt.Errorf("sumprob: lambda must be in (0,1), got %g", p.Lambda)
+	}
+	if p.Gamma < 1 {
+		return fmt.Errorf("sumprob: gamma must be >= 1, got %d", p.Gamma)
+	}
+	if p.Delta <= 0 || p.Delta >= 1 {
+		return fmt.Errorf("sumprob: delta must be in (0,1), got %g", p.Delta)
+	}
+	if p.T < 1 {
+		return fmt.Errorf("sumprob: T must be >= 1, got %d", p.T)
+	}
+	return nil
+}
+
+func (p Params) outer() int {
+	if p.OuterSamples > 0 {
+		return p.OuterSamples
+	}
+	return 12
+}
+
+func (p Params) inner() int {
+	if p.InnerSamples > 0 {
+		return p.InnerSamples
+	}
+	return 200
+}
+
+func (p Params) burnIn(dim int) int {
+	if p.BurnIn > 0 {
+		return p.BurnIn
+	}
+	return 50 + 5*dim
+}
+
+func (p Params) thin(dim int) int {
+	if p.Thin > 0 {
+		return p.Thin
+	}
+	if dim > 4 {
+		return dim
+	}
+	return 4
+}
+
+// Auditor is the [21]-style probabilistic sum auditor.
+type Auditor struct {
+	n             int
+	params        Params
+	part          interval.Partition
+	window        interval.RatioWindow
+	rows          [][]float64
+	b             []float64
+	rng           *rand.Rand
+	denyThreshold float64
+}
+
+// New returns an auditor over n records uniform on [0,1].
+func New(n int, params Params) (*Auditor, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Auditor{
+		n:             n,
+		params:        params,
+		part:          interval.NewPartition(0, 1, params.Gamma),
+		window:        interval.RatioWindow{Lambda: params.Lambda},
+		rng:           randx.New(params.Seed),
+		denyThreshold: params.Delta / (2 * float64(params.T)),
+	}, nil
+}
+
+// Name implements audit.Auditor.
+func (a *Auditor) Name() string { return "sum-partial-disclosure" }
+
+// N returns the number of records.
+func (a *Auditor) N() int { return a.n }
+
+// rowOf converts a query set into a 0/1 constraint row.
+func (a *Auditor) rowOf(s query.Set) []float64 {
+	row := make([]float64, a.n)
+	for _, i := range s {
+		row[i] = 1
+	}
+	return row
+}
+
+// safeForSystem estimates, by polytope sampling, whether every element's
+// interval posterior stays inside the λ-window for the given system.
+func (a *Auditor) safeForSystem(rows [][]float64, b []float64) (bool, error) {
+	p, err := newPolytope(rows, b, a.n, a.rng)
+	if err != nil {
+		return false, err
+	}
+	if p.dim() == 0 {
+		// Fully determined dataset: every posterior is a point mass.
+		return false, nil
+	}
+	steps := a.params.inner() * a.params.thin(p.dim())
+	gamma := a.params.Gamma
+	// Batch-means accounting: the chord stream is autocorrelated, so the
+	// Monte Carlo error of each cell estimate is taken from the spread
+	// of per-batch means, not from a binomial formula.
+	const batches = 8
+	perBatch := steps / batches
+	if perBatch < 1 {
+		perBatch = 1
+	}
+	sums := make([][][]float64, batches)
+	for b := range sums {
+		sums[b] = make([][]float64, a.n)
+		for i := range sums[b] {
+			sums[b][i] = make([]float64, gamma)
+		}
+	}
+	w := p.newWalker()
+	for s := 0; s < a.params.burnIn(p.dim()); s++ {
+		w.step(a.rng)
+	}
+	// Rao–Blackwellized chord estimator: every step contributes the exact
+	// conditional cell probabilities of each coordinate along its chord.
+	cellW := a.part.Width()
+	usedPer := make([]int, batches)
+	for s := 0; s < batches*perBatch; s++ {
+		b := s / perBatch
+		x, d, lo, hi, ok := w.stepChord(a.rng)
+		if !ok {
+			continue
+		}
+		usedPer[b]++
+		cb := sums[b]
+		for i := 0; i < a.n; i++ {
+			aEnd := x[i] + lo*d[i]
+			bEnd := x[i] + hi*d[i]
+			if aEnd > bEnd {
+				aEnd, bEnd = bEnd, aEnd
+			}
+			if bEnd-aEnd < 1e-12 {
+				j := a.part.CellIndex(x[i])
+				if j >= 1 {
+					cb[i][j-1]++
+				}
+				continue
+			}
+			inv := 1 / (bEnd - aEnd)
+			for j := 0; j < gamma; j++ {
+				cLo, cHi := float64(j)*cellW, float64(j+1)*cellW
+				o := math.Min(bEnd, cHi) - math.Max(aEnd, cLo)
+				if o > 0 {
+					cb[i][j] += o * inv
+				}
+			}
+		}
+	}
+	// Declare a cell unsafe only when the breach is statistically clear:
+	// the batch-mean must sit more than three batch standard errors
+	// outside the window (the Monte Carlo analogue of [21]'s
+	// approximation slack, honest about chain autocorrelation).
+	prior := a.part.Prior()
+	lowEdge := (1 - a.params.Lambda) * prior
+	highEdge := prior / (1 - a.params.Lambda)
+	for i := 0; i < a.n; i++ {
+		for j := 0; j < gamma; j++ {
+			mean, se := batchStats(sums, usedPer, i, j)
+			if se < 0 {
+				return false, nil // no usable samples
+			}
+			if mean < lowEdge-3*se || mean > highEdge+3*se {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// batchStats returns the across-batch mean and standard error of cell
+// (i, j); se is negative when no batch collected samples.
+func batchStats(sums [][][]float64, usedPer []int, i, j int) (mean, se float64) {
+	var ms []float64
+	for b := range sums {
+		if usedPer[b] == 0 {
+			continue
+		}
+		ms = append(ms, sums[b][i][j]/float64(usedPer[b]))
+	}
+	if len(ms) == 0 {
+		return 0, -1
+	}
+	for _, m := range ms {
+		mean += m
+	}
+	mean /= float64(len(ms))
+	if len(ms) < 2 {
+		return mean, 0.5 // single batch: no spread information, max slack
+	}
+	varSum := 0.0
+	for _, m := range ms {
+		varSum += (m - mean) * (m - mean)
+	}
+	se = math.Sqrt(varSum / float64(len(ms)-1) / float64(len(ms)))
+	return mean, se
+}
+
+// Decide implements audit.Auditor: sample consistent datasets, simulate
+// the answer each would give, and deny when too many simulated answers
+// would breach the λ-window.
+func (a *Auditor) Decide(q query.Query) (audit.Decision, error) {
+	if q.Kind != query.Sum {
+		return audit.Deny, fmt.Errorf("%w: %v", audit.ErrUnsupportedKind, q.Kind)
+	}
+	if len(q.Set) == 0 {
+		return audit.Deny, fmt.Errorf("sumprob: empty query set")
+	}
+	for _, i := range q.Set {
+		if i < 0 || i >= a.n {
+			return audit.Deny, fmt.Errorf("sumprob: index %d out of range", i)
+		}
+	}
+	base, err := newPolytope(a.rows, a.b, a.n, a.rng)
+	if err != nil {
+		return audit.Deny, err
+	}
+	outer := a.params.outer()
+	newRow := a.rowOf(q.Set)
+	extRows := append(append([][]float64{}, a.rows...), newRow)
+	unsafe := 0
+	w := base.newWalker()
+	for s := 0; s < a.params.burnIn(base.dim()); s++ {
+		w.step(a.rng)
+	}
+	thin := a.params.thin(base.dim())
+	for s := 0; s < outer; s++ {
+		for t := 0; t < 3*thin; t++ {
+			w.step(a.rng)
+		}
+		x := w.point()
+		ans := 0.0
+		for _, i := range q.Set {
+			ans += x[i]
+		}
+		extB := append(append([]float64{}, a.b...), ans)
+		ok, serr := a.safeForSystem(extRows, extB)
+		if serr != nil || !ok {
+			unsafe++
+		}
+	}
+	if float64(unsafe)/float64(outer) > a.denyThreshold {
+		return audit.Deny, nil
+	}
+	return audit.Answer, nil
+}
+
+// Record implements audit.Auditor.
+func (a *Auditor) Record(q query.Query, answer float64) {
+	a.rows = append(a.rows, a.rowOf(q.Set))
+	a.b = append(a.b, answer)
+}

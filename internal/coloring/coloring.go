@@ -1,0 +1,428 @@
+// Package coloring implements the graph-coloring view of posterior
+// inference for bags of max and min queries (Section 3.2, Lemmas 1–3).
+//
+// Each equality predicate of the combined synopsis becomes a node; its
+// available colors are the elements of its query set that could actually
+// attain its value. Two nodes are adjacent when their query sets
+// intersect (and their values differ — a pinned element legitimately
+// witnesses both of its singleton predicates). A valid coloring assigns
+// each node a witness such that adjacent nodes pick different elements;
+// the target distribution is
+//
+//	P̃(c) ∝ ∏_v ℓ_{c(v)},  ℓ_i = 1/|R_i|,
+//
+// and Lemma 1 shows that sampling a coloring from P̃, fixing the chosen
+// witnesses, and filling every other element uniformly from its range
+// samples a dataset exactly from the posterior P(X | B).
+//
+// The Markov chain is the paper's Metropolized single-site update: pick a
+// node uniformly, propose a color from its palette with probability
+// proportional to ℓ, accept iff the result stays valid. Lemma 2 gives
+// the stationarity of P̃; Lemma 3 gives O(k log k) mixing under the
+// degree condition |S(v)| ≥ d_v + 2 that the auditor enforces by outright
+// denial.
+package coloring
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"queryaudit/internal/query"
+	"queryaudit/internal/randx"
+	"queryaudit/internal/synopsis"
+)
+
+// ErrNoValidColoring reports that no witness assignment satisfies the
+// constraints — the synopsis state is inconsistent.
+var ErrNoValidColoring = errors.New("coloring: no valid coloring exists")
+
+// Node is one equality predicate in the coloring graph.
+type Node struct {
+	// Value is the predicate's answer A(v).
+	Value float64
+	// IsMax records which side the predicate came from (diagnostics).
+	IsMax bool
+	// Set is the predicate's full query set S(v).
+	Set query.Set
+	// Colors are the feasible witnesses: elements of Set whose range
+	// admits Value.
+	Colors []int
+	// Weights[i] is ℓ_{Colors[i]} = 1/|R_{Colors[i]}| (pinned elements
+	// get weight 1; they are forced anyway).
+	Weights []float64
+	// Adj lists adjacent node indices (intersecting sets, different
+	// values).
+	Adj []int
+}
+
+// Graph is the coloring graph of a synopsis.
+type Graph struct {
+	Nodes []Node
+	n     int
+	b     *synopsis.MaxMin
+}
+
+// Build constructs the coloring graph from a combined synopsis. Ranges
+// (and hence weights) use the synopsis's ambient [α, β] bounds, which
+// must be finite for weights to be meaningful.
+func Build(b *synopsis.MaxMin) (*Graph, error) {
+	if math.IsInf(b.Alpha(), 0) || math.IsInf(b.Beta(), 0) {
+		return nil, fmt.Errorf("coloring: synopsis must have finite data range, got [%g,%g]", b.Alpha(), b.Beta())
+	}
+	g := &Graph{n: b.N(), b: b}
+	add := func(p synopsis.Pred, isMax bool) error {
+		if !p.Eq() {
+			return nil
+		}
+		node := Node{Value: p.Value, IsMax: isMax, Set: p.Set}
+		for _, i := range p.Set {
+			r := b.RangeOf(i)
+			if !r.Contains(p.Value) {
+				continue
+			}
+			w := 1.0
+			if l := r.Length(); l > 0 {
+				w = 1 / l
+			}
+			node.Colors = append(node.Colors, i)
+			node.Weights = append(node.Weights, w)
+		}
+		if len(node.Colors) == 0 {
+			return ErrNoValidColoring
+		}
+		g.Nodes = append(g.Nodes, node)
+		return nil
+	}
+	for _, p := range b.MaxPreds() {
+		if err := add(p, true); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range b.MinPreds() {
+		if err := add(p, false); err != nil {
+			return nil, err
+		}
+	}
+	// Adjacency: intersecting sets with different values. Same-side sets
+	// are disjoint, so only max–min pairs can meet.
+	for i := range g.Nodes {
+		for j := i + 1; j < len(g.Nodes); j++ {
+			if g.Nodes[i].Value == g.Nodes[j].Value {
+				continue // the pinned singleton pair shares its witness
+			}
+			if g.Nodes[i].Set.Overlaps(g.Nodes[j].Set) {
+				g.Nodes[i].Adj = append(g.Nodes[i].Adj, j)
+				g.Nodes[j].Adj = append(g.Nodes[j].Adj, i)
+			}
+		}
+	}
+	return g, nil
+}
+
+// K returns the number of nodes (equality predicates).
+func (g *Graph) K() int { return len(g.Nodes) }
+
+// MeetsLemma2 reports whether every node satisfies the paper's degree
+// condition |S(v)| ≥ d_v + 2 guaranteeing ergodicity and O(k log k)
+// mixing. Forced nodes (a single feasible color) are exempt: the chain
+// never needs to move them.
+func (g *Graph) MeetsLemma2() bool {
+	for _, v := range g.Nodes {
+		if len(v.Colors) == 1 {
+			continue
+		}
+		if len(v.Set) < len(v.Adj)+2 {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether assignment c (node index → element) is a valid
+// coloring: every node colored from its palette and no adjacent pair
+// sharing an element.
+func (g *Graph) Valid(c []int) bool {
+	if len(c) != len(g.Nodes) {
+		return false
+	}
+	for vi, v := range g.Nodes {
+		ok := false
+		for _, col := range v.Colors {
+			if col == c[vi] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+		for _, u := range v.Adj {
+			if c[u] == c[vi] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Weight returns the unnormalized P̃ weight ∏ ℓ_{c(v)} of a coloring.
+func (g *Graph) Weight(c []int) float64 {
+	w := 1.0
+	for vi, v := range g.Nodes {
+		for k, col := range v.Colors {
+			if col == c[vi] {
+				w *= v.Weights[k]
+				break
+			}
+		}
+	}
+	return w
+}
+
+// InitialColoring finds some valid coloring by backtracking over nodes in
+// most-constrained-first order. The attacker can run the same procedure,
+// so using it keeps the auditor simulatable.
+func (g *Graph) InitialColoring() ([]int, error) {
+	k := len(g.Nodes)
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	// Most constrained (fewest colors) first.
+	for i := 1; i < k; i++ {
+		for j := i; j > 0 && len(g.Nodes[order[j]].Colors) < len(g.Nodes[order[j-1]].Colors); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	c := make([]int, k)
+	for i := range c {
+		c[i] = -1
+	}
+	var rec func(pos int) bool
+	rec = func(pos int) bool {
+		if pos == k {
+			return true
+		}
+		vi := order[pos]
+		v := g.Nodes[vi]
+		for _, col := range v.Colors {
+			clash := false
+			for _, u := range v.Adj {
+				if c[u] == col && g.Nodes[u].Value != v.Value {
+					clash = true
+					break
+				}
+			}
+			if clash {
+				continue
+			}
+			c[vi] = col
+			if rec(pos + 1) {
+				return true
+			}
+			c[vi] = -1
+		}
+		return false
+	}
+	if !rec(0) {
+		return nil, ErrNoValidColoring
+	}
+	return c, nil
+}
+
+// ColoringFromDataset reconstructs the unique coloring a concrete dataset
+// induces (Lemma 1's correspondence): each equality predicate's witness
+// is the element attaining its value.
+func (g *Graph) ColoringFromDataset(xs []float64) ([]int, error) {
+	c := make([]int, len(g.Nodes))
+	for vi, v := range g.Nodes {
+		c[vi] = -1
+		for _, i := range v.Set {
+			if xs[i] == v.Value {
+				c[vi] = i
+				break
+			}
+		}
+		if c[vi] == -1 {
+			return nil, fmt.Errorf("coloring: dataset does not attain predicate value %g", v.Value)
+		}
+	}
+	return c, nil
+}
+
+// SpaceSize returns the product of palette sizes — an upper bound on the
+// number of colorings — saturating at cap.
+func (g *Graph) SpaceSize(cap int) int {
+	size := 1
+	for _, v := range g.Nodes {
+		size *= len(v.Colors)
+		if size >= cap || size < 0 {
+			return cap
+		}
+	}
+	return size
+}
+
+// ExactWitnessProbs computes the exact marginal witness probabilities
+// π_i(v) under P̃ by enumerating all valid colorings — the paper's
+// Section 3.2 fallback for graphs that fail Lemma 2's degree condition
+// ("it is also possible to convert the problem to one of inference …").
+// It refuses (ok=false) when the coloring space exceeds limit. probs is
+// indexed like the node palettes: probs[v][ci] is the probability node v
+// picks its ci-th color.
+func ExactWitnessProbs(g *Graph, limit int) (probs [][]float64, ok bool) {
+	if g.SpaceSize(limit) >= limit {
+		return nil, false
+	}
+	probs = make([][]float64, g.K())
+	for v := range probs {
+		probs[v] = make([]float64, len(g.Nodes[v].Colors))
+	}
+	var z float64
+	c := make([]int, g.K())
+	idx := make([]int, g.K())
+	var rec func(v int, w float64)
+	rec = func(v int, w float64) {
+		if v == g.K() {
+			z += w
+			for u := range c {
+				probs[u][idx[u]] += w
+			}
+			return
+		}
+		node := g.Nodes[v]
+	next:
+		for ci, col := range node.Colors {
+			for _, u := range node.Adj {
+				if u < v && c[u] == col {
+					continue next
+				}
+			}
+			c[v] = col
+			idx[v] = ci
+			rec(v+1, w*node.Weights[ci])
+		}
+	}
+	rec(0, 1)
+	if z == 0 {
+		return nil, false // no valid coloring: inconsistent state
+	}
+	for v := range probs {
+		for ci := range probs[v] {
+			probs[v][ci] /= z
+		}
+	}
+	return probs, true
+}
+
+// Sampler runs the paper's Markov chain over valid colorings.
+type Sampler struct {
+	g   *Graph
+	rng *rand.Rand
+	c   []int
+	// steps counts chain steps taken (diagnostics).
+	steps int
+}
+
+// NewSampler builds a sampler starting from a backtracking-found valid
+// coloring.
+func NewSampler(g *Graph, rng *rand.Rand) (*Sampler, error) {
+	c, err := g.InitialColoring()
+	if err != nil {
+		return nil, err
+	}
+	return &Sampler{g: g, rng: rng, c: c}, nil
+}
+
+// NewSamplerFrom builds a sampler starting from the given valid coloring
+// (e.g. the one induced by the true database state).
+func NewSamplerFrom(g *Graph, rng *rand.Rand, c []int) (*Sampler, error) {
+	if !g.Valid(c) {
+		return nil, fmt.Errorf("coloring: initial coloring invalid")
+	}
+	return &Sampler{g: g, rng: rng, c: append([]int(nil), c...)}, nil
+}
+
+// Step performs one transition of the chain: pick a node uniformly,
+// propose a color with probability ∝ ℓ, keep the old color if the
+// proposal collides with a neighbor.
+func (s *Sampler) Step() {
+	k := len(s.g.Nodes)
+	if k == 0 {
+		return
+	}
+	vi := s.rng.Intn(k)
+	v := s.g.Nodes[vi]
+	if len(v.Colors) == 1 {
+		s.steps++
+		return
+	}
+	pick := randx.WeightedIndex(s.rng, v.Weights)
+	if pick < 0 {
+		s.steps++
+		return
+	}
+	col := v.Colors[pick]
+	for _, u := range v.Adj {
+		if s.c[u] == col {
+			s.steps++
+			return // invalid proposal: stay
+		}
+	}
+	s.c[vi] = col
+	s.steps++
+}
+
+// MixSteps returns the O(k log k) step budget with the given constant
+// factor (Lemma 3).
+func MixSteps(k int, factor float64) int {
+	if k <= 1 {
+		return 1
+	}
+	return int(math.Ceil(factor * float64(k) * math.Log(float64(k)+1)))
+}
+
+// Mix advances the chain by MixSteps(k, factor) transitions.
+func (s *Sampler) Mix(factor float64) {
+	for i, n := 0, MixSteps(len(s.g.Nodes), factor); i < n; i++ {
+		s.Step()
+	}
+}
+
+// Coloring returns a copy of the current coloring.
+func (s *Sampler) Coloring() []int { return append([]int(nil), s.c...) }
+
+// Steps returns the number of chain transitions taken so far.
+func (s *Sampler) Steps() int { return s.steps }
+
+// SampleDataset draws a full dataset from P(X | B) given the current
+// coloring (Lemma 1): witnesses take their predicate values; every other
+// element is uniform on its range.
+func (s *Sampler) SampleDataset(rng *rand.Rand) []float64 {
+	return DatasetFromColoring(s.g, s.c, rng)
+}
+
+// DatasetFromColoring implements Lemma 1's steps 2–3 for an arbitrary
+// valid coloring.
+func DatasetFromColoring(g *Graph, c []int, rng *rand.Rand) []float64 {
+	xs := make([]float64, g.n)
+	fixed := make([]bool, g.n)
+	for vi, v := range g.Nodes {
+		xs[c[vi]] = v.Value
+		fixed[c[vi]] = true
+	}
+	for i := 0; i < g.n; i++ {
+		if fixed[i] {
+			continue
+		}
+		r := g.b.RangeOf(i)
+		if r.Pinned() {
+			xs[i] = r.Lo
+			continue
+		}
+		xs[i] = r.Lo + rng.Float64()*(r.Hi-r.Lo)
+	}
+	return xs
+}

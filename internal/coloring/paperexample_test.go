@@ -1,0 +1,82 @@
+package coloring
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"queryaudit/internal/query"
+	"queryaudit/internal/synopsis"
+)
+
+// TestPaperVolumeExample reproduces the Section 3.2 worked example
+// numerically: with predicates [max{x_a,x_b,x_c} = 1] and
+// [min{x_a,x_b} = 0.2], enumerating the consistent line segments gives
+// total volume 3.6 and Pr{x_a = 1 | B} = 1/3.6 = 5/18. In the coloring
+// view that probability is π_a(max-node): the stationary probability
+// that a is the max witness.
+func TestPaperVolumeExample(t *testing.T) {
+	// Use a slightly sub-1 bound so the ambient range [0,1] keeps the
+	// exact geometry of the paper (M = 1 works too; ranges are [0.2, 1]
+	// for a, b and [0, 1] for c either way).
+	b := synopsis.NewMaxMin(3, 0, 1)
+	if err := b.AddMax(query.NewSet(0, 1, 2), 1); err != nil { // a=0,b=1,c=2
+		t.Fatal(err)
+	}
+	if err := b.AddMin(query.NewSet(0, 1), 0.2); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exact: P̃(c) ∝ ∏ ℓ_{c(v)} over valid colorings; the max witness
+	// probabilities follow by summation. ℓ_a = ℓ_b = 1/0.8, ℓ_c = 1.
+	exact := map[string]float64{}
+	var z float64
+	for _, c := range enumerate(g) {
+		w := g.Weight(c)
+		exact[key(c)] += w
+		z += w
+	}
+	// Pr{x_a = 1} = Σ over colorings where the max node picks a.
+	var maxNode int
+	for vi, v := range g.Nodes {
+		if v.IsMax {
+			maxNode = vi
+		}
+	}
+	pA := 0.0
+	for _, c := range enumerate(g) {
+		if c[maxNode] == 0 {
+			pA += g.Weight(c) / z
+		}
+	}
+	want := 5.0 / 18
+	if math.Abs(pA-want) > 1e-12 {
+		t.Fatalf("exact P(x_a = 1) = %g, paper says 5/18 = %g", pA, want)
+	}
+
+	// And the Markov chain agrees.
+	rng := rand.New(rand.NewSource(5))
+	s, err := NewSampler(g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Mix(5)
+	hits := 0
+	const samples = 80000
+	for i := 0; i < samples; i++ {
+		for k := 0; k < 6; k++ {
+			s.Step()
+		}
+		if s.Coloring()[maxNode] == 0 {
+			hits++
+		}
+	}
+	got := float64(hits) / samples
+	if math.Abs(got-want) > 0.012 {
+		t.Fatalf("chain P(x_a = 1) = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,156 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"queryaudit/internal/query"
+	"queryaudit/internal/synopsis"
+)
+
+// randomTruthSynopsis builds a consistent synopsis by answering random
+// max/min queries from a real duplicate-free dataset on [0,1].
+func randomTruthSynopsis(seed int64, n, steps int) (*synopsis.MaxMin, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	used := map[float64]bool{}
+	for i := range xs {
+		v := rng.Float64()
+		for used[v] {
+			v = rng.Float64()
+		}
+		used[v] = true
+		xs[i] = v
+	}
+	b := synopsis.NewMaxMin(n, 0, 1)
+	for s := 0; s < steps; s++ {
+		var idx []int
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		set := query.NewSet(idx...)
+		q := query.Query{Set: set, Kind: query.Max}
+		if rng.Intn(2) == 0 {
+			q.Kind = query.Min
+		}
+		ans := q.Eval(xs)
+		if q.Kind == query.Max {
+			_ = b.AddMax(set, ans)
+		} else {
+			_ = b.AddMin(set, ans)
+		}
+	}
+	return b, xs
+}
+
+// TestQuickGraphWellFormed: graphs from consistent synopses always admit
+// the dataset-induced coloring, which is always valid; the chain never
+// leaves the valid set; sampled datasets always satisfy the synopsis.
+func TestQuickGraphWellFormed(t *testing.T) {
+	check := func(seed int64) bool {
+		b, xs := randomTruthSynopsis(seed, 6, 5)
+		g, err := Build(b)
+		if err != nil {
+			return false
+		}
+		c, err := g.ColoringFromDataset(xs)
+		if err != nil || !g.Valid(c) {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		s, err := NewSamplerFrom(g, rng, c)
+		if err != nil {
+			return false
+		}
+		for step := 0; step < 50; step++ {
+			s.Step()
+			if !g.Valid(s.Coloring()) {
+				return false
+			}
+		}
+		// Lemma 1 sampling: the result must satisfy every predicate.
+		ys := s.SampleDataset(rng)
+		return satisfies(b, ys)
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(61))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// satisfies checks a dataset against all synopsis predicates.
+func satisfies(b *synopsis.MaxMin, xs []float64) bool {
+	for _, p := range b.MaxPreds() {
+		m := xs[p.Set[0]]
+		for _, i := range p.Set[1:] {
+			if xs[i] > m {
+				m = xs[i]
+			}
+		}
+		switch p.Op {
+		case synopsis.OpEq:
+			if m != p.Value {
+				return false
+			}
+		case synopsis.OpLt:
+			if m >= p.Value {
+				return false
+			}
+		case synopsis.OpLe:
+			if m > p.Value {
+				return false
+			}
+		}
+	}
+	for _, p := range b.MinPreds() {
+		m := xs[p.Set[0]]
+		for _, i := range p.Set[1:] {
+			if xs[i] < m {
+				m = xs[i]
+			}
+		}
+		switch p.Op {
+		case synopsis.OpEq:
+			if m != p.Value {
+				return false
+			}
+		case synopsis.OpLt:
+			if m <= p.Value {
+				return false
+			}
+		case synopsis.OpLe:
+			if m < p.Value {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestQuickInitialColoringAgreesWithExistence: whenever enumeration
+// finds a valid coloring, the backtracking search finds one too.
+func TestQuickInitialColoringAgreesWithExistence(t *testing.T) {
+	check := func(seed int64) bool {
+		b, _ := randomTruthSynopsis(seed, 5, 4)
+		g, err := Build(b)
+		if err != nil {
+			return false
+		}
+		all := enumerate(g)
+		c, err := g.InitialColoring()
+		if len(all) == 0 {
+			return err != nil
+		}
+		return err == nil && g.Valid(c)
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(67))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+// Package core ties the substrate together into the statistical database
+// of Section 1: a dataset with public attributes and one sensitive
+// attribute, an online auditor guarding it, and a small SQL-ish query
+// surface ("SELECT sum(salary) FROM t WHERE zip = '94305'").
+//
+// The Engine enforces the simulatability protocol: for a simulatable
+// auditor the decision is taken *before* the true answer is computed, so
+// no code path can leak the answer into the denial; for the naive
+// answer-dependent baselines the engine deliberately computes the answer
+// first, reproducing the unsafe behaviour the paper's Section 2.2 example
+// warns about.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/dataset"
+	"queryaudit/internal/query"
+)
+
+// Response is the outcome of one audited query.
+type Response struct {
+	// Denied reports whether the auditor refused the query.
+	Denied bool
+	// Answer is the exact aggregate when Denied is false.
+	Answer float64
+}
+
+// ErrNoAuditor is returned when the engine has no auditor for the query's
+// aggregate kind.
+var ErrNoAuditor = errors.New("core: no auditor registered for this aggregate")
+
+// Engine runs the online auditing protocol over one dataset. Auditors
+// are registered per aggregate kind: a deployment audits sums with the
+// sum auditor and max/min bags with the joint max∧min auditor.
+//
+// Register Max and Min with ONE joint auditor (maxminfull), never with
+// two independent ones: equal max and min answers pin their shared
+// element, an inference neither single-kind auditor can see. The
+// experiments package's CrossAggregate measurement demonstrates the
+// resulting breach. (Sum information composing with max/min is the
+// NP-hard offline problem — see internal/audit/offline.AuditSumMax — and
+// no online auditor for the mix is known; the paper treats the classes
+// separately, as does this engine.)
+type Engine struct {
+	// mu serializes the protocol: auditors are stateful and their
+	// Decide/Record pairs must not interleave across requests.
+	mu       sync.Mutex
+	ds       *dataset.Dataset
+	auditors map[query.Kind]audit.Auditor
+	naive    map[query.Kind]audit.AnswerDependent
+	// stats
+	answered int
+	denied   int
+}
+
+// NewEngine returns an engine over ds with no auditors registered.
+func NewEngine(ds *dataset.Dataset) *Engine {
+	return &Engine{
+		ds:       ds,
+		auditors: make(map[query.Kind]audit.Auditor),
+		naive:    make(map[query.Kind]audit.AnswerDependent),
+	}
+}
+
+// Dataset returns the underlying dataset.
+func (e *Engine) Dataset() *dataset.Dataset { return e.ds }
+
+// Auditor returns the simulatable auditor registered for kind, if any.
+func (e *Engine) Auditor(k query.Kind) (audit.Auditor, bool) {
+	a, ok := e.auditors[k]
+	return a, ok
+}
+
+// Use registers a simulatable auditor for the given aggregate kinds.
+func (e *Engine) Use(a audit.Auditor, kinds ...query.Kind) {
+	for _, k := range kinds {
+		e.auditors[k] = a
+	}
+}
+
+// UseAnswerDependent registers a non-simulatable auditor (baselines
+// only).
+func (e *Engine) UseAnswerDependent(a audit.AnswerDependent, kinds ...query.Kind) {
+	for _, k := range kinds {
+		e.naive[k] = a
+	}
+}
+
+// Answered and Denied return protocol counters.
+func (e *Engine) Answered() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.answered
+}
+
+// Denied returns how many queries were refused.
+func (e *Engine) Denied() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.denied
+}
+
+// Ask runs one query through the protocol. It is safe for concurrent
+// use: the decide/evaluate/record triplet runs atomically per query.
+func (e *Engine) Ask(q query.Query) (Response, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ask(q)
+}
+
+// ask is the lock-free core of Ask (Avg recursion stays under one lock).
+func (e *Engine) ask(q query.Query) (Response, error) {
+	if len(q.Set) == 0 {
+		return Response{Denied: true}, errors.New("core: empty query set")
+	}
+	for _, i := range q.Set {
+		if i < 0 || i >= e.ds.N() {
+			return Response{Denied: true}, fmt.Errorf("core: index %d out of range", i)
+		}
+	}
+	switch q.Kind {
+	case query.Count:
+		// Query sets are defined by public attributes; counts carry no
+		// information about the sensitive attribute.
+		e.answered++
+		return Response{Answer: float64(len(q.Set))}, nil
+	case query.Avg:
+		// avg = sum/|Q| with |Q| public: audit as the equivalent sum.
+		sumQ := query.Query{Set: q.Set, Kind: query.Sum}
+		resp, err := e.ask(sumQ)
+		if err != nil || resp.Denied {
+			return resp, err
+		}
+		resp.Answer /= float64(len(q.Set))
+		return resp, nil
+	}
+	if a, ok := e.auditors[q.Kind]; ok {
+		d, err := a.Decide(q)
+		if err != nil {
+			return Response{Denied: true}, err
+		}
+		if d == audit.Deny {
+			e.denied++
+			return Response{Denied: true}, nil
+		}
+		ans := e.ds.Eval(q)
+		a.Record(q, ans)
+		e.answered++
+		return Response{Answer: ans}, nil
+	}
+	if a, ok := e.naive[q.Kind]; ok {
+		ans := e.ds.Eval(q) // deliberately unsafe: answer computed first
+		d, err := a.DecideWithAnswer(q, ans)
+		if err != nil {
+			return Response{Denied: true}, err
+		}
+		if d == audit.Deny {
+			e.denied++
+			return Response{Denied: true}, nil
+		}
+		a.Record(q, ans)
+		e.answered++
+		return Response{Answer: ans}, nil
+	}
+	return Response{Denied: true}, ErrNoAuditor
+}
+
+// Prime answers a list of must-have queries up front, before any user
+// interaction — the paper's Section 7 remedy for "important, fairly
+// generic queries that the world would always like to have answered"
+// (e.g. the total number of cancer patients in a hospital): folding them
+// into the answered pool first guarantees they remain answerable forever
+// (repeats add no information), at the cost of whatever query room they
+// consume. Prime fails if any primed query is itself denied.
+func (e *Engine) Prime(qs []query.Query) error {
+	for _, q := range qs {
+		resp, err := e.Ask(q)
+		if err != nil {
+			return fmt.Errorf("core: priming %v: %w", q, err)
+		}
+		if resp.Denied {
+			return fmt.Errorf("core: priming %v: denied — primed queries must be mutually safe", q)
+		}
+	}
+	return nil
+}
+
+// Update modifies record i's sensitive value and notifies every auditor
+// that supports updates. Auditors without update support keep their old
+// constraints, which is unsound after modification — the engine therefore
+// refuses the update if any registered auditor cannot observe it.
+func (e *Engine) Update(i int, v float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if i < 0 || i >= e.ds.N() {
+		return fmt.Errorf("core: index %d out of range", i)
+	}
+	seen := map[audit.Auditor]bool{}
+	for _, a := range e.auditors {
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		if _, ok := a.(audit.UpdateObserver); !ok {
+			return fmt.Errorf("core: auditor %q does not support updates", a.Name())
+		}
+	}
+	e.ds.SetSensitive(i, v)
+	for a := range seen {
+		a.(audit.UpdateObserver).NoteUpdate(i)
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/audit/maxfull"
+	"queryaudit/internal/audit/naive"
+	"queryaudit/internal/audit/sumfull"
+	"queryaudit/internal/dataset"
+	"queryaudit/internal/query"
+)
+
+func newTestEngine() (*Engine, *dataset.Dataset) {
+	ds := dataset.FromValues([]float64{10, 20, 30, 40})
+	eng := NewEngine(ds)
+	eng.Use(sumfull.New(ds.N()), query.Sum)
+	eng.Use(maxfull.New(ds.N()), query.Max)
+	return eng, ds
+}
+
+// TestEngineProtocol: answer, deny, counters.
+func TestEngineProtocol(t *testing.T) {
+	eng, _ := newTestEngine()
+	resp, err := eng.Ask(query.New(query.Sum, 0, 1, 2, 3))
+	if err != nil || resp.Denied || resp.Answer != 100 {
+		t.Fatalf("total = %+v, %v", resp, err)
+	}
+	resp, err = eng.Ask(query.New(query.Sum, 1, 2, 3))
+	if err != nil || !resp.Denied {
+		t.Fatalf("complement should be denied: %+v, %v", resp, err)
+	}
+	if eng.Answered() != 1 || eng.Denied() != 1 {
+		t.Fatalf("counters: answered=%d denied=%d", eng.Answered(), eng.Denied())
+	}
+}
+
+// TestCountIsFree: counts depend only on public attributes.
+func TestCountIsFree(t *testing.T) {
+	eng, _ := newTestEngine()
+	resp, err := eng.Ask(query.New(query.Count, 0, 2))
+	if err != nil || resp.Denied || resp.Answer != 2 {
+		t.Fatalf("count = %+v, %v", resp, err)
+	}
+}
+
+// TestAvgRoutesThroughSum: avg audits as its sum and divides.
+func TestAvgRoutesThroughSum(t *testing.T) {
+	eng, _ := newTestEngine()
+	resp, err := eng.Ask(query.New(query.Avg, 0, 1))
+	if err != nil || resp.Denied || resp.Answer != 15 {
+		t.Fatalf("avg = %+v, %v", resp, err)
+	}
+	// The avg consumed the sum budget: avg{0,1} + the total determine
+	// sum{2,3} (answered for free, it adds nothing), while sum{1,2,3}
+	// would expose x0 — denied.
+	resp, _ = eng.Ask(query.New(query.Avg, 0, 1, 2, 3))
+	if resp.Denied {
+		t.Fatal("whole-table avg should still pass")
+	}
+	resp, _ = eng.Ask(query.New(query.Sum, 2, 3))
+	if resp.Denied {
+		t.Fatal("span-dependent sum{2,3} is free information — answered")
+	}
+	resp, _ = eng.Ask(query.New(query.Sum, 1, 2, 3))
+	if !resp.Denied {
+		t.Fatal("sum{1,2,3} must be denied after avg{0,1} and avg{all}")
+	}
+}
+
+// TestNoAuditorRegistered: unsupported kinds are refused with an error.
+func TestNoAuditorRegistered(t *testing.T) {
+	eng, _ := newTestEngine()
+	_, err := eng.Ask(query.New(query.Median, 0, 1))
+	if !errors.Is(err, ErrNoAuditor) {
+		t.Fatalf("got %v, want ErrNoAuditor", err)
+	}
+}
+
+// TestUpdateRefusedWithoutSupport: an auditor lacking update support
+// blocks engine updates (soundness guard).
+func TestUpdateRefusedWithoutSupport(t *testing.T) {
+	ds := dataset.FromValues([]float64{1, 2})
+	eng := NewEngine(ds)
+	eng.Use(naive.DenyAll{}, query.Sum)
+	if err := eng.Update(0, 5); err == nil {
+		t.Fatal("update must be refused when an auditor cannot observe it")
+	}
+}
+
+// TestUpdateFlow: updates modify data and notify auditors.
+func TestUpdateFlow(t *testing.T) {
+	eng, ds := newTestEngine()
+	if _, err := eng.Ask(query.New(query.Sum, 0, 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Update(0, 15); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Sensitive(0) != 15 || ds.Version(0) != 1 {
+		t.Fatal("dataset not updated")
+	}
+	// sum{1,2,3} stays denied: with the old total it reveals x0's OLD
+	// value, and the paper's criterion protects past values too.
+	resp, err := eng.Ask(query.New(query.Sum, 1, 2, 3))
+	if err != nil || !resp.Denied {
+		t.Fatalf("past-value reveal must stay denied: %+v %v", resp, err)
+	}
+	// But sum{0,1} — which references the fresh version of x0 — is
+	// answerable now, exactly the paper's update example.
+	resp, err = eng.Ask(query.New(query.Sum, 0, 1))
+	if err != nil || resp.Denied {
+		t.Fatalf("fresh-version query should pass: %+v %v", resp, err)
+	}
+}
+
+// TestAnswerDependentPath: naive auditors receive the true answer.
+func TestAnswerDependentPath(t *testing.T) {
+	ds := dataset.FromValues([]float64{1, 5, 3})
+	eng := NewEngine(ds)
+	eng.UseAnswerDependent(naive.NewMax(ds.N()), query.Max)
+	resp, err := eng.Ask(query.New(query.Max, 0, 1, 2))
+	if err != nil || resp.Denied || resp.Answer != 5 {
+		t.Fatalf("naive max = %+v, %v", resp, err)
+	}
+	// Probe without the witness: naive denies (and thereby leaks).
+	resp, err = eng.Ask(query.New(query.Max, 0, 2))
+	if err != nil || !resp.Denied {
+		t.Fatalf("naive probe should be denied: %+v, %v", resp, err)
+	}
+}
+
+// TestValidation: empty and out-of-range sets.
+func TestValidation(t *testing.T) {
+	eng, _ := newTestEngine()
+	if _, err := eng.Ask(query.Query{Kind: query.Sum}); err == nil {
+		t.Fatal("empty set must error")
+	}
+	if _, err := eng.Ask(query.New(query.Sum, 0, 99)); err == nil {
+		t.Fatal("out-of-range index must error")
+	}
+}
+
+// TestPrime: primed "important" queries stay answerable forever
+// (Section 7's remedy), and priming fails loudly on an unsafe set.
+func TestPrime(t *testing.T) {
+	eng, _ := newTestEngine()
+	important := []query.Query{
+		query.New(query.Sum, 0, 1, 2, 3), // the "total cancer patients" query
+		query.New(query.Sum, 0, 1),
+	}
+	if err := eng.Prime(important); err != nil {
+		t.Fatal(err)
+	}
+	// Re-asking primed queries is always answered (span-dependent).
+	for _, q := range important {
+		resp, err := eng.Ask(q)
+		if err != nil || resp.Denied {
+			t.Fatalf("primed query %v denied later: %+v %v", q, resp, err)
+		}
+	}
+	// A mutually unsafe prime set is rejected.
+	eng2, _ := newTestEngine()
+	bad := []query.Query{
+		query.New(query.Sum, 0, 1, 2, 3),
+		query.New(query.Sum, 1, 2, 3), // would expose x0
+	}
+	if err := eng2.Prime(bad); err == nil {
+		t.Fatal("unsafe prime set must fail")
+	}
+}
+
+// simulatabilityProbe wraps an auditor and fails the test if Record is
+// called before Decide, or Decide is called twice without Record —
+// guarding the engine's protocol ordering.
+type simulatabilityProbe struct {
+	t       *testing.T
+	inner   audit.Auditor
+	pending bool
+}
+
+func (p *simulatabilityProbe) Name() string { return "probe" }
+
+func (p *simulatabilityProbe) Decide(q query.Query) (audit.Decision, error) {
+	d, err := p.inner.Decide(q)
+	p.pending = d == audit.Answer && err == nil
+	return d, err
+}
+
+func (p *simulatabilityProbe) Record(q query.Query, ans float64) {
+	if !p.pending {
+		p.t.Fatal("Record without a positive Decide")
+	}
+	p.pending = false
+	p.inner.Record(q, ans)
+}
+
+// TestEngineOrdering: the engine always decides before evaluating.
+func TestEngineOrdering(t *testing.T) {
+	ds := dataset.FromValues([]float64{1, 2, 3})
+	eng := NewEngine(ds)
+	probe := &simulatabilityProbe{t: t, inner: sumfull.New(3)}
+	eng.Use(probe, query.Sum)
+	for _, q := range []query.Query{
+		query.New(query.Sum, 0, 1, 2),
+		query.New(query.Sum, 0, 1),
+		query.New(query.Sum, 2), // denied
+	} {
+		if _, err := eng.Ask(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

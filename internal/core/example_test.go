@@ -1,0 +1,93 @@
+package core_test
+
+import (
+	"fmt"
+
+	"queryaudit/internal/audit/maxminfull"
+	"queryaudit/internal/audit/sumfull"
+	"queryaudit/internal/core"
+	"queryaudit/internal/dataset"
+	"queryaudit/internal/query"
+)
+
+// Example shows the minimal protocol: open an engine over sensitive
+// values, audit sums, watch the complement get denied.
+func Example() {
+	ds := dataset.FromValues([]float64{10, 20, 30})
+	eng := core.NewEngine(ds)
+	eng.Use(sumfull.New(ds.N()), query.Sum)
+
+	total, _ := eng.Ask(query.New(query.Sum, 0, 1, 2))
+	fmt.Println("total:", total.Answer)
+
+	probe, _ := eng.Ask(query.New(query.Sum, 1, 2))
+	fmt.Println("complement denied:", probe.Denied)
+	// Output:
+	// total: 60
+	// complement denied: true
+}
+
+// ExampleParse shows the SQL-ish grammar.
+func ExampleParse() {
+	st, err := core.Parse("SELECT max(salary) FROM t WHERE age BETWEEN 30 AND 40 AND dept = 'eng'")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(st.Agg, st.Target, len(st.Preds))
+	// Output:
+	// max salary 2
+}
+
+// ExampleSDB runs a statement end to end through predicates.
+func ExampleSDB() {
+	schema := dataset.Schema{{Name: "age", Kind: dataset.Numeric}}
+	rows := []dataset.Record{
+		{Public: []dataset.Value{dataset.NumValue(30)}, Sensitive: 1000},
+		{Public: []dataset.Value{dataset.NumValue(40)}, Sensitive: 2000},
+		{Public: []dataset.Value{dataset.NumValue(50)}, Sensitive: 4000},
+	}
+	ds := dataset.New(schema, rows)
+	eng := core.NewEngine(ds)
+	eng.Use(sumfull.New(3), query.Sum)
+	sdb := core.NewSDB(eng, "salary")
+
+	resp, _ := sdb.Query("SELECT sum(salary) WHERE age >= 35")
+	fmt.Println(resp.Answer)
+	// Output:
+	// 6000
+}
+
+// ExampleEngine_Update shows the paper's update effect: a modification
+// retires the old equation and restores query room.
+func ExampleEngine_Update() {
+	ds := dataset.FromValues([]float64{10, 20, 30})
+	eng := core.NewEngine(ds)
+	eng.Use(sumfull.New(3), query.Sum)
+
+	eng.Ask(query.New(query.Sum, 0, 1, 2))
+	before, _ := eng.Ask(query.New(query.Sum, 0, 1))
+	eng.Update(0, 15)
+	after, _ := eng.Ask(query.New(query.Sum, 0, 1))
+
+	fmt.Println("before update denied:", before.Denied)
+	fmt.Println("after update denied: ", after.Denied)
+	// Output:
+	// before update denied: true
+	// after update denied:  false
+}
+
+// ExampleEngine_Prime pins "important" queries so they stay answerable.
+func ExampleEngine_Prime() {
+	ds := dataset.FromValues([]float64{1, 2, 3, 4})
+	eng := core.NewEngine(ds)
+	eng.Use(maxminfull.New(4), query.Max, query.Min)
+
+	err := eng.Prime([]query.Query{query.New(query.Max, 0, 1, 2, 3)})
+	fmt.Println("primed:", err == nil)
+
+	resp, _ := eng.Ask(query.New(query.Max, 0, 1, 2, 3))
+	fmt.Println("still answerable:", !resp.Denied)
+	// Output:
+	// primed: true
+	// still answerable: true
+}

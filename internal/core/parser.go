@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"queryaudit/internal/dataset"
+	"queryaudit/internal/query"
+)
+
+// Parse turns a SQL-ish statement into a Statement. Grammar (case-
+// insensitive keywords):
+//
+//	SELECT agg ( ident ) [FROM ident] [WHERE pred {AND pred}]
+//	pred := ident BETWEEN num AND num
+//	      | ident = 'string'
+//	      | ident >= num
+//	      | ident <= num
+func Parse(sql string) (Statement, error) {
+	toks, err := tokenize(sql)
+	if err != nil {
+		return Statement{}, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.statement()
+	if err != nil {
+		return Statement{}, fmt.Errorf("core: parse %q: %w", sql, err)
+	}
+	return stmt, nil
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokString
+	tokSymbol // ( ) = >= <=
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func tokenize(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	rs := []rune(s)
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '(' || r == ')' || r == '=':
+			toks = append(toks, token{tokSymbol, string(r)})
+			i++
+		case r == '>' || r == '<':
+			if i+1 < len(rs) && rs[i+1] == '=' {
+				toks = append(toks, token{tokSymbol, string(r) + "="})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("unsupported operator %q (only >=, <=, =, BETWEEN)", string(r))
+			}
+		case r == '\'':
+			j := i + 1
+			for j < len(rs) && rs[j] != '\'' {
+				j++
+			}
+			if j >= len(rs) {
+				return nil, fmt.Errorf("unterminated string literal")
+			}
+			toks = append(toks, token{tokString, string(rs[i+1 : j])})
+			i = j + 1
+		case unicode.IsDigit(r) || r == '-' || r == '.':
+			j := i + 1
+			for j < len(rs) && (unicode.IsDigit(rs[j]) || rs[j] == '.' || rs[j] == 'e' || rs[j] == 'E' || rs[j] == '+' || rs[j] == '-') {
+				// Allow scientific notation; '-'/'+' only after e/E.
+				if (rs[j] == '-' || rs[j] == '+') && !(rs[j-1] == 'e' || rs[j-1] == 'E') {
+					break
+				}
+				j++
+			}
+			toks = append(toks, token{tokNumber, string(rs[i:j])})
+			i = j
+		case unicode.IsLetter(r) || r == '_':
+			j := i + 1
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, string(rs[i:j])})
+			i = j
+		default:
+			return nil, fmt.Errorf("unexpected character %q", string(r))
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t, ok := p.next()
+	if !ok || t.kind != tokIdent || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("expected %s, got %q", kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t, ok := p.next()
+	if !ok || t.kind != tokSymbol || t.text != sym {
+		return fmt.Errorf("expected %q, got %q", sym, t.text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t, ok := p.next()
+	if !ok || t.kind != tokIdent {
+		return "", fmt.Errorf("expected identifier, got %q", t.text)
+	}
+	return t.text, nil
+}
+
+func (p *parser) number() (float64, error) {
+	t, ok := p.next()
+	if !ok || t.kind != tokNumber {
+		return 0, fmt.Errorf("expected number, got %q", t.text)
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q: %v", t.text, err)
+	}
+	return v, nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	var st Statement
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return st, err
+	}
+	aggName, err := p.ident()
+	if err != nil {
+		return st, err
+	}
+	st.Agg, err = query.ParseKind(aggName)
+	if err != nil {
+		return st, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return st, err
+	}
+	st.Target, err = p.ident()
+	if err != nil {
+		return st, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return st, err
+	}
+	if t, ok := p.peek(); ok && t.kind == tokIdent && strings.EqualFold(t.text, "FROM") {
+		p.next()
+		if _, err := p.ident(); err != nil {
+			return st, err
+		}
+	}
+	if t, ok := p.peek(); ok {
+		if t.kind != tokIdent || !strings.EqualFold(t.text, "WHERE") {
+			return st, fmt.Errorf("unexpected token %q", t.text)
+		}
+		p.next()
+		for {
+			pred, err := p.pred()
+			if err != nil {
+				return st, err
+			}
+			st.Preds = append(st.Preds, pred)
+			t, ok := p.peek()
+			if !ok {
+				break
+			}
+			if t.kind == tokIdent && strings.EqualFold(t.text, "AND") {
+				p.next()
+				continue
+			}
+			return st, fmt.Errorf("unexpected token %q", t.text)
+		}
+	}
+	if t, ok := p.peek(); ok {
+		return st, fmt.Errorf("trailing input at %q", t.text)
+	}
+	return st, nil
+}
+
+func (p *parser) pred() (dataset.Predicate, error) {
+	attr, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	t, ok := p.next()
+	if !ok {
+		return nil, fmt.Errorf("incomplete predicate on %q", attr)
+	}
+	switch {
+	case t.kind == tokIdent && strings.EqualFold(t.text, "BETWEEN"):
+		lo, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if hi < lo {
+			return nil, fmt.Errorf("BETWEEN bounds inverted: %g > %g", lo, hi)
+		}
+		return dataset.RangePred{Attr: attr, Lo: lo, Hi: hi}, nil
+	case t.kind == tokSymbol && t.text == "=":
+		v, ok := p.next()
+		if !ok {
+			return nil, fmt.Errorf("missing value after =")
+		}
+		switch v.kind {
+		case tokString:
+			return dataset.EqPred{Attr: attr, Val: v.text}, nil
+		case tokNumber:
+			x, err := strconv.ParseFloat(v.text, 64)
+			if err != nil {
+				return nil, err
+			}
+			return dataset.RangePred{Attr: attr, Lo: x, Hi: x}, nil
+		default:
+			return nil, fmt.Errorf("bad literal %q after =", v.text)
+		}
+	case t.kind == tokSymbol && t.text == ">=":
+		x, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		return dataset.RangePred{Attr: attr, Lo: x, Hi: inf()}, nil
+	case t.kind == tokSymbol && t.text == "<=":
+		x, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		return dataset.RangePred{Attr: attr, Lo: -inf(), Hi: x}, nil
+	default:
+		return nil, fmt.Errorf("unsupported predicate operator %q", t.text)
+	}
+}
+
+func inf() float64 { return 1e308 }

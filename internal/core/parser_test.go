@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"queryaudit/internal/audit/sumfull"
+	"queryaudit/internal/dataset"
+	"queryaudit/internal/query"
+)
+
+// TestParseFullStatement covers the whole grammar.
+func TestParseFullStatement(t *testing.T) {
+	st, err := Parse("SELECT sum(salary) FROM employees WHERE age BETWEEN 30 AND 40 AND zip = '94305' AND age >= 18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Agg != query.Sum || st.Target != "salary" {
+		t.Fatalf("agg/target = %v/%q", st.Agg, st.Target)
+	}
+	if len(st.Preds) != 3 {
+		t.Fatalf("preds = %v", st.Preds)
+	}
+	r, ok := st.Preds[0].(dataset.RangePred)
+	if !ok || r.Attr != "age" || r.Lo != 30 || r.Hi != 40 {
+		t.Fatalf("pred0 = %#v", st.Preds[0])
+	}
+	e, ok := st.Preds[1].(dataset.EqPred)
+	if !ok || e.Attr != "zip" || e.Val != "94305" {
+		t.Fatalf("pred1 = %#v", st.Preds[1])
+	}
+}
+
+// TestParseMinimal: no FROM, no WHERE.
+func TestParseMinimal(t *testing.T) {
+	st, err := Parse("select max(severity)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Agg != query.Max || st.Target != "severity" || len(st.Preds) != 0 {
+		t.Fatalf("%+v", st)
+	}
+}
+
+// TestParseCaseInsensitiveKeywords.
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse("SeLeCt AVG(x) fRoM t wHeRe a >= 1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseNumericEquality: attr = number becomes a point range.
+func TestParseNumericEquality(t *testing.T) {
+	st, err := Parse("SELECT sum(x) WHERE age = 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := st.Preds[0].(dataset.RangePred)
+	if !ok || r.Lo != 30 || r.Hi != 30 {
+		t.Fatalf("%#v", st.Preds[0])
+	}
+}
+
+// TestParseErrors: each malformed input yields a descriptive error.
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"DROP TABLE employees",
+		"SELECT mode(x)",
+		"SELECT sum x",
+		"SELECT sum(x",
+		"SELECT sum(x) WHERE",
+		"SELECT sum(x) WHERE age BETWEEN 40 AND 30",
+		"SELECT sum(x) WHERE age > 5",
+		"SELECT sum(x) WHERE name = unquoted",
+		"SELECT sum(x) WHERE age BETWEEN 1 AND 2 OR age >= 9",
+		"SELECT sum(x) trailing",
+		"SELECT sum(x) WHERE s = 'unterminated",
+	}
+	for _, sql := range cases {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+// TestSDBEndToEnd: parse → select → audit → answer/deny.
+func TestSDBEndToEnd(t *testing.T) {
+	schema := dataset.Schema{{Name: "age", Kind: dataset.Numeric}}
+	rows := []dataset.Record{
+		{Public: []dataset.Value{dataset.NumValue(25)}, Sensitive: 10},
+		{Public: []dataset.Value{dataset.NumValue(35)}, Sensitive: 20},
+		{Public: []dataset.Value{dataset.NumValue(45)}, Sensitive: 30},
+	}
+	ds := dataset.New(schema, rows)
+	eng := NewEngine(ds)
+	eng.Use(sumfull.New(3), query.Sum)
+	sdb := NewSDB(eng, "salary")
+
+	resp, err := sdb.Query("SELECT sum(salary) WHERE age >= 20")
+	if err != nil || resp.Denied || resp.Answer != 60 {
+		t.Fatalf("total: %+v %v", resp, err)
+	}
+	resp, err = sdb.Query("SELECT sum(salary) WHERE age >= 30")
+	if err != nil || !resp.Denied {
+		t.Fatalf("complement must be denied: %+v %v", resp, err)
+	}
+	if _, err := sdb.Query("SELECT sum(bonus) WHERE age >= 30"); err == nil ||
+		!strings.Contains(err.Error(), "sensitive attribute") {
+		t.Fatalf("wrong target must error, got %v", err)
+	}
+	if _, err := sdb.Query("SELECT sum(salary) WHERE age >= 99"); err == nil {
+		t.Fatal("empty selection must error")
+	}
+}

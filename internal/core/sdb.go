@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"queryaudit/internal/dataset"
+	"queryaudit/internal/query"
+)
+
+// SDB is the user-facing statistical database: an engine plus the
+// SQL-ish query surface over public attributes.
+type SDB struct {
+	eng *Engine
+	// sensitive is the name accepted inside aggregate parentheses, e.g.
+	// "salary" in sum(salary).
+	sensitive string
+}
+
+// NewSDB wraps an engine; sensitive names the aggregate target column.
+func NewSDB(eng *Engine, sensitive string) *SDB {
+	return &SDB{eng: eng, sensitive: sensitive}
+}
+
+// Engine exposes the underlying engine.
+func (s *SDB) Engine() *Engine { return s.eng }
+
+// Query parses and runs one SQL-ish statement:
+//
+//	SELECT <agg>(<sensitive>) [FROM <ident>] [WHERE <pred> {AND <pred>}]
+//	pred := <attr> BETWEEN <num> AND <num>
+//	      | <attr> = '<string>'
+//	      | <attr> >= <num> | <attr> <= <num>
+//
+// The FROM clause is accepted and ignored (the SDB hosts one table).
+func (s *SDB) Query(sql string) (Response, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return Response{Denied: true}, err
+	}
+	return s.Run(stmt)
+}
+
+// Run executes a parsed statement.
+func (s *SDB) Run(stmt Statement) (Response, error) {
+	if stmt.Target != s.sensitive {
+		return Response{Denied: true}, fmt.Errorf("core: unknown aggregate target %q (sensitive attribute is %q)", stmt.Target, s.sensitive)
+	}
+	set := s.eng.Dataset().Select(stmt.Predicate())
+	if len(set) == 0 {
+		return Response{Denied: true}, fmt.Errorf("core: predicate selects no records")
+	}
+	return s.eng.Ask(query.Query{Set: set, Kind: stmt.Agg})
+}
+
+// Statement is a parsed SQL-ish query.
+type Statement struct {
+	Agg    query.Kind
+	Target string
+	Preds  []dataset.Predicate
+}
+
+// Predicate returns the conjunction of the WHERE predicates (TRUE when
+// absent).
+func (st Statement) Predicate() dataset.Predicate {
+	if len(st.Preds) == 0 {
+		return dataset.TruePred{}
+	}
+	if len(st.Preds) == 1 {
+		return st.Preds[0]
+	}
+	return dataset.AndPred(st.Preds)
+}

@@ -1,0 +1,104 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVOptions configure LoadCSV.
+type CSVOptions struct {
+	// Sensitive names the column holding the sensitive numeric value.
+	Sensitive string
+	// Numeric lists public columns to load as numeric attributes; all
+	// other columns (except Sensitive) load as categorical.
+	Numeric []string
+	// RequireDistinct rejects files whose sensitive values contain
+	// duplicates — required before using the max/min auditors.
+	RequireDistinct bool
+}
+
+// LoadCSV reads a headered CSV into a Dataset. Column order in the file
+// becomes attribute order in the schema.
+func LoadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
+	if opts.Sensitive == "" {
+		return nil, fmt.Errorf("dataset: CSVOptions.Sensitive is required")
+	}
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	numeric := make(map[string]bool, len(opts.Numeric))
+	for _, c := range opts.Numeric {
+		numeric[c] = true
+	}
+	sensCol := -1
+	var schema Schema
+	colAttr := make([]int, len(header)) // column -> schema index or -1
+	for i, name := range header {
+		if name == opts.Sensitive {
+			if sensCol >= 0 {
+				return nil, fmt.Errorf("dataset: duplicate sensitive column %q", name)
+			}
+			sensCol = i
+			colAttr[i] = -1
+			continue
+		}
+		kind := Categorical
+		if numeric[name] {
+			kind = Numeric
+		}
+		colAttr[i] = len(schema)
+		schema = append(schema, Attr{Name: name, Kind: kind})
+	}
+	if sensCol < 0 {
+		return nil, fmt.Errorf("dataset: sensitive column %q not in header %v", opts.Sensitive, header)
+	}
+
+	var rows []Record
+	seen := map[float64]bool{}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+		}
+		s, err := strconv.ParseFloat(rec[sensCol], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: sensitive value %q: %w", line, rec[sensCol], err)
+		}
+		if opts.RequireDistinct {
+			if seen[s] {
+				return nil, fmt.Errorf("dataset: CSV line %d: duplicate sensitive value %g (max/min auditing requires distinct values)", line, s)
+			}
+			seen[s] = true
+		}
+		row := Record{Public: make([]Value, len(schema)), Sensitive: s}
+		for i, cell := range rec {
+			ai := colAttr[i]
+			if ai < 0 {
+				continue
+			}
+			if schema[ai].Kind == Numeric {
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: CSV line %d: numeric column %q value %q: %w",
+						line, schema[ai].Name, cell, err)
+				}
+				row.Public[ai] = NumValue(v)
+			} else {
+				row.Public[ai] = StrValue(cell)
+			}
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: CSV has no data rows")
+	}
+	return New(schema, rows), nil
+}

@@ -1,0 +1,75 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"queryaudit/internal/query"
+)
+
+const sampleCSV = `age,dept,salary
+34,eng,81000
+41,sales,92500
+29,eng,61000
+55,hr,74250
+`
+
+func TestLoadCSV(t *testing.T) {
+	ds, err := LoadCSV(strings.NewReader(sampleCSV), CSVOptions{
+		Sensitive: "salary",
+		Numeric:   []string{"age"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 4 {
+		t.Fatalf("n = %d", ds.N())
+	}
+	if ds.Sensitive(1) != 92500 {
+		t.Fatalf("sensitive[1] = %g", ds.Sensitive(1))
+	}
+	v, err := ds.Public(0, "age")
+	if err != nil || v.Num != 34 {
+		t.Fatalf("age[0] = %v %v", v, err)
+	}
+	d, err := ds.Public(3, "dept")
+	if err != nil || d.Str != "hr" {
+		t.Fatalf("dept[3] = %v %v", d, err)
+	}
+	// Predicates work over loaded attributes.
+	set := ds.Select(EqPred{Attr: "dept", Val: "eng"})
+	if !set.Equal(query.NewSet(0, 2)) {
+		t.Fatalf("eng select = %v", set)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+		opts CSVOptions
+	}{
+		{"missing sensitive", "a,b\n1,2\n", CSVOptions{Sensitive: "salary"}},
+		{"no option", sampleCSV, CSVOptions{}},
+		{"bad sensitive value", "salary\nnotanumber\n", CSVOptions{Sensitive: "salary"}},
+		{"bad numeric", "age,salary\nxyz,5\n", CSVOptions{Sensitive: "salary", Numeric: []string{"age"}}},
+		{"empty body", "salary\n", CSVOptions{Sensitive: "salary"}},
+		{"duplicate values", "salary\n5\n5\n", CSVOptions{Sensitive: "salary", RequireDistinct: true}},
+		{"ragged row", "a,salary\n1\n", CSVOptions{Sensitive: "salary"}},
+	}
+	for _, c := range cases {
+		if _, err := LoadCSV(strings.NewReader(c.csv), c.opts); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestLoadCSVDistinctOK(t *testing.T) {
+	ds, err := LoadCSV(strings.NewReader(sampleCSV), CSVOptions{
+		Sensitive:       "salary",
+		RequireDistinct: true,
+	})
+	if err != nil || ds.HasDuplicates() {
+		t.Fatalf("distinct load failed: %v", err)
+	}
+}

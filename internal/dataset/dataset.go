@@ -1,0 +1,286 @@
+// Package dataset implements the statistical-database substrate of the
+// paper's model: n records, each with several public attributes and one
+// real-valued sensitive attribute. Query sets are specified by predicates
+// over the public attributes; aggregates are taken over the corresponding
+// sensitive values (Section 1).
+//
+// The package also models the update stream of Sections 5–6: records may
+// be modified in place, and every modification bumps the record's version
+// so that auditors can reason about "past or present" values.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"queryaudit/internal/query"
+	"queryaudit/internal/randx"
+)
+
+// AttrKind distinguishes numeric from categorical public attributes.
+type AttrKind int
+
+const (
+	// Numeric attributes support range predicates.
+	Numeric AttrKind = iota
+	// Categorical attributes support equality predicates.
+	Categorical
+)
+
+// Attr describes one public attribute.
+type Attr struct {
+	Name string
+	Kind AttrKind
+}
+
+// Schema is the ordered list of public attributes.
+type Schema []Attr
+
+// Index returns the position of the named attribute, or -1.
+func (s Schema) Index(name string) int {
+	for i, a := range s {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Value is a public attribute value: numeric or categorical.
+type Value struct {
+	Num float64
+	Str string
+}
+
+// NumValue wraps a numeric attribute value.
+func NumValue(v float64) Value { return Value{Num: v} }
+
+// StrValue wraps a categorical attribute value.
+func StrValue(v string) Value { return Value{Str: v} }
+
+// Record is one row of the SDB.
+type Record struct {
+	Public    []Value
+	Sensitive float64
+	// Version counts modifications of the sensitive value; it starts at 0
+	// and increments on every SetSensitive.
+	Version int
+}
+
+// Dataset is an updatable statistical database.
+type Dataset struct {
+	schema Schema
+	rows   []Record
+	// mods counts total sensitive-value modifications across all records,
+	// used by auditors that version columns.
+	mods int
+}
+
+// New builds a dataset from a schema and rows. Rows are copied.
+func New(schema Schema, rows []Record) *Dataset {
+	d := &Dataset{schema: schema, rows: append([]Record(nil), rows...)}
+	for i := range d.rows {
+		d.rows[i].Public = append([]Value(nil), rows[i].Public...)
+		d.rows[i].Version = 0
+	}
+	return d
+}
+
+// FromValues builds a schemaless dataset holding only sensitive values —
+// the bare {x_1..x_n} model most of the paper works in.
+func FromValues(xs []float64) *Dataset {
+	rows := make([]Record, len(xs))
+	for i, x := range xs {
+		rows[i].Sensitive = x
+	}
+	return New(nil, rows)
+}
+
+// UniformDuplicateFree draws a dataset of n sensitive values uniformly at
+// random from the duplicate-free points of [lo, hi)^n, the distribution
+// assumed throughout Sections 3 and 4.
+func UniformDuplicateFree(rng *rand.Rand, n int, lo, hi float64) *Dataset {
+	return FromValues(randx.DuplicateFreeDataset(rng, n, lo, hi))
+}
+
+// N returns the number of records.
+func (d *Dataset) N() int { return len(d.rows) }
+
+// Schema returns the public-attribute schema.
+func (d *Dataset) Schema() Schema { return d.schema }
+
+// Sensitive returns the current sensitive value of record i.
+func (d *Dataset) Sensitive(i int) float64 { return d.rows[i].Sensitive }
+
+// Version returns the number of times record i has been modified.
+func (d *Dataset) Version(i int) int { return d.rows[i].Version }
+
+// Modifications returns the total modification count across all records.
+func (d *Dataset) Modifications() int { return d.mods }
+
+// Values returns a copy of the current sensitive values in index order.
+func (d *Dataset) Values() []float64 {
+	xs := make([]float64, len(d.rows))
+	for i := range d.rows {
+		xs[i] = d.rows[i].Sensitive
+	}
+	return xs
+}
+
+// Public returns the public value of attribute attr for record i.
+func (d *Dataset) Public(i int, attr string) (Value, error) {
+	ai := d.schema.Index(attr)
+	if ai < 0 {
+		return Value{}, fmt.Errorf("dataset: no attribute %q", attr)
+	}
+	return d.rows[i].Public[ai], nil
+}
+
+// SetSensitive modifies the sensitive value of record i, bumping its
+// version. This is the "update" of Sections 5–6.
+func (d *Dataset) SetSensitive(i int, v float64) {
+	d.rows[i].Sensitive = v
+	d.rows[i].Version++
+	d.mods++
+}
+
+// Eval answers q truthfully against the current values.
+func (d *Dataset) Eval(q query.Query) float64 {
+	return q.Eval(d.valuesRef())
+}
+
+// valuesRef exposes values without copying for internal evaluation.
+func (d *Dataset) valuesRef() []float64 {
+	xs := make([]float64, len(d.rows))
+	for i := range d.rows {
+		xs[i] = d.rows[i].Sensitive
+	}
+	return xs
+}
+
+// HasDuplicates reports whether any two sensitive values coincide — the
+// max/min auditors of Sections 3–4 require this to be false.
+func (d *Dataset) HasDuplicates() bool {
+	xs := d.Values()
+	sort.Float64s(xs)
+	for i := 1; i < len(xs); i++ {
+		if xs[i] == xs[i-1] {
+			return true
+		}
+	}
+	return false
+}
+
+// Predicate selects records by their public attributes.
+type Predicate interface {
+	// Match reports whether the record at index i of d satisfies the
+	// predicate.
+	Match(d *Dataset, i int) bool
+	String() string
+}
+
+// RangePred selects records whose numeric attribute lies in [Lo, Hi].
+type RangePred struct {
+	Attr   string
+	Lo, Hi float64
+}
+
+// Match implements Predicate.
+func (p RangePred) Match(d *Dataset, i int) bool {
+	v, err := d.Public(i, p.Attr)
+	if err != nil {
+		return false
+	}
+	return v.Num >= p.Lo && v.Num <= p.Hi
+}
+
+func (p RangePred) String() string {
+	return fmt.Sprintf("%s BETWEEN %g AND %g", p.Attr, p.Lo, p.Hi)
+}
+
+// EqPred selects records whose categorical attribute equals Val.
+type EqPred struct {
+	Attr string
+	Val  string
+}
+
+// Match implements Predicate.
+func (p EqPred) Match(d *Dataset, i int) bool {
+	v, err := d.Public(i, p.Attr)
+	if err != nil {
+		return false
+	}
+	return v.Str == p.Val
+}
+
+func (p EqPred) String() string {
+	return fmt.Sprintf("%s = %q", p.Attr, p.Val)
+}
+
+// AndPred is the conjunction of predicates.
+type AndPred []Predicate
+
+// Match implements Predicate.
+func (p AndPred) Match(d *Dataset, i int) bool {
+	for _, sub := range p {
+		if !sub.Match(d, i) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p AndPred) String() string {
+	out := ""
+	for i, sub := range p {
+		if i > 0 {
+			out += " AND "
+		}
+		out += sub.String()
+	}
+	return out
+}
+
+// OrPred is the disjunction of predicates.
+type OrPred []Predicate
+
+// Match implements Predicate.
+func (p OrPred) Match(d *Dataset, i int) bool {
+	for _, sub := range p {
+		if sub.Match(d, i) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p OrPred) String() string {
+	out := ""
+	for i, sub := range p {
+		if i > 0 {
+			out += " OR "
+		}
+		out += sub.String()
+	}
+	return out
+}
+
+// TruePred matches every record.
+type TruePred struct{}
+
+// Match implements Predicate.
+func (TruePred) Match(*Dataset, int) bool { return true }
+
+func (TruePred) String() string { return "TRUE" }
+
+// Select returns the query set of records matching pred.
+func (d *Dataset) Select(pred Predicate) query.Set {
+	var q query.Set
+	for i := range d.rows {
+		if pred.Match(d, i) {
+			q = append(q, i)
+		}
+	}
+	return q
+}

@@ -1,0 +1,133 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"queryaudit/internal/query"
+)
+
+// TestFromValuesAndUpdates: versions track modifications.
+func TestFromValuesAndUpdates(t *testing.T) {
+	ds := FromValues([]float64{1, 2, 3})
+	if ds.N() != 3 || ds.Sensitive(1) != 2 {
+		t.Fatal("construction broken")
+	}
+	if ds.Version(1) != 0 || ds.Modifications() != 0 {
+		t.Fatal("fresh dataset has versions")
+	}
+	ds.SetSensitive(1, 9)
+	if ds.Sensitive(1) != 9 || ds.Version(1) != 1 || ds.Modifications() != 1 {
+		t.Fatal("update not tracked")
+	}
+	// Values() returns a copy.
+	vs := ds.Values()
+	vs[0] = 100
+	if ds.Sensitive(0) == 100 {
+		t.Fatal("Values leaked internal state")
+	}
+}
+
+// TestEvalMatchesQuery: aggregation delegates to query.Eval.
+func TestEvalMatchesQuery(t *testing.T) {
+	ds := FromValues([]float64{5, 1, 4})
+	if got := ds.Eval(query.New(query.Max, 0, 1, 2)); got != 5 {
+		t.Fatalf("max = %g", got)
+	}
+	if got := ds.Eval(query.New(query.Sum, 1, 2)); got != 5 {
+		t.Fatalf("sum = %g", got)
+	}
+}
+
+// TestPredicates: range, equality, and conjunctions select correctly.
+func TestPredicates(t *testing.T) {
+	schema := Schema{{Name: "age", Kind: Numeric}, {Name: "dept", Kind: Categorical}}
+	rows := []Record{
+		{Public: []Value{NumValue(25), StrValue("eng")}, Sensitive: 1},
+		{Public: []Value{NumValue(35), StrValue("eng")}, Sensitive: 2},
+		{Public: []Value{NumValue(45), StrValue("hr")}, Sensitive: 3},
+	}
+	ds := New(schema, rows)
+	if got := ds.Select(RangePred{Attr: "age", Lo: 30, Hi: 50}); !got.Equal(query.NewSet(1, 2)) {
+		t.Errorf("range select = %v", got)
+	}
+	if got := ds.Select(EqPred{Attr: "dept", Val: "eng"}); !got.Equal(query.NewSet(0, 1)) {
+		t.Errorf("eq select = %v", got)
+	}
+	and := AndPred{RangePred{Attr: "age", Lo: 30, Hi: 50}, EqPred{Attr: "dept", Val: "eng"}}
+	if got := ds.Select(and); !got.Equal(query.NewSet(1)) {
+		t.Errorf("and select = %v", got)
+	}
+	or := OrPred{RangePred{Attr: "age", Lo: 0, Hi: 26}, EqPred{Attr: "dept", Val: "hr"}}
+	if got := ds.Select(or); !got.Equal(query.NewSet(0, 2)) {
+		t.Errorf("or select = %v", got)
+	}
+	if got := ds.Select(TruePred{}); got.Size() != 3 {
+		t.Errorf("true select = %v", got)
+	}
+	if got := ds.Select(EqPred{Attr: "nope", Val: "x"}); got.Size() != 0 {
+		t.Errorf("unknown attribute must select nothing, got %v", got)
+	}
+}
+
+// TestGenerateCompanyProperties: sorted ages, duplicate-free salaries,
+// schema intact.
+func TestGenerateCompanyProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := GenerateCompany(rng, DefaultCompanyConfig(150))
+	if ds.N() != 150 {
+		t.Fatalf("n = %d", ds.N())
+	}
+	if ds.HasDuplicates() {
+		t.Fatal("salaries must be duplicate-free")
+	}
+	prev := -1.0
+	for i := 0; i < ds.N(); i++ {
+		v, err := ds.Public(i, "age")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Num < prev {
+			t.Fatal("ages must be sorted ascending")
+		}
+		prev = v.Num
+	}
+	cfg := DefaultCompanyConfig(1)
+	for i := 0; i < ds.N(); i++ {
+		s := ds.Sensitive(i)
+		if s < cfg.MinSalary || s > cfg.MaxSalary {
+			t.Fatalf("salary %g out of configured range", s)
+		}
+	}
+}
+
+// TestGenerateHospitalProperties: scores in [0,1), distinct, ages sorted.
+func TestGenerateHospitalProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := GenerateHospital(rng, DefaultHospitalConfig(120))
+	if ds.HasDuplicates() {
+		t.Fatal("severity scores must be duplicate-free")
+	}
+	for i := 0; i < ds.N(); i++ {
+		if s := ds.Sensitive(i); s < 0 || s >= 1 {
+			t.Fatalf("severity %g outside [0,1)", s)
+		}
+	}
+}
+
+// TestUniformDuplicateFree: constructor wires through randx.
+func TestUniformDuplicateFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := UniformDuplicateFree(rng, 50, 0, 1)
+	if ds.N() != 50 || ds.HasDuplicates() {
+		t.Fatal("bad uniform dataset")
+	}
+}
+
+// TestPublicUnknownAttr returns an error, not a panic.
+func TestPublicUnknownAttr(t *testing.T) {
+	ds := FromValues([]float64{1})
+	if _, err := ds.Public(0, "ghost"); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,38 @@
+package dataset_test
+
+import (
+	"fmt"
+	"strings"
+
+	"queryaudit/internal/dataset"
+)
+
+// ExampleLoadCSV loads a real table: name the sensitive column, declare
+// which public columns are numeric, and predicates work immediately.
+func ExampleLoadCSV() {
+	csv := `age,dept,salary
+34,eng,81000
+41,sales,92500
+29,eng,61000
+`
+	ds, err := dataset.LoadCSV(strings.NewReader(csv), dataset.CSVOptions{
+		Sensitive: "salary",
+		Numeric:   []string{"age"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	engineers := ds.Select(dataset.EqPred{Attr: "dept", Val: "eng"})
+	fmt.Println(ds.N(), "records; engineers:", engineers)
+	// Output:
+	// 3 records; engineers: {0,2}
+}
+
+// ExampleDataset_SetSensitive shows update versioning.
+func ExampleDataset_SetSensitive() {
+	ds := dataset.FromValues([]float64{100, 200})
+	ds.SetSensitive(0, 150)
+	fmt.Println(ds.Sensitive(0), ds.Version(0), ds.Modifications())
+	// Output:
+	// 150 1 1
+}

@@ -1,0 +1,140 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// CompanyConfig parameterizes the synthetic company-salary database used
+// by the examples and the SQL-ish experiments (the paper's motivating
+// scenario: salaries keyed by public attributes like zip code and age).
+type CompanyConfig struct {
+	N         int
+	MinSalary float64
+	MaxSalary float64
+	MinAge    float64
+	MaxAge    float64
+	ZipCodes  []string
+	Depts     []string
+}
+
+// DefaultCompanyConfig mirrors the scale of the paper's experiments
+// (datasets of a few hundred records).
+func DefaultCompanyConfig(n int) CompanyConfig {
+	return CompanyConfig{
+		N:         n,
+		MinSalary: 30_000,
+		MaxSalary: 250_000,
+		MinAge:    21,
+		MaxAge:    65,
+		ZipCodes:  []string{"94305", "94301", "94025", "95014", "94040"},
+		Depts:     []string{"eng", "sales", "hr", "finance", "legal"},
+	}
+}
+
+// GenerateCompany builds a duplicate-free salary database with public
+// attributes age (numeric), zip (categorical) and dept (categorical),
+// sorted ascending on age so that 1-D range queries over age select
+// contiguous index ranges, as in the Figure 2 / Plot 3 experiment.
+func GenerateCompany(rng *rand.Rand, cfg CompanyConfig) *Dataset {
+	schema := Schema{
+		{Name: "age", Kind: Numeric},
+		{Name: "zip", Kind: Categorical},
+		{Name: "dept", Kind: Categorical},
+	}
+	rows := make([]Record, cfg.N)
+	ages := make([]float64, cfg.N)
+	for i := range ages {
+		ages[i] = cfg.MinAge + rng.Float64()*(cfg.MaxAge-cfg.MinAge)
+	}
+	sortFloats(ages)
+	used := make(map[float64]bool, cfg.N)
+	for i := range rows {
+		salary := cfg.MinSalary + rng.Float64()*(cfg.MaxSalary-cfg.MinSalary)
+		for used[salary] {
+			salary = cfg.MinSalary + rng.Float64()*(cfg.MaxSalary-cfg.MinSalary)
+		}
+		used[salary] = true
+		rows[i] = Record{
+			Public: []Value{
+				NumValue(ages[i]),
+				StrValue(cfg.ZipCodes[rng.Intn(len(cfg.ZipCodes))]),
+				StrValue(cfg.Depts[rng.Intn(len(cfg.Depts))]),
+			},
+			Sensitive: salary,
+		}
+	}
+	return New(schema, rows)
+}
+
+// HospitalConfig parameterizes the synthetic hospital database (the
+// paper's second motivating scenario: a sensitive numeric severity score
+// keyed by county and age).
+type HospitalConfig struct {
+	N        int
+	Counties []string
+	MinAge   float64
+	MaxAge   float64
+}
+
+// DefaultHospitalConfig returns an n-patient configuration.
+func DefaultHospitalConfig(n int) HospitalConfig {
+	return HospitalConfig{
+		N:        n,
+		Counties: []string{"santa-clara", "san-mateo", "alameda", "marin"},
+		MinAge:   0,
+		MaxAge:   99,
+	}
+}
+
+// GenerateHospital builds a duplicate-free patient database whose
+// sensitive attribute is a severity score in [0, 1), with public
+// attributes age (numeric) and county (categorical), sorted on age.
+func GenerateHospital(rng *rand.Rand, cfg HospitalConfig) *Dataset {
+	schema := Schema{
+		{Name: "age", Kind: Numeric},
+		{Name: "county", Kind: Categorical},
+	}
+	rows := make([]Record, cfg.N)
+	ages := make([]float64, cfg.N)
+	for i := range ages {
+		ages[i] = cfg.MinAge + rng.Float64()*(cfg.MaxAge-cfg.MinAge)
+	}
+	sortFloats(ages)
+	used := make(map[float64]bool, cfg.N)
+	for i := range rows {
+		score := rng.Float64()
+		for used[score] {
+			score = rng.Float64()
+		}
+		used[score] = true
+		rows[i] = Record{
+			Public: []Value{
+				NumValue(ages[i]),
+				StrValue(cfg.Counties[rng.Intn(len(cfg.Counties))]),
+			},
+			Sensitive: score,
+		}
+	}
+	return New(schema, rows)
+}
+
+func sortFloats(xs []float64) { sort.Float64s(xs) }
+
+// Describe returns a short human-readable summary of the dataset, used by
+// the CLI tools.
+func (d *Dataset) Describe() string {
+	s := fmt.Sprintf("%d records", d.N())
+	if len(d.schema) > 0 {
+		s += ", public attributes:"
+		for _, a := range d.schema {
+			kind := "numeric"
+			if a.Kind == Categorical {
+				kind = "categorical"
+			}
+			s += fmt.Sprintf(" %s(%s)", a.Name, kind)
+		}
+	}
+	return s
+}

@@ -1,0 +1,342 @@
+package experiments
+
+// Section 7 of the paper sketches several open questions about utility.
+// This file quantifies two of them on the implemented auditors:
+//
+//   - the *price of simulatability*: how many denials were conservative —
+//     the true answer, had the auditor looked at it, would not have
+//     compromised anyone;
+//   - the *collusion* cost: what happens when two users are audited
+//     separately (unsound) instead of pooled (the paper's implicit
+//     assumption).
+
+import (
+	"math/rand"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/audit/maxfull"
+	"queryaudit/internal/audit/maxminfull"
+	"queryaudit/internal/audit/minfull"
+	"queryaudit/internal/audit/offline"
+	"queryaudit/internal/audit/sumfull"
+	"queryaudit/internal/extreme"
+	"queryaudit/internal/field"
+	"queryaudit/internal/query"
+	"queryaudit/internal/randx"
+	"queryaudit/internal/stats"
+	"queryaudit/internal/workload"
+)
+
+// Small aliases keeping SkewedWorkload readable.
+type (
+	randSource       = rand.Rand
+	workloadGen      = workload.Generator
+	statsAccumulator = stats.Accumulator
+)
+
+// SimulatabilityPriceConfig parameterizes the §7 "price of
+// simulatability" measurement for max auditing.
+type SimulatabilityPriceConfig struct {
+	N       int
+	Queries int
+	Trials  int
+	Seed    int64
+}
+
+// DefaultSimulatabilityPrice mirrors Figure 3's scale.
+func DefaultSimulatabilityPrice() SimulatabilityPriceConfig {
+	return SimulatabilityPriceConfig{N: 200, Queries: 600, Trials: 8, Seed: 8}
+}
+
+// SimulatabilityPriceResult reports the split of denials.
+type SimulatabilityPriceResult struct {
+	Posed  int
+	Denied int
+	// Conservative counts denials whose true answer would NOT have
+	// compromised anyone — the queries an answer-peeking auditor would
+	// have answered (at the cost of leaking through its denials).
+	Conservative int
+}
+
+// ConservativeFrac returns Conservative/Denied (0 when nothing denied).
+func (r SimulatabilityPriceResult) ConservativeFrac() float64 {
+	if r.Denied == 0 {
+		return 0
+	}
+	return float64(r.Conservative) / float64(r.Denied)
+}
+
+// SimulatabilityPrice runs random max queries through the simulatable
+// no-duplicates auditor and, for each denial, folds the *true* answer
+// into a copy of the trail to see whether it would actually have
+// compromised.
+func SimulatabilityPrice(cfg SimulatabilityPriceConfig) SimulatabilityPriceResult {
+	rng := randx.New(cfg.Seed)
+	var res SimulatabilityPriceResult
+	for trial := 0; trial < cfg.Trials; trial++ {
+		trng := randx.Split(rng)
+		xs := randx.DuplicateFreeDataset(trng, cfg.N, 0, 1)
+		a := maxfull.New(cfg.N)
+		for t := 0; t < cfg.Queries; t++ {
+			set := query.NewSet(randx.Subset(trng, cfg.N)...)
+			q := query.Query{Set: set, Kind: query.Max}
+			res.Posed++
+			d, err := a.Decide(q)
+			if err != nil {
+				panic(err)
+			}
+			ans := q.Eval(xs)
+			if d == audit.Answer {
+				a.Record(q, ans)
+				continue
+			}
+			res.Denied++
+			trail := a.Synopsis()
+			if err := trail.Add(set, ans); err == nil && trail.SingletonEqCount() == 0 {
+				res.Conservative++
+			}
+		}
+	}
+	return res
+}
+
+// CollusionConfig parameterizes the §7 collusion measurement.
+type CollusionConfig struct {
+	N       int
+	Queries int // per user
+	Users   int
+	Trials  int
+	Seed    int64
+}
+
+// DefaultCollusion uses two colluding users over sum queries.
+func DefaultCollusion() CollusionConfig {
+	return CollusionConfig{N: 100, Queries: 120, Users: 2, Trials: 30, Seed: 9}
+}
+
+// CollusionResult contrasts per-user auditing with pooled auditing.
+type CollusionResult struct {
+	Trials int
+	// SeparateBreaches counts trials where the union of the separately
+	// audited users' answers determines some element.
+	SeparateBreaches int
+	// SeparateAnswered / PooledAnswered are mean answered counts across
+	// the whole collusion, for the utility side of the trade-off.
+	SeparateAnswered float64
+	PooledAnswered   float64
+	// PooledBreaches is always 0 (asserted by tests); reported for the
+	// table.
+	PooledBreaches int
+}
+
+// Collusion runs the same interleaved random sum stream through (a)
+// one auditor per user and (b) a single pooled auditor, then audits the
+// union offline.
+func Collusion(cfg CollusionConfig) CollusionResult {
+	rng := randx.New(cfg.Seed)
+	res := CollusionResult{Trials: cfg.Trials}
+	sepAnswered, poolAnswered := 0, 0
+	for trial := 0; trial < cfg.Trials; trial++ {
+		trng := randx.Split(rng)
+		// The same query stream drives both deployments.
+		total := cfg.Queries * cfg.Users
+		stream := make([]query.Set, total)
+		for i := range stream {
+			stream[i] = query.NewSet(randx.Subset(trng, cfg.N)...)
+		}
+
+		separate := make([]*sumfull.Auditor[gfElem, gfField], cfg.Users)
+		for u := range separate {
+			separate[u] = sumfull.New(cfg.N)
+		}
+		var union []query.Answered
+		for i, set := range stream {
+			u := i % cfg.Users
+			q := query.Query{Set: set, Kind: query.Sum}
+			if d, _ := separate[u].Decide(q); d == audit.Answer {
+				separate[u].Record(q, 0)
+				union = append(union, query.Answered{Query: q})
+				sepAnswered++
+			}
+		}
+		r, err := offline.AuditSum(cfg.N, union)
+		if err != nil {
+			panic(err)
+		}
+		if r.Compromised {
+			res.SeparateBreaches++
+		}
+
+		pooled := sumfull.New(cfg.N)
+		var pooledUnion []query.Answered
+		for _, set := range stream {
+			q := query.Query{Set: set, Kind: query.Sum}
+			if d, _ := pooled.Decide(q); d == audit.Answer {
+				pooled.Record(q, 0)
+				pooledUnion = append(pooledUnion, query.Answered{Query: q})
+				poolAnswered++
+			}
+		}
+		if r, err := offline.AuditSum(cfg.N, pooledUnion); err != nil || r.Compromised {
+			res.PooledBreaches++
+		}
+	}
+	res.SeparateAnswered = float64(sepAnswered) / float64(cfg.Trials)
+	res.PooledAnswered = float64(poolAnswered) / float64(cfg.Trials)
+	return res
+}
+
+// Aliases keeping the generic auditor type readable above.
+type gfElem = field.Elem61
+
+type gfField = field.GF61
+
+// CrossAggregateConfig parameterizes the composition-leak measurement.
+type CrossAggregateConfig struct {
+	N       int
+	Queries int
+	Trials  int
+	Seed    int64
+}
+
+// DefaultCrossAggregate keeps the offline analysis fast.
+func DefaultCrossAggregate() CrossAggregateConfig {
+	return CrossAggregateConfig{N: 40, Queries: 60, Trials: 30, Seed: 10}
+}
+
+// CrossAggregateResult contrasts split per-aggregate auditing (a max
+// auditor and a min auditor that cannot see each other's answers —
+// unsound, because equal max/min answers pin their shared element) with
+// the paper's Section 4 joint auditor.
+type CrossAggregateResult struct {
+	Trials int
+	// SplitBreaches counts trials where the union of the split auditors'
+	// answers uniquely determines some element.
+	SplitBreaches int
+	// JointBreaches is always 0 (asserted by tests).
+	JointBreaches int
+	// SplitAnswered / JointAnswered are mean answered counts.
+	SplitAnswered float64
+	JointAnswered float64
+}
+
+// CrossAggregate runs the same interleaved max/min stream through (a)
+// independent maxfull+minfull auditors and (b) the joint maxminfull
+// auditor, then audits each union offline with the extreme-element
+// analysis. Integer-valued data makes max/min answer collisions — the
+// §4 danger case — common.
+func CrossAggregate(cfg CrossAggregateConfig) CrossAggregateResult {
+	rng := randx.New(cfg.Seed)
+	res := CrossAggregateResult{Trials: cfg.Trials}
+	splitAns, jointAns := 0, 0
+	for trial := 0; trial < cfg.Trials; trial++ {
+		trng := randx.Split(rng)
+		// Distinct integers: collisions between max and min answers of
+		// different queries are likely.
+		xs := make([]float64, cfg.N)
+		perm := trng.Perm(4 * cfg.N)
+		for i := range xs {
+			xs[i] = float64(perm[i])
+		}
+		// Small query sets put max and min answers in the same value
+		// range, so the §4 equal-answer collision actually occurs.
+		stream := make([]query.Query, cfg.Queries)
+		for i := range stream {
+			kind := query.Max
+			if trng.Intn(2) == 1 {
+				kind = query.Min
+			}
+			set := randx.SubsetSizeBetween(trng, cfg.N, 2, 5)
+			stream[i] = query.Query{Set: query.NewSet(set...), Kind: kind}
+		}
+
+		maxAud := maxfull.New(cfg.N)
+		minAud := minfull.New(cfg.N)
+		var union []extreme.Constraint
+		for _, q := range stream {
+			var d audit.Decision
+			if q.Kind == query.Max {
+				d, _ = maxAud.Decide(q)
+			} else {
+				d, _ = minAud.Decide(q)
+			}
+			if d != audit.Answer {
+				continue
+			}
+			ans := q.Eval(xs)
+			if q.Kind == query.Max {
+				maxAud.Record(q, ans)
+			} else {
+				minAud.Record(q, ans)
+			}
+			union = append(union, extreme.Constraint{
+				Set: q.Set, Value: ans, IsMax: q.Kind == query.Max, Rel: extreme.RelEq,
+			})
+			splitAns++
+		}
+		if r := extreme.Analyze(cfg.N, union); r.Consistent && r.Compromised {
+			res.SplitBreaches++
+		}
+
+		joint := maxminfull.New(cfg.N)
+		var jointUnion []extreme.Constraint
+		for _, q := range stream {
+			if d, _ := joint.Decide(q); d == audit.Answer {
+				ans := q.Eval(xs)
+				joint.Record(q, ans)
+				jointUnion = append(jointUnion, extreme.Constraint{
+					Set: q.Set, Value: ans, IsMax: q.Kind == query.Max, Rel: extreme.RelEq,
+				})
+				jointAns++
+			}
+		}
+		if r := extreme.Analyze(cfg.N, jointUnion); !r.Consistent || r.Compromised {
+			res.JointBreaches++
+		}
+	}
+	res.SplitAnswered = float64(splitAns) / float64(cfg.Trials)
+	res.JointAnswered = float64(jointAns) / float64(cfg.Trials)
+	return res
+}
+
+// SkewedWorkloadResult contrasts long-run sum-auditing utility under a
+// uniform workload against a clustered (correlated-interest) one —
+// Section 5's conjecture that realistic non-uniform query distributions
+// suffer fewer denials.
+type SkewedWorkloadResult struct {
+	UniformTail   float64
+	ClusteredTail float64
+}
+
+// SkewedWorkload measures the long-run denial probability of the sum
+// auditor under both workloads at equal query volume.
+func SkewedWorkload(n, queries, trials, spread int, seed int64) SkewedWorkloadResult {
+	run := func(mk func(rng *randSource) workloadGen) float64 {
+		rng := randx.New(seed)
+		var acc statsAccumulator
+		for trial := 0; trial < trials; trial++ {
+			trng := randx.Split(rng)
+			a := sumfull.New(n)
+			gen := mk(trng)
+			ind := make([]float64, queries)
+			for t := 0; t < queries; t++ {
+				q := gen.Next()
+				if d, err := a.Decide(q); err == nil && d == audit.Answer {
+					a.Record(q, 0)
+				} else {
+					ind[t] = 1
+				}
+			}
+			acc.AddTrial(ind)
+		}
+		return acc.Curve("w", 10).Tail(0.3)
+	}
+	return SkewedWorkloadResult{
+		UniformTail: run(func(rng *randSource) workloadGen {
+			return &workload.UniformRandom{N: n, Kind: query.Sum, Rng: rng}
+		}),
+		ClusteredTail: run(func(rng *randSource) workloadGen {
+			return &workload.Clustered{N: n, Spread: spread, Kind: query.Sum, Rng: rng}
+		}),
+	}
+}

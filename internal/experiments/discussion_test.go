@@ -1,0 +1,57 @@
+package experiments
+
+import "testing"
+
+// TestSimulatabilityPrice: the simulatable auditor's denials are partly
+// conservative — a positive fraction would have been safe to answer —
+// which is exactly the price Section 7 asks about. Both degenerate
+// extremes (0%: simulatability free; 100%: all denials unnecessary)
+// would indicate a bug.
+func TestSimulatabilityPrice(t *testing.T) {
+	cfg := SimulatabilityPriceConfig{N: 100, Queries: 250, Trials: 5, Seed: 1}
+	r := SimulatabilityPrice(cfg)
+	if r.Denied == 0 {
+		t.Fatal("expected some denials at this scale")
+	}
+	frac := r.ConservativeFrac()
+	if frac <= 0 || frac >= 1 {
+		t.Fatalf("conservative fraction %g must be strictly between 0 and 1 (denied=%d conservative=%d)",
+			frac, r.Denied, r.Conservative)
+	}
+}
+
+// TestCollusionContrast: separately audited users breach when colluding;
+// the pooled auditor never does. Separate auditing answers more (that is
+// the whole temptation).
+func TestCollusionContrast(t *testing.T) {
+	cfg := CollusionConfig{N: 60, Queries: 80, Users: 2, Trials: 15, Seed: 2}
+	r := Collusion(cfg)
+	if r.PooledBreaches != 0 {
+		t.Fatalf("pooled auditing breached %d times — auditor bug", r.PooledBreaches)
+	}
+	if r.SeparateBreaches == 0 {
+		t.Fatal("separate auditing should breach under collusion at this scale")
+	}
+	if r.SeparateAnswered <= r.PooledAnswered {
+		t.Fatalf("separate auditing should answer more (%.1f) than pooled (%.1f)",
+			r.SeparateAnswered, r.PooledAnswered)
+	}
+}
+
+// TestCrossAggregateLeak: split max/min auditors leak under the §4
+// equal-answer inference; the joint auditor never does, at a measurable
+// utility cost.
+func TestCrossAggregateLeak(t *testing.T) {
+	cfg := CrossAggregateConfig{N: 30, Queries: 50, Trials: 20, Seed: 3}
+	r := CrossAggregate(cfg)
+	if r.JointBreaches != 0 {
+		t.Fatalf("joint auditor breached %d times — auditor bug", r.JointBreaches)
+	}
+	if r.SplitBreaches == 0 {
+		t.Fatal("split auditors should breach under equal max/min answers at this scale")
+	}
+	if r.SplitAnswered <= r.JointAnswered {
+		t.Fatalf("split auditing should answer more (%.1f) than joint (%.1f) — that is its temptation",
+			r.SplitAnswered, r.JointAnswered)
+	}
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import "testing"
+
+// TestFig1Shape asserts the paper's headline: the time to first denial
+// is almost exactly the database size, and sits inside the Theorem 6/7
+// bounds.
+func TestFig1Shape(t *testing.T) {
+	rows := Fig1(Fig1Config{Sizes: []int{50, 100, 200}, Trials: 8, Seed: 1})
+	for _, r := range rows {
+		if r.MeanTDen < 0.9*float64(r.N) || r.MeanTDen > 1.1*float64(r.N) {
+			t.Errorf("n=%d: E[T_denial]=%.1f not ≈ n", r.N, r.MeanTDen)
+		}
+		if r.MeanTDen < r.LowerBound || r.MeanTDen > r.UpperBound {
+			t.Errorf("n=%d: E[T_denial]=%.1f outside [%g, %g]", r.N, r.MeanTDen, r.LowerBound, r.UpperBound)
+		}
+	}
+	if s := FormatFig1(rows); len(s) == 0 {
+		t.Error("empty table")
+	}
+}
+
+// TestFig2Shapes asserts the paper's Figure 2 relationships: plot 1
+// steps from 0 to ≈1 around n queries; updates (plot 2) both delay the
+// first denial and keep the long-run denial probability strictly below
+// plot 1's; range queries (plot 3) stay below the worst case too.
+func TestFig2Shapes(t *testing.T) {
+	cfg := Fig2Config{
+		N: 120, Queries: 360, Trials: 10,
+		UpdatePeriod: 10, RangeMin: 20, RangeMax: 40,
+		Stride: 10, Seed: 2,
+	}
+	curves := Fig2(cfg)
+	uniform, updates, ranges := curves[0], curves[1], curves[2]
+
+	if y := uniform.Y[0]; y != 0 {
+		t.Errorf("plot1 must start at 0, got %g", y)
+	}
+	if tail := uniform.Tail(0.2); tail < 0.95 {
+		t.Errorf("plot1 long-run denial = %g, want ≈ 1", tail)
+	}
+	th := uniform.StepThreshold(0.5)
+	if th < cfg.N-40 || th > cfg.N+60 {
+		t.Errorf("plot1 step at %d, want ≈ n=%d", th, cfg.N)
+	}
+
+	if u, v := updates.StepThreshold(0.5), uniform.StepThreshold(0.5); u < v {
+		t.Errorf("updates must delay the first-denial step: %d < %d", u, v)
+	}
+	if ut, pt := updates.Tail(0.2), uniform.Tail(0.2); ut >= pt {
+		t.Errorf("updates long-run denial %g must stay below plot1's %g", ut, pt)
+	}
+	if rt, pt := ranges.Tail(0.2), uniform.Tail(0.2); rt >= pt {
+		t.Errorf("range long-run denial %g must stay below plot1's %g", rt, pt)
+	}
+}
+
+// TestFig3Shape asserts Figure 3's qualitative claims: early queries
+// answered, then a plateau strictly below the sum auditor's worst case.
+func TestFig3Shape(t *testing.T) {
+	c := Fig3(Fig3Config{N: 120, Queries: 400, Trials: 6, Stride: 10, Seed: 3})
+	if c.Y[0] != 0 {
+		t.Errorf("first queries must be answered, got %g", c.Y[0])
+	}
+	tail := c.Tail(0.3)
+	if tail < 0.4 || tail > 0.97 {
+		t.Errorf("plateau %g outside the below-worst-case band", tail)
+	}
+}
+
+// TestUtilityBoundsHold: Theorems 6/7 hold at every size.
+func TestUtilityBoundsHold(t *testing.T) {
+	for _, r := range UtilityBounds(Fig1Config{Sizes: []int{60, 120}, Trials: 6, Seed: 4}) {
+		if !r.Holds {
+			t.Errorf("n=%d: E[T]=%.1f outside [%g, %g]", r.N, r.MeanTDen, r.Lower, r.Upper)
+		}
+	}
+}
+
+// TestDJLBaselineShape: random workloads get almost nothing; disjoint
+// workloads get ≈ c answers.
+func TestDJLBaselineShape(t *testing.T) {
+	r := DJLBaseline(200, 5, 5, 5)
+	if r.AnsweredDisjoint != 5 {
+		t.Errorf("disjoint answers = %d, want c = 5", r.AnsweredDisjoint)
+	}
+	if r.AnsweredRandom > 3 {
+		t.Errorf("random answers = %d, want ≈ 1", r.AnsweredRandom)
+	}
+	if r.Budget != (2*r.K-1)/r.R {
+		t.Errorf("budget = %d", r.Budget)
+	}
+}
+
+// TestAttackDemoContrast: naive leaks a significant fraction of the
+// block maxima; simulatable reduces the attacker to guessing.
+func TestAttackDemoContrast(t *testing.T) {
+	r := AttackDemo(60, 4000, 6)
+	if r.NaiveCorrectFrac <= r.SimulatableCorrectFrac {
+		t.Errorf("no contrast: naive %g vs simulatable %g", r.NaiveCorrectFrac, r.SimulatableCorrectFrac)
+	}
+	if r.Naive.Correct < 5 {
+		t.Errorf("naive extraction too weak: %d", r.Naive.Correct)
+	}
+}
+
+// TestMaxProbGame: utility positive, breaches within δ plus slack.
+func TestMaxProbGame(t *testing.T) {
+	cfg := DefaultMaxProb()
+	cfg.Trials, cfg.Rounds = 8, 8
+	r := MaxProb(cfg)
+	if r.AnsweredFrac <= 0.1 {
+		t.Errorf("answered fraction %g too low — auditing degenerated to deny-all", r.AnsweredFrac)
+	}
+	if r.BreachFrac > r.Delta+0.2 {
+		t.Errorf("breach fraction %g far exceeds δ=%g", r.BreachFrac, r.Delta)
+	}
+}
+
+// TestMaxMinFullCurve: the Section 4 auditor answers early queries and
+// plateaus strictly below 1.
+func TestMaxMinFullCurve(t *testing.T) {
+	c := MaxMinFull(MaxMinFullConfig{N: 80, Queries: 140, Trials: 4, Stride: 10, Seed: 7})
+	if c.Y[0] != 0 {
+		t.Errorf("first queries must be answered, got %g", c.Y[0])
+	}
+	if tail := c.Tail(0.3); tail >= 1 {
+		t.Errorf("plateau %g reached the worst case", tail)
+	}
+}
+
+// TestMaxMinProbRuns: the Section 3.2 auditor answers some broad bags.
+func TestMaxMinProbRuns(t *testing.T) {
+	cfg := DefaultMaxMinProb()
+	cfg.N, cfg.Trials, cfg.Rounds = 24, 3, 5
+	r := MaxMinProb(cfg)
+	if r.Posed != cfg.Trials*cfg.Rounds {
+		t.Fatalf("posed = %d", r.Posed)
+	}
+	if r.AnsweredFrac < 0 || r.AnsweredFrac > 1 {
+		t.Fatalf("fraction %g out of range", r.AnsweredFrac)
+	}
+}

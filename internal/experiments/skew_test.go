@@ -1,0 +1,20 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSkewedWorkloadConjecture: the paper's conjecture — non-uniform
+// (clustered) workloads keep more utility than uniform ones.
+func TestSkewedWorkloadConjecture(t *testing.T) {
+	r := SkewedWorkload(150, 400, 8, 20, 11)
+	fmt.Printf("uniform tail %.3f clustered tail %.3f\n", r.UniformTail, r.ClusteredTail)
+	if r.ClusteredTail >= r.UniformTail {
+		t.Fatalf("clustered workload should suffer fewer denials: %.3f vs %.3f",
+			r.ClusteredTail, r.UniformTail)
+	}
+	if r.UniformTail < 0.9 {
+		t.Fatalf("uniform workload should saturate: %.3f", r.UniformTail)
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestMaxUtilitySweepShape(t *testing.T) {
+	rows := MaxUtilitySweep([]int{100, 200, 400}, 300, 4, 9)
+	for _, r := range rows {
+		fmt.Printf("n=%4d plateau dup=%.3f nodup=%.3f\n", r.N, r.PlateauDup, r.PlateauNo)
+		if r.PlateauDup >= r.PlateauNo {
+			t.Errorf("n=%d: duplicates-allowed must deny less (%.3f vs %.3f)", r.N, r.PlateauDup, r.PlateauNo)
+		}
+		if r.PlateauDup <= 0.2 || r.PlateauNo >= 1 {
+			t.Errorf("n=%d: plateaus out of expected band", r.N)
+		}
+	}
+}
+
+// TestMaxProbParamSweep: breach ≤ δ everywhere; utility is monotone in λ
+// at fixed γ (more tolerance → fewer denials).
+func TestMaxProbParamSweep(t *testing.T) {
+	base := DefaultMaxProb()
+	base.Trials, base.Rounds = 6, 8
+	rows := MaxProbParamSweep([]float64{0.3, 0.45, 0.6}, []int{4, 8}, base)
+	byGamma := map[int][]MaxProbSweepRow{}
+	for _, r := range rows {
+		if r.BreachFrac > base.Params.Delta+0.2 {
+			t.Errorf("λ=%.2f γ=%d: breach %.2f ≫ δ", r.Lambda, r.Gamma, r.BreachFrac)
+		}
+		byGamma[r.Gamma] = append(byGamma[r.Gamma], r)
+	}
+	for g, rs := range byGamma {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].AnsweredFrac+0.05 < rs[i-1].AnsweredFrac {
+				t.Errorf("γ=%d: utility not monotone in λ: %.3f then %.3f",
+					g, rs[i-1].AnsweredFrac, rs[i].AnsweredFrac)
+			}
+		}
+	}
+}

@@ -1,0 +1,335 @@
+// Package extreme implements the extreme-element analysis of Section 4:
+// Algorithm 4 with its trickle effect, the compromise characterization of
+// Theorem 3, and the consistency characterization of Theorem 4, for bags
+// of max and min queries over a duplicate-free dataset.
+//
+// The extreme elements of an answered query (Q, a) are the elements that
+// could still be the witness achieving a. The analysis alternates three
+// tightenings until a fixpoint:
+//
+//  1. bound propagation — μ_j / λ_j from the answers covering j;
+//  2. same-answer intersection — all max (resp. min) queries with the
+//     same answer share one witness, so their extreme sets intersect;
+//  3. pinning — a query with a single extreme element determines that
+//     element's value exactly, which removes it from the extreme sets of
+//     every query with a different answer (the trickle effect).
+//
+// The dataset is compromised (Theorem 3) iff some query ends with one
+// extreme element or a max and a min query share an answer — both of
+// which surface here as a *pinned* element. Answers are inconsistent
+// (Theorem 4) iff some query loses all its extreme elements, some
+// element's range empties, or two elements would be pinned to one value
+// (a duplicate).
+package extreme
+
+import (
+	"math"
+
+	"queryaudit/internal/query"
+)
+
+// Rel is the relation a constraint asserts.
+type Rel int
+
+const (
+	// RelEq is an answered query ([max(Q)=a] / [min(Q)=a]) carrying a
+	// witness obligation: some element attains a.
+	RelEq Rel = iota
+	// RelBoundStrict is a strict group bound ([max(Q)<a] / [min(Q)>a])
+	// produced by the synopsis blackbox; bounds only, no witness.
+	RelBoundStrict
+	// RelBoundWeak is a non-strict group bound ([max(Q)≤a] / [min(Q)≥a])
+	// left behind when an update retires a potential witness.
+	RelBoundWeak
+)
+
+// Constraint is one input fact.
+type Constraint struct {
+	Set   query.Set
+	Value float64
+	IsMax bool
+	Rel   Rel
+}
+
+// Result is the outcome of the analysis.
+type Result struct {
+	// Consistent reports whether some duplicate-free dataset satisfies
+	// all constraints (Theorem 4).
+	Consistent bool
+	// Compromised reports whether some element's value is uniquely
+	// determined (Theorem 3). Meaningless when !Consistent.
+	Compromised bool
+	// Pinned maps element index → its uniquely determined value.
+	Pinned map[int]float64
+	// Extremes[k] is the final extreme-element set of the k-th Eq input
+	// constraint (indexed in input order, skipping strict constraints).
+	Extremes []query.Set
+}
+
+type bound struct {
+	v      float64
+	strict bool
+}
+
+// analysis carries the fixpoint state.
+type analysis struct {
+	n    int
+	cons []Constraint
+	// eqIdx lists indices into cons of the Eq constraints.
+	eqIdx []int
+	ub    []bound
+	lb    []bound
+	// pinnedVal maps a value to the single element pinned to it.
+	pinnedVal map[float64]int
+	pinned    map[int]float64
+	bad       bool // inconsistency latch
+}
+
+// Analyze runs the full fixpoint over n elements.
+func Analyze(n int, cons []Constraint) Result {
+	a := &analysis{
+		n:         n,
+		cons:      cons,
+		ub:        make([]bound, n),
+		lb:        make([]bound, n),
+		pinnedVal: make(map[float64]int),
+		pinned:    make(map[int]float64),
+	}
+	for i := 0; i < n; i++ {
+		a.ub[i] = bound{v: math.Inf(1)}
+		a.lb[i] = bound{v: math.Inf(-1)}
+	}
+	for k, c := range cons {
+		if c.Rel == RelEq {
+			a.eqIdx = append(a.eqIdx, k)
+		}
+		strict := c.Rel == RelBoundStrict
+		for _, j := range c.Set {
+			if c.IsMax {
+				a.tightenUB(j, bound{v: c.Value, strict: strict})
+			} else {
+				a.tightenLB(j, bound{v: c.Value, strict: strict})
+			}
+		}
+	}
+	extremes := a.run()
+	return Result{
+		Consistent:  !a.bad,
+		Compromised: !a.bad && len(a.pinned) > 0,
+		Pinned:      a.pinned,
+		Extremes:    extremes,
+	}
+}
+
+func (a *analysis) tightenUB(j int, b bound) {
+	cur := a.ub[j]
+	if b.v < cur.v || (b.v == cur.v && b.strict && !cur.strict) {
+		a.ub[j] = b
+	}
+}
+
+func (a *analysis) tightenLB(j int, b bound) {
+	cur := a.lb[j]
+	if b.v > cur.v || (b.v == cur.v && b.strict && !cur.strict) {
+		a.lb[j] = b
+	}
+}
+
+// rangeEmpty reports whether element j's feasible range is empty.
+func (a *analysis) rangeEmpty(j int) bool {
+	lo, hi := a.lb[j], a.ub[j]
+	if lo.v > hi.v {
+		return true
+	}
+	if lo.v == hi.v {
+		return lo.strict || hi.strict
+	}
+	return false
+}
+
+// canEqual reports whether element j could take value v: v must lie in
+// j's range and no *other* element may already be pinned to v (values
+// are duplicate-free).
+func (a *analysis) canEqual(j int, v float64) bool {
+	if other, ok := a.pinnedVal[v]; ok && other != j {
+		return false
+	}
+	hi := a.ub[j]
+	if v > hi.v || (v == hi.v && hi.strict) {
+		return false
+	}
+	lo := a.lb[j]
+	if v < lo.v || (v == lo.v && lo.strict) {
+		return false
+	}
+	return true
+}
+
+// pin records x_j = v, flagging inconsistency when another element
+// already owns v or j's range excludes v.
+func (a *analysis) pin(j int, v float64) {
+	if prev, ok := a.pinned[j]; ok {
+		if prev != v {
+			a.bad = true
+		}
+		return
+	}
+	if other, ok := a.pinnedVal[v]; ok && other != j {
+		a.bad = true
+		return
+	}
+	if !a.canEqual(j, v) {
+		a.bad = true
+		return
+	}
+	a.pinned[j] = v
+	a.pinnedVal[v] = j
+	a.tightenUB(j, bound{v: v})
+	a.tightenLB(j, bound{v: v})
+}
+
+// run iterates the three tightenings to a fixpoint and returns the final
+// extreme sets of the Eq constraints.
+func (a *analysis) run() []query.Set {
+	extremes := make([]query.Set, len(a.eqIdx))
+	for iter := 0; ; iter++ {
+		if a.bad {
+			return extremes
+		}
+		// Squeeze pins: elements whose range collapsed to a point.
+		for j := 0; j < a.n; j++ {
+			if a.rangeEmpty(j) {
+				a.bad = true
+				return extremes
+			}
+			if a.lb[j].v == a.ub[j].v && !a.lb[j].strict && !a.ub[j].strict {
+				a.pin(j, a.lb[j].v)
+				if a.bad {
+					return extremes
+				}
+			}
+		}
+
+		// Recompute extreme sets from current bounds.
+		for e, k := range a.eqIdx {
+			c := a.cons[k]
+			var E query.Set
+			for _, j := range c.Set {
+				if a.canEqual(j, c.Value) {
+					E = append(E, j)
+				}
+			}
+			if len(E) == 0 {
+				a.bad = true
+				return extremes
+			}
+			extremes[e] = E
+		}
+
+		changed := false
+
+		// Same-answer intersection within each kind: all max queries
+		// answering a share one witness (likewise min).
+		changed = a.intersectSameAnswer(extremes, true) || changed
+		if a.bad {
+			return extremes
+		}
+		changed = a.intersectSameAnswer(extremes, false) || changed
+		if a.bad {
+			return extremes
+		}
+
+		// A max query and a min query with the same answer share their
+		// witness; if their extreme sets no longer meet, no dataset fits.
+		minByValue := make(map[float64][]int)
+		for e, k := range a.eqIdx {
+			if c := a.cons[k]; !c.IsMax {
+				minByValue[c.Value] = append(minByValue[c.Value], e)
+			}
+		}
+		for e1, k1 := range a.eqIdx {
+			c1 := a.cons[k1]
+			if !c1.IsMax {
+				continue
+			}
+			for _, e2 := range minByValue[c1.Value] {
+				inter := extremes[e1].Intersect(extremes[e2])
+				switch {
+				case len(inter) == 0:
+					a.bad = true
+					return extremes
+				case len(inter) == 1:
+					if _, ok := a.pinned[inter[0]]; !ok {
+						a.pin(inter[0], c1.Value)
+						changed = true
+					}
+				}
+			}
+		}
+		if a.bad {
+			return extremes
+		}
+
+		// Pinning singleton extreme sets (the trickle source).
+		for e, k := range a.eqIdx {
+			if len(extremes[e]) == 1 {
+				j := extremes[e][0]
+				if _, ok := a.pinned[j]; !ok {
+					a.pin(j, a.cons[k].Value)
+					changed = true
+				}
+			}
+		}
+		if a.bad {
+			return extremes
+		}
+
+		if !changed {
+			return extremes
+		}
+	}
+}
+
+// intersectSameAnswer applies step 3 of Algorithm 4 for one kind,
+// returning whether anything changed. Elements expelled from an extreme
+// set acquire a strict bound at the answer.
+func (a *analysis) intersectSameAnswer(extremes []query.Set, isMax bool) bool {
+	byValue := make(map[float64][]int) // value -> positions into eqIdx
+	for e, k := range a.eqIdx {
+		c := a.cons[k]
+		if c.IsMax == isMax && c.Rel == RelEq {
+			byValue[c.Value] = append(byValue[c.Value], e)
+		}
+	}
+	changed := false
+	for v, group := range byValue {
+		if len(group) < 2 {
+			continue
+		}
+		common := extremes[group[0]]
+		for _, e := range group[1:] {
+			common = common.Intersect(extremes[e])
+		}
+		if len(common) == 0 {
+			a.bad = true
+			return changed
+		}
+		for _, e := range group {
+			for _, j := range extremes[e] {
+				if common.Contains(j) {
+					continue
+				}
+				// j cannot be the shared witness: strictly inside the
+				// bound.
+				if isMax {
+					a.tightenUB(j, bound{v: v, strict: true})
+				} else {
+					a.tightenLB(j, bound{v: v, strict: true})
+				}
+				changed = true
+			}
+			extremes[e] = common.Clone()
+		}
+	}
+	return changed
+}

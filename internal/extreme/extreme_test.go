@@ -1,0 +1,265 @@
+package extreme
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"queryaudit/internal/query"
+)
+
+func maxCon(v float64, idx ...int) Constraint {
+	return Constraint{Set: query.NewSet(idx...), Value: v, IsMax: true, Rel: RelEq}
+}
+
+func minCon(v float64, idx ...int) Constraint {
+	return Constraint{Set: query.NewSet(idx...), Value: v, IsMax: false, Rel: RelEq}
+}
+
+// TestSecureTwoExtremes: one max query with several candidates is secure.
+func TestSecureTwoExtremes(t *testing.T) {
+	r := Analyze(3, []Constraint{maxCon(9, 0, 1, 2)})
+	if !r.Consistent || r.Compromised {
+		t.Fatalf("got %+v, want consistent and uncompromised", r)
+	}
+	if len(r.Extremes[0]) != 3 {
+		t.Errorf("extremes = %v, want all three elements", r.Extremes[0])
+	}
+}
+
+// TestSingletonQueryCompromises: max over a single element reveals it.
+func TestSingletonQueryCompromises(t *testing.T) {
+	r := Analyze(2, []Constraint{maxCon(5, 0)})
+	if !r.Consistent || !r.Compromised {
+		t.Fatalf("got %+v, want compromised", r)
+	}
+	if v, ok := r.Pinned[0]; !ok || v != 5 {
+		t.Errorf("pinned = %v, want {0:5}", r.Pinned)
+	}
+}
+
+// TestPaperOverlapExample: the Section 4 example — max{a,b,c}=9 then
+// max{a,d,e}=9 forces x_a = 9 (the only common element).
+func TestPaperOverlapExample(t *testing.T) {
+	r := Analyze(5, []Constraint{
+		maxCon(9, 0, 1, 2),
+		maxCon(9, 0, 3, 4),
+	})
+	if !r.Consistent || !r.Compromised {
+		t.Fatalf("got %+v, want consistent and compromised", r)
+	}
+	if v, ok := r.Pinned[0]; !ok || v != 9 {
+		t.Errorf("pinned = %v, want x0 = 9", r.Pinned)
+	}
+}
+
+// TestTheorem3EqualMaxMin: a max query and a min query with the same
+// answer compromise the shared element.
+func TestTheorem3EqualMaxMin(t *testing.T) {
+	r := Analyze(4, []Constraint{
+		maxCon(5, 0, 1, 2),
+		minCon(5, 2, 3),
+	})
+	if !r.Consistent || !r.Compromised {
+		t.Fatalf("got %+v, want consistent and compromised", r)
+	}
+	if v, ok := r.Pinned[2]; !ok || v != 5 {
+		t.Errorf("pinned = %v, want x2 = 5", r.Pinned)
+	}
+}
+
+// TestEqualMaxMinDisjointInconsistent: equal answers over disjoint sets
+// would require a duplicated value.
+func TestEqualMaxMinDisjointInconsistent(t *testing.T) {
+	r := Analyze(4, []Constraint{
+		maxCon(5, 0, 1),
+		minCon(5, 2, 3),
+	})
+	if r.Consistent {
+		t.Fatalf("got %+v, want inconsistent", r)
+	}
+}
+
+// TestTrickleEffect: pinning in one query ripples into another.
+func TestTrickleEffect(t *testing.T) {
+	// min{0,1}=3 and max{1,2}=3: witness is the shared element 1 → x1=3.
+	// Then max{0,2,3}=7 with x0<3 (x0 ≥ 3 from min? no: x0 ≥ 3).
+	// Build a chain instead: max{0,1}=5, min{0,1}=5 is inconsistent
+	// (|S∩S|=2). Use: max{0,1}=5, max{1,2}=5 → pin x1=5; then
+	// min{1,2,3}=5 → witness must be 1 (x2<5 from? no...).
+	r := Analyze(4, []Constraint{
+		maxCon(5, 0, 1),
+		maxCon(5, 1, 2),
+		minCon(2, 0, 3),
+	})
+	if !r.Consistent || !r.Compromised {
+		t.Fatalf("got %+v, want compromised (x1 pinned to 5)", r)
+	}
+	if v, ok := r.Pinned[1]; !ok || v != 5 {
+		t.Errorf("pinned = %v, want x1 = 5", r.Pinned)
+	}
+	// x0 and x3: min=2 over {0,3}; x0 < 5 strictly (lost max witness) —
+	// still two extreme candidates, no further pins.
+	if len(r.Pinned) != 1 {
+		t.Errorf("pinned = %v, want exactly x1", r.Pinned)
+	}
+}
+
+// TestThreeWayEmptyIntersection: three max queries with one answer and
+// empty common intersection cannot all hold.
+func TestThreeWayEmptyIntersection(t *testing.T) {
+	r := Analyze(3, []Constraint{
+		maxCon(5, 0, 1),
+		maxCon(5, 1, 2),
+		maxCon(5, 0, 2),
+	})
+	if r.Consistent {
+		t.Fatalf("got %+v, want inconsistent (no common witness)", r)
+	}
+}
+
+// TestStrictConstraintBounds: strict synopsis predicates only contribute
+// bounds.
+func TestStrictConstraintBounds(t *testing.T) {
+	r := Analyze(3, []Constraint{
+		{Set: query.NewSet(0, 1), Value: 5, IsMax: true, Rel: RelBoundStrict}, // x0,x1 < 5
+		maxCon(5, 1, 2),
+	})
+	if !r.Consistent {
+		t.Fatalf("got %+v, want consistent", r)
+	}
+	// x1 < 5 strictly, so the witness of max=5 must be x2.
+	if !r.Compromised {
+		t.Fatalf("got %+v, want compromised (x2 = 5 forced)", r)
+	}
+	if v, ok := r.Pinned[2]; !ok || v != 5 {
+		t.Errorf("pinned = %v, want x2 = 5", r.Pinned)
+	}
+}
+
+// TestAgainstOracleTrueHistories compares the analysis with brute force
+// on answered histories generated from real duplicate-free datasets
+// (always consistent; compromise flags and pinned sets must agree).
+func TestAgainstOracleTrueHistories(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 400; trial++ {
+		n := 2 + rng.Intn(4)
+		xs := distinctSmall(rng, n)
+		tq := 1 + rng.Intn(4)
+		var cons []Constraint
+		for k := 0; k < tq; k++ {
+			set := randSet(rng, n)
+			isMax := rng.Intn(2) == 0
+			v := extremeOf(xs, set, isMax)
+			cons = append(cons, Constraint{Set: set, Value: v, IsMax: isMax, Rel: RelEq})
+		}
+		got := Analyze(n, cons)
+		if !got.Consistent {
+			t.Fatalf("trial %d: true history deemed inconsistent: %v (xs=%v)", trial, cons, xs)
+		}
+		o := newOracle(n, cons)
+		consistent, slotSets := o.solve()
+		if !consistent {
+			t.Fatalf("trial %d: oracle says inconsistent for a true history?! %v (xs=%v)", trial, cons, xs)
+		}
+		wantPinned := o.determined(slotSets)
+		if got.Compromised != (len(wantPinned) > 0) {
+			t.Fatalf("trial %d: compromised=%v, oracle determined=%v\ncons=%v xs=%v",
+				trial, got.Compromised, wantPinned, cons, xs)
+		}
+		if !samePins(got.Pinned, wantPinned) {
+			t.Fatalf("trial %d: pinned=%v, oracle=%v\ncons=%v xs=%v", trial, got.Pinned, wantPinned, cons, xs)
+		}
+	}
+}
+
+// TestAgainstOracleArbitrary compares consistency classification on
+// arbitrary (frequently inconsistent) constraint sets.
+func TestAgainstOracleArbitrary(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 600; trial++ {
+		n := 2 + rng.Intn(3)
+		tq := 1 + rng.Intn(4)
+		var cons []Constraint
+		for k := 0; k < tq; k++ {
+			cons = append(cons, Constraint{
+				Set:   randSet(rng, n),
+				Value: float64(1 + rng.Intn(4)),
+				IsMax: rng.Intn(2) == 0,
+				Rel:   RelEq,
+			})
+		}
+		got := Analyze(n, cons)
+		o := newOracle(n, cons)
+		wantConsistent, slotSets := o.solve()
+		if got.Consistent != wantConsistent {
+			t.Fatalf("trial %d: Consistent=%v, oracle=%v\ncons=%v", trial, got.Consistent, wantConsistent, cons)
+		}
+		if !wantConsistent {
+			continue
+		}
+		wantPinned := o.determined(slotSets)
+		if got.Compromised != (len(wantPinned) > 0) {
+			t.Fatalf("trial %d: compromised=%v, oracle determined=%v\ncons=%v", trial, got.Compromised, wantPinned, cons)
+		}
+		if !samePins(got.Pinned, wantPinned) {
+			t.Fatalf("trial %d: pinned=%v, oracle=%v\ncons=%v", trial, got.Pinned, wantPinned, cons)
+		}
+	}
+}
+
+func samePins(a, b map[int]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+func distinctSmall(rng *rand.Rand, n int) []float64 {
+	for {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(1 + rng.Intn(6))
+		}
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		ok := true
+		for i := 1; i < len(s); i++ {
+			if s[i] == s[i-1] {
+				ok = false
+			}
+		}
+		if ok {
+			return xs
+		}
+	}
+}
+
+func randSet(rng *rand.Rand, n int) query.Set {
+	for {
+		var q []int
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				q = append(q, i)
+			}
+		}
+		if len(q) > 0 {
+			return query.NewSet(q...)
+		}
+	}
+}
+
+func extremeOf(xs []float64, q query.Set, isMax bool) float64 {
+	best := xs[q[0]]
+	for _, i := range q[1:] {
+		if (isMax && xs[i] > best) || (!isMax && xs[i] < best) {
+			best = xs[i]
+		}
+	}
+	return best
+}

@@ -1,0 +1,29 @@
+package extreme
+
+import "queryaudit/internal/synopsis"
+
+// FromSynopsis converts a combined max+min synopsis into the constraint
+// list the analysis consumes. Because the synopsis is an O(n)-size
+// information-preserving compression of the answered history (Section
+// 2.2), auditors analyze these constraints instead of the raw query log.
+func FromSynopsis(b *synopsis.MaxMin) []Constraint {
+	var cons []Constraint
+	for _, p := range b.MaxPreds() {
+		cons = append(cons, Constraint{Set: p.Set, Value: p.Value, IsMax: true, Rel: relOf(p.Op)})
+	}
+	for _, p := range b.MinPreds() {
+		cons = append(cons, Constraint{Set: p.Set, Value: p.Value, IsMax: false, Rel: relOf(p.Op)})
+	}
+	return cons
+}
+
+func relOf(op synopsis.Op) Rel {
+	switch op {
+	case synopsis.OpEq:
+		return RelEq
+	case synopsis.OpLt:
+		return RelBoundStrict
+	default:
+		return RelBoundWeak
+	}
+}

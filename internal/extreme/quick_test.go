@@ -1,0 +1,85 @@
+package extreme
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickPinsMonotone: on true histories, adding another true answer
+// never un-pins an element and never flips a consistent history to
+// inconsistent.
+func TestQuickPinsMonotone(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		xs := distinctSmall(rng, n)
+		var cons []Constraint
+		prevPinned := map[int]float64{}
+		for step := 0; step < 6; step++ {
+			set := randSet(rng, n)
+			isMax := rng.Intn(2) == 0
+			cons = append(cons, Constraint{
+				Set: set, Value: extremeOf(xs, set, isMax), IsMax: isMax, Rel: RelEq,
+			})
+			res := Analyze(n, cons)
+			if !res.Consistent {
+				return false
+			}
+			for i, v := range prevPinned {
+				if got, ok := res.Pinned[i]; !ok || got != v {
+					return false // a pin was lost or changed
+				}
+			}
+			for i, v := range res.Pinned {
+				if v != xs[i] {
+					return false // pins must match truth
+				}
+				prevPinned[i] = v
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 250, Rand: rand.New(rand.NewSource(71))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickExtremesShrink: extreme sets only shrink as constraints
+// accumulate on a fixed query (same query re-analyzed with a longer
+// prefix of the history).
+func TestQuickExtremesShrink(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3)
+		xs := distinctSmall(rng, n)
+		first := randSet(rng, n)
+		cons := []Constraint{{Set: first, Value: extremeOf(xs, first, true), IsMax: true, Rel: RelEq}}
+		prev := Analyze(n, cons).Extremes[0]
+		for step := 0; step < 5; step++ {
+			set := randSet(rng, n)
+			isMax := rng.Intn(2) == 0
+			cons = append(cons, Constraint{
+				Set: set, Value: extremeOf(xs, set, isMax), IsMax: isMax, Rel: RelEq,
+			})
+			res := Analyze(n, cons)
+			if !res.Consistent {
+				return false
+			}
+			cur := res.Extremes[0]
+			// cur ⊆ prev.
+			for _, e := range cur {
+				if !prev.Contains(e) {
+					return false
+				}
+			}
+			prev = cur
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 250, Rand: rand.New(rand.NewSource(73))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

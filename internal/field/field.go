@@ -1,0 +1,40 @@
+// Package field provides the scalar arithmetic used by the sum auditor's
+// exact linear algebra (Section 5 of the paper).
+//
+// Rank and row-space computations over 0/1 query matrices are statements
+// about the rationals. The package offers two interchangeable fields:
+//
+//   - GF61: the Mersenne prime field GF(2^61−1). The rank of an integer
+//     matrix over GF(p) is at most its rank over ℚ, and equals it unless p
+//     divides one of the (at most 2^O(n)) nonzero minors — for 0/1
+//     matrices of the sizes audited here the failure probability is
+//     negligible and the arithmetic is branch-free uint64 work.
+//   - Rat: exact arithmetic on math/big rationals, used for cross-checking
+//     in tests and available to callers who want unconditional exactness.
+//
+// Field is a generics-based interface so that internal/linalg can be
+// written once and instantiated with either scalar type.
+package field
+
+// Field defines the operations linear algebra needs over element type E.
+// Implementations must treat elements as immutable values: no operation
+// may mutate its arguments.
+type Field[E any] interface {
+	// Zero and One return the additive and multiplicative identities.
+	Zero() E
+	One() E
+	// FromInt embeds an integer into the field.
+	FromInt(v int64) E
+	// Add returns a+b, Sub returns a−b, Mul returns a·b.
+	Add(a, b E) E
+	Sub(a, b E) E
+	Mul(a, b E) E
+	// Neg returns −a.
+	Neg(a E) E
+	// Inv returns a⁻¹. It panics when a is zero.
+	Inv(a E) E
+	// IsZero reports whether a is the additive identity.
+	IsZero(a E) bool
+	// Equal reports whether a and b are the same field element.
+	Equal(a, b E) bool
+}

@@ -1,0 +1,121 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestGF61Axioms property-checks the field axioms on random elements.
+func TestGF61Axioms(t *testing.T) {
+	f := GF61{}
+	rng := rand.New(rand.NewSource(1))
+	elem := func() Elem61 { return Elem61(rng.Uint64() % Mersenne61) }
+	for i := 0; i < 2000; i++ {
+		a, b, c := elem(), elem(), elem()
+		if !f.Equal(f.Add(a, b), f.Add(b, a)) {
+			t.Fatalf("add not commutative: %d %d", a, b)
+		}
+		if !f.Equal(f.Mul(a, b), f.Mul(b, a)) {
+			t.Fatalf("mul not commutative: %d %d", a, b)
+		}
+		if !f.Equal(f.Add(f.Add(a, b), c), f.Add(a, f.Add(b, c))) {
+			t.Fatalf("add not associative")
+		}
+		if !f.Equal(f.Mul(f.Mul(a, b), c), f.Mul(a, f.Mul(b, c))) {
+			t.Fatalf("mul not associative: %d %d %d", a, b, c)
+		}
+		if !f.Equal(f.Mul(a, f.Add(b, c)), f.Add(f.Mul(a, b), f.Mul(a, c))) {
+			t.Fatalf("not distributive")
+		}
+		if !f.Equal(f.Add(a, f.Neg(a)), f.Zero()) {
+			t.Fatalf("neg broken: %d", a)
+		}
+		if !f.Equal(f.Sub(a, b), f.Add(a, f.Neg(b))) {
+			t.Fatalf("sub != add neg")
+		}
+		if !f.IsZero(a) {
+			if !f.Equal(f.Mul(a, f.Inv(a)), f.One()) {
+				t.Fatalf("inv broken: %d", a)
+			}
+		}
+	}
+}
+
+// TestGF61MulMatchesBigInt cross-checks multiplication against a widening
+// reference implementation.
+func TestGF61MulMatchesBigInt(t *testing.T) {
+	f := GF61{}
+	check := func(a, b uint64) bool {
+		x := Elem61(a % Mersenne61)
+		y := Elem61(b % Mersenne61)
+		got := f.Mul(x, y)
+		return uint64(got) == peasantMul(uint64(x), uint64(y))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// peasantMul is an O(61)-step Russian-peasant reference for a·b mod p
+// that never overflows uint64.
+func peasantMul(a, b uint64) uint64 {
+	const p = Mersenne61
+	a %= p
+	b %= p
+	var r uint64
+	// Russian-peasant multiplication with doubling mod p: O(61) steps,
+	// fine for a test reference.
+	for b > 0 {
+		if b&1 == 1 {
+			r += a
+			if r >= p {
+				r -= p
+			}
+		}
+		a <<= 1
+		if a >= p {
+			a -= p
+		}
+		b >>= 1
+	}
+	return r
+}
+
+// TestRatFieldBasics exercises the exact rational field.
+func TestRatFieldBasics(t *testing.T) {
+	f := Rat{}
+	a := f.FromInt(3)
+	b := f.FromInt(-7)
+	if got := f.Add(a, b); !f.Equal(got, f.FromInt(-4)) {
+		t.Errorf("3 + (-7) = %v", got)
+	}
+	if got := f.Mul(a, b); !f.Equal(got, f.FromInt(-21)) {
+		t.Errorf("3 * (-7) = %v", got)
+	}
+	inv := f.Inv(a)
+	if got := f.Mul(a, inv); !f.Equal(got, f.One()) {
+		t.Errorf("3 * 1/3 = %v", got)
+	}
+	// Operations must not mutate inputs.
+	if !f.Equal(a, f.FromInt(3)) {
+		t.Error("input mutated by field ops")
+	}
+	if !f.IsZero(f.Sub(a, a)) {
+		t.Error("a - a != 0")
+	}
+}
+
+// TestFromIntNegatives checks the negative embedding in GF61.
+func TestFromIntNegatives(t *testing.T) {
+	f := GF61{}
+	if got := f.FromInt(-1); !f.Equal(got, f.Neg(f.One())) {
+		t.Errorf("FromInt(-1) = %d, want p-1", got)
+	}
+	if got := f.FromInt(0); !f.IsZero(got) {
+		t.Errorf("FromInt(0) = %d", got)
+	}
+	if got := f.Add(f.FromInt(-5), f.FromInt(5)); !f.IsZero(got) {
+		t.Errorf("-5 + 5 = %d", got)
+	}
+}

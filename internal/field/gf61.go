@@ -1,0 +1,95 @@
+package field
+
+import "math/bits"
+
+// Mersenne61 is the prime modulus 2^61 − 1 of the fast field.
+const Mersenne61 uint64 = (1 << 61) - 1
+
+// GF61 is the field GF(2^61−1). The zero value is ready to use.
+type GF61 struct{}
+
+// Elem61 is an element of GF(2^61−1), stored canonically in [0, p).
+type Elem61 uint64
+
+// Zero returns 0.
+func (GF61) Zero() Elem61 { return 0 }
+
+// One returns 1.
+func (GF61) One() Elem61 { return 1 }
+
+// FromInt embeds v into the field, reducing mod p and mapping negatives
+// to their additive inverses.
+func (f GF61) FromInt(v int64) Elem61 {
+	if v >= 0 {
+		return Elem61(uint64(v) % Mersenne61)
+	}
+	m := uint64(-v) % Mersenne61
+	if m == 0 {
+		return 0
+	}
+	return Elem61(Mersenne61 - m)
+}
+
+// Add returns a+b mod p.
+func (GF61) Add(a, b Elem61) Elem61 {
+	s := uint64(a) + uint64(b)
+	if s >= Mersenne61 {
+		s -= Mersenne61
+	}
+	return Elem61(s)
+}
+
+// Sub returns a−b mod p.
+func (GF61) Sub(a, b Elem61) Elem61 {
+	if a >= b {
+		return a - b
+	}
+	return Elem61(uint64(a) + Mersenne61 - uint64(b))
+}
+
+// Neg returns −a mod p.
+func (GF61) Neg(a Elem61) Elem61 {
+	if a == 0 {
+		return 0
+	}
+	return Elem61(Mersenne61 - uint64(a))
+}
+
+// Mul returns a·b mod p using the Mersenne reduction: with the 128-bit
+// product hi·2^64 + lo, 2^64 ≡ 2^3 (mod 2^61−1), so the product is
+// congruent to (lo mod 2^61) + (hi·2^3 + lo>>61).
+func (GF61) Mul(a, b Elem61) Elem61 {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	r := (lo & Mersenne61) + (hi<<3 | lo>>61)
+	r = (r & Mersenne61) + (r >> 61)
+	if r >= Mersenne61 {
+		r -= Mersenne61
+	}
+	return Elem61(r)
+}
+
+// Inv returns a⁻¹ = a^(p−2) mod p by binary exponentiation. It panics on
+// zero input, which indicates a bug in the caller's pivoting logic.
+func (f GF61) Inv(a Elem61) Elem61 {
+	if a == 0 {
+		panic("field: inverse of zero in GF(2^61-1)")
+	}
+	// p−2 = 2^61 − 3.
+	result := f.One()
+	base := a
+	exp := Mersenne61 - 2
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = f.Mul(result, base)
+		}
+		base = f.Mul(base, base)
+		exp >>= 1
+	}
+	return result
+}
+
+// IsZero reports whether a == 0.
+func (GF61) IsZero(a Elem61) bool { return a == 0 }
+
+// Equal reports whether a == b (elements are canonical).
+func (GF61) Equal(a, b Elem61) bool { return a == b }

@@ -1,0 +1,47 @@
+package field
+
+import "math/big"
+
+// Rat is the field of exact rationals backed by math/big.Rat. The zero
+// value is ready to use. All operations allocate fresh elements; inputs
+// are never mutated.
+type Rat struct{}
+
+// RatElem is an exact rational field element. A nil pointer is not a
+// valid element; use Rat.Zero.
+type RatElem = *big.Rat
+
+// Zero returns 0/1.
+func (Rat) Zero() RatElem { return new(big.Rat) }
+
+// One returns 1/1.
+func (Rat) One() RatElem { return big.NewRat(1, 1) }
+
+// FromInt embeds v as v/1.
+func (Rat) FromInt(v int64) RatElem { return big.NewRat(v, 1) }
+
+// Add returns a+b.
+func (Rat) Add(a, b RatElem) RatElem { return new(big.Rat).Add(a, b) }
+
+// Sub returns a−b.
+func (Rat) Sub(a, b RatElem) RatElem { return new(big.Rat).Sub(a, b) }
+
+// Mul returns a·b.
+func (Rat) Mul(a, b RatElem) RatElem { return new(big.Rat).Mul(a, b) }
+
+// Neg returns −a.
+func (Rat) Neg(a RatElem) RatElem { return new(big.Rat).Neg(a) }
+
+// Inv returns 1/a, panicking on zero (a caller pivoting bug).
+func (Rat) Inv(a RatElem) RatElem {
+	if a.Sign() == 0 {
+		panic("field: inverse of zero rational")
+	}
+	return new(big.Rat).Inv(a)
+}
+
+// IsZero reports whether a == 0.
+func (Rat) IsZero(a RatElem) bool { return a.Sign() == 0 }
+
+// Equal reports whether a == b as rationals.
+func (Rat) Equal(a, b RatElem) bool { return a.Cmp(b) == 0 }

@@ -1,0 +1,22 @@
+package game_test
+
+import (
+	"fmt"
+
+	"queryaudit/internal/audit/sumfull"
+	"queryaudit/internal/core"
+	"queryaudit/internal/dataset"
+	"queryaudit/internal/game"
+	"queryaudit/internal/query"
+)
+
+// ExampleSumComplementAttack shows the textbook subtraction attack
+// bouncing off the simulatable sum auditor.
+func ExampleSumComplementAttack() {
+	eng := core.NewEngine(dataset.FromValues([]float64{10, 20, 30, 40}))
+	eng.Use(sumfull.New(4), query.Sum)
+	r := game.SumComplementAttack(eng)
+	fmt.Printf("extracted %d values, %d denials\n", r.Correct, r.Denials)
+	// Output:
+	// extracted 0 values, 4 denials
+}

@@ -1,0 +1,242 @@
+// Package game implements the privacy-game harness of Section 2.2: an
+// attacker poses queries for up to T rounds against an audited engine
+// and wins by breaching the configured notion of compromise. The package
+// also implements the denial-leakage attack from the paper's motivating
+// example, which strips a naive (answer-dependent) max auditor of large
+// fractions of the data while learning nothing from a simulatable one.
+package game
+
+import (
+	"math/rand"
+
+	"queryaudit/internal/audit/offline"
+	"queryaudit/internal/core"
+	"queryaudit/internal/query"
+)
+
+// Outcome records one round of the game.
+type Outcome struct {
+	Query  query.Query
+	Denied bool
+	Answer float64
+}
+
+// Attacker chooses the next query given the history so far.
+type Attacker interface {
+	// Name identifies the strategy.
+	Name() string
+	// NextQuery returns the next query, or ok=false to stop early.
+	NextQuery(round int, history []Outcome) (query.Query, bool)
+}
+
+// RandomAttacker poses queries from a generator-like function.
+type RandomAttacker struct {
+	Gen func() query.Query
+}
+
+// Name implements Attacker.
+func (RandomAttacker) Name() string { return "random" }
+
+// NextQuery implements Attacker.
+func (a RandomAttacker) NextQuery(int, []Outcome) (query.Query, bool) {
+	return a.Gen(), true
+}
+
+// Run plays up to T rounds of the game, returning the outcome log.
+func Run(eng *core.Engine, att Attacker, T int) []Outcome {
+	var history []Outcome
+	for round := 0; round < T; round++ {
+		q, ok := att.NextQuery(round, history)
+		if !ok {
+			break
+		}
+		resp, err := eng.Ask(q)
+		if err != nil {
+			history = append(history, Outcome{Query: q, Denied: true})
+			continue
+		}
+		history = append(history, Outcome{Query: q, Denied: resp.Denied, Answer: resp.Answer})
+	}
+	return history
+}
+
+// DenialAttackResult summarizes a run of the denial-leakage attack.
+type DenialAttackResult struct {
+	// Revealed maps record index → value the attacker deduced.
+	Revealed map[int]float64
+	// Correct counts deductions matching the true data.
+	Correct int
+	// Queries is the number of queries the attacker posed.
+	Queries int
+	// Denials is how many were denied.
+	Denials int
+}
+
+// MaxDenialAttack runs the generalized Section 2.2 attack against
+// whatever max auditor the engine hosts.
+//
+// Strategy: partition the records into blocks of BlockSize (shuffled).
+// Per block S: query max(S) = M, then probe max(S\{i}) for each i ∈ S.
+// Against a naive answer-dependent auditor the probe is denied exactly
+// when x_i = M, so the denial itself hands the attacker a value (a probe
+// answered below M reveals the same thing directly). Against a
+// simulatable auditor every probe is denied regardless of the data —
+// denials carry no information — so the attacker's "first denial ⇒
+// that element equals M" rule degrades to a 1-in-|S| guess.
+func MaxDenialAttack(eng *core.Engine, rng *rand.Rand, maxQueries int) DenialAttackResult {
+	const blockSize = 5
+	n := eng.Dataset().N()
+	res := DenialAttackResult{Revealed: make(map[int]float64)}
+	perm := rng.Perm(n)
+	ask := func(set []int) (core.Response, bool) {
+		if res.Queries >= maxQueries {
+			return core.Response{}, false
+		}
+		res.Queries++
+		resp, err := eng.Ask(query.New(query.Max, set...))
+		if err != nil {
+			return core.Response{Denied: true}, true
+		}
+		if resp.Denied {
+			res.Denials++
+		}
+		return resp, true
+	}
+	for start := 0; start+2 <= n && res.Queries < maxQueries; start += blockSize {
+		end := start + blockSize
+		if end > n {
+			end = n
+		}
+		block := perm[start:end]
+		if len(block) < 2 {
+			break
+		}
+		resp, ok := ask(block)
+		if !ok {
+			break
+		}
+		if resp.Denied {
+			continue
+		}
+		M := resp.Answer
+		// candidates tracks who could still be the block's witness: an
+		// answered probe max(block\{i}) = M proves the witness is not i.
+		candidates := append([]int(nil), block...)
+		for _, i := range block {
+			probe := without(block, i)
+			presp, ok := ask(probe)
+			if !ok {
+				break
+			}
+			if presp.Denied {
+				// Against the naive auditor a denial with ≥3 candidates
+				// left is caused only by x_i = M; with exactly 2 left
+				// the denial is ambiguous and a careful attacker stops.
+				// (Against a simulatable auditor every probe is denied,
+				// so this deduction degrades to a 1-in-|block| guess —
+				// the point of the demonstration.)
+				if len(candidates) >= 3 {
+					res.Revealed[i] = M
+				}
+				break
+			}
+			candidates = without(candidates, i)
+			if presp.Answer < M {
+				res.Revealed[i] = M // cannot occur vs naive, kept for generality
+				break
+			}
+		}
+	}
+	for i, v := range res.Revealed {
+		if eng.Dataset().Sensitive(i) == v {
+			res.Correct++
+		}
+	}
+	return res
+}
+
+func without(xs []int, drop int) []int {
+	out := make([]int, 0, len(xs)-1)
+	for _, x := range xs {
+		if x != drop {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// SumComplementAttack is the classic textbook attack on sum queries: ask
+// the whole-table total, then for each record the sum of everyone else;
+// each answered pair reveals one salary by subtraction. The function
+// drives the attack and then audits the *answered* queries offline to
+// count how many values the attacker can actually solve for.
+//
+// Against an unaudited engine it strips the entire table; against the
+// simulatable sum auditor every complement is denied and nothing leaks.
+func SumComplementAttack(eng *core.Engine) DenialAttackResult {
+	n := eng.Dataset().N()
+	res := DenialAttackResult{Revealed: make(map[int]float64)}
+	var answered []query.Answered
+
+	ask := func(set []int) (core.Response, bool) {
+		res.Queries++
+		q := query.New(query.Sum, set...)
+		resp, err := eng.Ask(q)
+		if err != nil {
+			return core.Response{Denied: true}, false
+		}
+		if resp.Denied {
+			res.Denials++
+			return resp, false
+		}
+		answered = append(answered, query.Answered{Query: q, Answer: resp.Answer})
+		return resp, true
+	}
+
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	total, ok := ask(all)
+	if ok {
+		for drop := 0; drop < n; drop++ {
+			if resp, ok := ask(without(all, drop)); ok {
+				res.Revealed[drop] = total.Answer - resp.Answer
+			}
+		}
+	}
+	// What do the answered sums actually determine? (The subtraction
+	// bookkeeping above is the attacker's view; the offline audit is the
+	// ground truth and agrees.)
+	if r, err := offline.AuditSum(n, answered); err == nil {
+		for _, i := range r.DeterminedIndices {
+			if i < n {
+				if _, seen := res.Revealed[i]; !seen {
+					res.Revealed[i] = eng.Dataset().Sensitive(i)
+				}
+			}
+		}
+	}
+	for i, v := range res.Revealed {
+		if almostEqual(eng.Dataset().Sensitive(i), v) {
+			res.Correct++
+		}
+	}
+	return res
+}
+
+// almostEqual compares within floating-point subtraction noise.
+func almostEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := a
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return d <= 1e-9*scale
+}

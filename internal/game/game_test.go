@@ -1,0 +1,130 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+
+	"queryaudit/internal/audit/maxfull"
+	"queryaudit/internal/audit/naive"
+	"queryaudit/internal/audit/sumfull"
+	"queryaudit/internal/core"
+	"queryaudit/internal/dataset"
+	"queryaudit/internal/query"
+	"queryaudit/internal/randx"
+)
+
+// TestRunRespectsT: the harness poses at most T queries and logs
+// outcomes faithfully.
+func TestRunRespectsT(t *testing.T) {
+	ds := dataset.FromValues([]float64{1, 2, 3, 4})
+	eng := core.NewEngine(ds)
+	eng.Use(maxfull.New(4), query.Max)
+	rng := rand.New(rand.NewSource(1))
+	att := RandomAttacker{Gen: func() query.Query {
+		return query.New(query.Max, randx.SubsetSizeBetween(rng, 4, 2, 4)...)
+	}}
+	hist := Run(eng, att, 9)
+	if len(hist) != 9 {
+		t.Fatalf("history length %d, want 9", len(hist))
+	}
+	for _, o := range hist {
+		if !o.Denied && o.Answer == 0 {
+			t.Fatalf("answered outcome with zero answer: %+v", o)
+		}
+	}
+}
+
+// TestAttackerEarlyStop honours ok=false.
+func TestAttackerEarlyStop(t *testing.T) {
+	ds := dataset.FromValues([]float64{1, 2})
+	eng := core.NewEngine(ds)
+	eng.Use(maxfull.New(2), query.Max)
+	stopAfter := 3
+	att := stopper{limit: stopAfter}
+	if got := len(Run(eng, &att, 100)); got != stopAfter {
+		t.Fatalf("ran %d rounds, want %d", got, stopAfter)
+	}
+}
+
+type stopper struct{ limit, asked int }
+
+func (s *stopper) Name() string { return "stopper" }
+
+func (s *stopper) NextQuery(int, []Outcome) (query.Query, bool) {
+	if s.asked >= s.limit {
+		return query.Query{}, false
+	}
+	s.asked++
+	return query.New(query.Max, 0, 1), true
+}
+
+// TestMaxDenialAttackContrast: the attack extracts real values from the
+// naive auditor and (statistically) nothing from the simulatable one.
+func TestMaxDenialAttackContrast(t *testing.T) {
+	const n = 60
+	naiveCorrect, simCorrect := 0, 0
+	for seed := int64(0); seed < 5; seed++ {
+		rng := randx.New(seed)
+		xs := randx.DuplicateFreeDataset(rng, n, 0, 1)
+
+		dsN := dataset.FromValues(xs)
+		engN := core.NewEngine(dsN)
+		engN.UseAnswerDependent(naive.NewMax(n), query.Max)
+		rN := MaxDenialAttack(engN, randx.Split(rng), 2000)
+		naiveCorrect += rN.Correct
+
+		dsS := dataset.FromValues(xs)
+		engS := core.NewEngine(dsS)
+		engS.Use(maxfull.New(n), query.Max)
+		rS := MaxDenialAttack(engS, randx.Split(rng), 2000)
+		simCorrect += rS.Correct
+	}
+	if naiveCorrect <= 2*simCorrect {
+		t.Fatalf("attack contrast too weak: naive=%d simulatable=%d", naiveCorrect, simCorrect)
+	}
+	if naiveCorrect < 20 {
+		t.Fatalf("attack should strip many values from the naive auditor, got %d", naiveCorrect)
+	}
+}
+
+// TestAttackDeductionsSoundAgainstNaive: every value deduced from the
+// naive auditor is correct (the denial rule is exact there).
+func TestAttackDeductionsSoundAgainstNaive(t *testing.T) {
+	rng := randx.New(9)
+	xs := randx.DuplicateFreeDataset(rng, 40, 0, 1)
+	ds := dataset.FromValues(xs)
+	eng := core.NewEngine(ds)
+	eng.UseAnswerDependent(naive.NewMax(40), query.Max)
+	r := MaxDenialAttack(eng, randx.Split(rng), 2000)
+	if r.Correct != len(r.Revealed) {
+		t.Fatalf("against the naive auditor all %d deductions must be correct, got %d",
+			len(r.Revealed), r.Correct)
+	}
+	if len(r.Revealed) == 0 {
+		t.Fatal("attack extracted nothing")
+	}
+}
+
+// TestSumComplementAttackContrast: the subtraction attack strips an
+// unaudited table completely and extracts nothing from an audited one.
+func TestSumComplementAttackContrast(t *testing.T) {
+	const n = 30
+	xs := randx.UniformDataset(randx.New(4), n, 0, 1)
+
+	open := core.NewEngine(dataset.FromValues(xs))
+	open.Use(naive.Oblivious{}, query.Sum)
+	rOpen := SumComplementAttack(open)
+	if rOpen.Correct != n {
+		t.Fatalf("unaudited engine should leak all %d values, got %d", n, rOpen.Correct)
+	}
+
+	guarded := core.NewEngine(dataset.FromValues(xs))
+	guarded.Use(sumfull.New(n), query.Sum)
+	rGuarded := SumComplementAttack(guarded)
+	if rGuarded.Correct != 0 {
+		t.Fatalf("audited engine leaked %d values", rGuarded.Correct)
+	}
+	if rGuarded.Denials != n {
+		t.Fatalf("every complement must be denied: %d/%d", rGuarded.Denials, n)
+	}
+}

@@ -1,0 +1,142 @@
+// Package interval implements the interval machinery of the partial
+// disclosure (probabilistic compromise) definition of Section 2.2: the
+// partition of the data range [α, β] into γ equal intervals, per-element
+// value ranges derived from max/min predicates, and the (1−λ) posterior /
+// prior ratio window.
+package interval
+
+import "fmt"
+
+// Interval is a half-open interval [Lo, Hi) over the reals, except that
+// the final partition cell is treated as closed at β so the partition
+// covers [α, β] exactly.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Length returns Hi − Lo (zero for degenerate or inverted intervals).
+func (iv Interval) Length() float64 {
+	if iv.Hi <= iv.Lo {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Contains reports whether x ∈ [Lo, Hi).
+func (iv Interval) Contains(x float64) bool {
+	return x >= iv.Lo && x < iv.Hi
+}
+
+// Intersect returns the overlap of iv and other (possibly empty).
+func (iv Interval) Intersect(other Interval) Interval {
+	lo, hi := iv.Lo, iv.Hi
+	if other.Lo > lo {
+		lo = other.Lo
+	}
+	if other.Hi < hi {
+		hi = other.Hi
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// OverlapFraction returns |iv ∩ other| / |iv|, the probability that a
+// value uniform on iv lands in other. Degenerate iv yields 0.
+func (iv Interval) OverlapFraction(other Interval) float64 {
+	l := iv.Length()
+	if l == 0 {
+		return 0
+	}
+	return iv.Intersect(other).Length() / l
+}
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%g,%g)", iv.Lo, iv.Hi)
+}
+
+// Partition is the set I of γ equal-width intervals covering [α, β],
+// exactly as defined in Section 2.2:
+//
+//	I_j = [α + (j−1)(β−α)/γ, α + j(β−α)/γ]  for j = 1..γ.
+type Partition struct {
+	Alpha, Beta float64
+	Gamma       int
+}
+
+// NewPartition builds the γ-cell partition of [alpha, beta]. It panics on
+// gamma < 1 or beta <= alpha since these are programmer errors: the
+// security parameters are fixed by the DBA at configuration time.
+func NewPartition(alpha, beta float64, gamma int) Partition {
+	if gamma < 1 {
+		panic("interval: gamma must be >= 1")
+	}
+	if beta <= alpha {
+		panic("interval: need beta > alpha")
+	}
+	return Partition{Alpha: alpha, Beta: beta, Gamma: gamma}
+}
+
+// Width returns the common width (β−α)/γ of the partition cells.
+func (p Partition) Width() float64 {
+	return (p.Beta - p.Alpha) / float64(p.Gamma)
+}
+
+// Cell returns the j-th interval for j = 1..γ (1-indexed, following the
+// paper). The final cell's Hi is β itself.
+func (p Partition) Cell(j int) Interval {
+	if j < 1 || j > p.Gamma {
+		panic(fmt.Sprintf("interval: cell index %d out of range 1..%d", j, p.Gamma))
+	}
+	w := p.Width()
+	return Interval{
+		Lo: p.Alpha + float64(j-1)*w,
+		Hi: p.Alpha + float64(j)*w,
+	}
+}
+
+// CellIndex returns the 1-based index of the cell containing x, clamping
+// x = β into the final cell. Values outside [α, β] return 0.
+func (p Partition) CellIndex(x float64) int {
+	if x < p.Alpha || x > p.Beta {
+		return 0
+	}
+	if x == p.Beta {
+		return p.Gamma
+	}
+	j := int((x-p.Alpha)/p.Width()) + 1
+	if j > p.Gamma {
+		j = p.Gamma
+	}
+	return j
+}
+
+// Prior returns the prior probability that a value uniform on [α, β] lies
+// in any single cell, i.e. 1/γ.
+func (p Partition) Prior() float64 {
+	return 1 / float64(p.Gamma)
+}
+
+// RatioWindow is the acceptance window of the safety predicate S_{λ,i,I}:
+// a posterior/prior ratio is safe iff it lies in [1−λ, 1/(1−λ)].
+type RatioWindow struct {
+	Lambda float64
+}
+
+// Safe reports whether ratio ∈ [1−λ, 1/(1−λ)].
+func (w RatioWindow) Safe(ratio float64) bool {
+	lo := 1 - w.Lambda
+	hi := 1 / (1 - w.Lambda)
+	return ratio >= lo && ratio <= hi
+}
+
+// SafePosterior reports whether a posterior probability is safe against a
+// prior, treating a zero prior as safe only when the posterior is also
+// zero (both say "impossible", so the attacker learns nothing).
+func (w RatioWindow) SafePosterior(posterior, prior float64) bool {
+	if prior == 0 {
+		return posterior == 0
+	}
+	return w.Safe(posterior / prior)
+}

@@ -1,0 +1,131 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPartitionCells: cells tile [α, β] exactly.
+func TestPartitionCells(t *testing.T) {
+	p := NewPartition(0, 1, 4)
+	if w := p.Width(); w != 0.25 {
+		t.Fatalf("width = %g", w)
+	}
+	if p.Prior() != 0.25 {
+		t.Fatalf("prior = %g", p.Prior())
+	}
+	prevHi := 0.0
+	for j := 1; j <= 4; j++ {
+		c := p.Cell(j)
+		if c.Lo != prevHi {
+			t.Errorf("cell %d: lo %g, want %g", j, c.Lo, prevHi)
+		}
+		prevHi = c.Hi
+	}
+	if prevHi != 1 {
+		t.Errorf("final hi = %g, want 1", prevHi)
+	}
+}
+
+// TestCellIndexInverse: CellIndex(Cell(j) members) == j.
+func TestCellIndexInverse(t *testing.T) {
+	p := NewPartition(-2, 3, 7)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		x := -2 + rng.Float64()*5
+		j := p.CellIndex(x)
+		if j < 1 || j > 7 {
+			t.Fatalf("index %d out of range for %g", j, x)
+		}
+		if !p.Cell(j).Contains(x) && !(j == 7 && x == 3) {
+			t.Fatalf("cell %d %v does not contain %g", j, p.Cell(j), x)
+		}
+	}
+	if p.CellIndex(3) != 7 {
+		t.Error("β must land in the final cell")
+	}
+	if p.CellIndex(-2.1) != 0 || p.CellIndex(3.1) != 0 {
+		t.Error("out-of-range values must return 0")
+	}
+}
+
+// TestOverlapFraction against analytic cases.
+func TestOverlapFraction(t *testing.T) {
+	iv := Interval{Lo: 0.2, Hi: 0.8}
+	cases := []struct {
+		other Interval
+		want  float64
+	}{
+		{Interval{0, 1}, 1},
+		{Interval{0, 0.2}, 0},
+		{Interval{0.8, 1}, 0},
+		{Interval{0.2, 0.5}, 0.5},
+		{Interval{0.5, 0.8}, 0.5},
+		{Interval{0.45, 0.55}, 1.0 / 6},
+	}
+	for _, c := range cases {
+		got := iv.OverlapFraction(c.other)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("overlap with %v = %g, want %g", c.other, got, c.want)
+		}
+	}
+}
+
+// TestOverlapFractionProperties: bounded in [0,1], monotone under
+// widening.
+func TestOverlapFractionProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(3))}
+	check := func(a, b, c, d float64) bool {
+		a, b = math.Abs(math.Mod(a, 10)), math.Abs(math.Mod(b, 10))
+		c, d = math.Abs(math.Mod(c, 10)), math.Abs(math.Mod(d, 10))
+		iv := Interval{Lo: math.Min(a, b), Hi: math.Max(a, b) + 0.1}
+		other := Interval{Lo: math.Min(c, d), Hi: math.Max(c, d)}
+		f := iv.OverlapFraction(other)
+		if f < 0 || f > 1 || math.IsNaN(f) {
+			return false
+		}
+		wider := Interval{Lo: other.Lo - 1, Hi: other.Hi + 1}
+		return iv.OverlapFraction(wider) >= f
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRatioWindow boundary semantics.
+func TestRatioWindow(t *testing.T) {
+	w := RatioWindow{Lambda: 0.25}
+	if !w.Safe(0.75) || !w.Safe(1) || !w.Safe(1/0.75) {
+		t.Error("boundary ratios are safe")
+	}
+	if w.Safe(0.74) || w.Safe(1.34) {
+		t.Error("outside ratios are unsafe")
+	}
+	if !w.SafePosterior(0, 0) {
+		t.Error("0/0: both impossible — safe")
+	}
+	if w.SafePosterior(0.1, 0) {
+		t.Error("positive posterior over zero prior is unsafe")
+	}
+}
+
+// TestPartitionPanics: invalid construction is a programmer error.
+func TestPartitionPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewPartition(0, 1, 0) },
+		func() { NewPartition(1, 1, 3) },
+		func() { NewPartition(0, 1, 3).Cell(0) },
+		func() { NewPartition(0, 1, 3).Cell(4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,197 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+
+	"queryaudit/internal/field"
+)
+
+func newGF(ncols int) *Echelon[field.Elem61, field.GF61] {
+	return NewEchelon[field.Elem61, field.GF61](field.GF61{}, ncols)
+}
+
+func vec(ncols int, support ...int) []field.Elem61 {
+	return VectorFromSupport[field.Elem61, field.GF61](field.GF61{}, ncols, support)
+}
+
+// TestAddAndRank: independent vectors grow rank, dependent ones don't.
+func TestAddAndRank(t *testing.T) {
+	e := newGF(4)
+	if !e.Add(vec(4, 0, 1)) {
+		t.Fatal("first add should be independent")
+	}
+	if !e.Add(vec(4, 1, 2)) {
+		t.Fatal("second add should be independent")
+	}
+	if e.Add(vec(4, 0, 1)) {
+		t.Fatal("duplicate should be dependent")
+	}
+	// {0,1} + {1,2} spans {0,2}? (1,1,0,0)+(0,1,1,0): over GF(p),
+	// (1,0,-1,0) = v1 - v2 is in the span, but (1,0,1,0) is not.
+	f := field.GF61{}
+	v := make([]field.Elem61, 4)
+	v[0] = f.One()
+	v[2] = f.Neg(f.One())
+	v[1], v[3] = f.Zero(), f.Zero()
+	if !e.InSpan(v) {
+		t.Error("(1,0,-1,0) should be in span")
+	}
+	if e.InSpan(vec(4, 0, 2)) {
+		t.Error("(1,0,1,0) should not be in span")
+	}
+	if got := e.Rank(); got != 2 {
+		t.Errorf("rank = %d, want 2", got)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
+
+// TestElementaryDetection: the classic sum-compromise pattern
+// sum{0,1}, sum{1,2}, sum{0,2} determines each element.
+func TestElementaryDetection(t *testing.T) {
+	e := newGF(3)
+	e.Add(vec(3, 0, 1))
+	e.Add(vec(3, 1, 2))
+	if _, ok := e.ElementaryInSpan(); ok {
+		t.Fatal("no elementary vector should be in span yet")
+	}
+	if !e.WouldCreateElementary(vec(3, 0, 2)) {
+		t.Fatal("adding {0,2} must reveal elements")
+	}
+	e.Add(vec(3, 0, 2))
+	cols := e.ElementaryColumns()
+	if len(cols) != 3 {
+		t.Errorf("elementary columns = %v, want all three", cols)
+	}
+}
+
+// TestWouldCreateElementaryNoCommit verifies the hypothetical check does
+// not mutate state.
+func TestWouldCreateElementaryNoCommit(t *testing.T) {
+	e := newGF(3)
+	e.Add(vec(3, 0, 1))
+	e.Add(vec(3, 1, 2))
+	before := e.Rank()
+	_ = e.WouldCreateElementary(vec(3, 0, 2))
+	if e.Rank() != before {
+		t.Fatal("WouldCreateElementary mutated the basis")
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.ElementaryInSpan(); ok {
+		t.Fatal("state leaked from hypothetical add")
+	}
+}
+
+// TestWouldCreateElementaryDependent: dependent vectors add nothing.
+func TestWouldCreateElementaryDependent(t *testing.T) {
+	e := newGF(3)
+	e.Add(vec(3, 0, 1))
+	if e.WouldCreateElementary(vec(3, 0, 1)) {
+		t.Fatal("a dependent vector cannot create compromise")
+	}
+}
+
+// TestSingletonQueryIsElementary: a size-1 sum query is itself
+// compromising.
+func TestSingletonQueryIsElementary(t *testing.T) {
+	e := newGF(3)
+	if !e.WouldCreateElementary(vec(3, 1)) {
+		t.Fatal("singleton query must be flagged")
+	}
+}
+
+// TestAppendColumns models an update: widen, then the old relation no
+// longer blocks a refreshed query.
+func TestAppendColumns(t *testing.T) {
+	e := newGF(3)
+	e.Add(vec(3, 0, 1, 2))
+	e.AppendColumns(1) // element 0's new version occupies column 3
+	if e.NumCols() != 4 {
+		t.Fatalf("cols = %d, want 4", e.NumCols())
+	}
+	// Query {0', 1} now maps to columns {3, 1}.
+	if e.WouldCreateElementary(vec(4, 3, 1)) {
+		t.Fatal("{v0',v1} with old {v0,v1,v2} must not reveal anything")
+	}
+	e.Add(vec(4, 3, 1))
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGF61MatchesRat cross-checks rank and compromise decisions between
+// the fast field and exact rationals on random 0/1 matrices.
+func TestGF61MatchesRat(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(5)
+		gf := newGF(n)
+		rat := NewEchelon[field.RatElem, field.Rat](field.Rat{}, n)
+		for step := 0; step < 2*n; step++ {
+			var support []int
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					support = append(support, i)
+				}
+			}
+			if len(support) == 0 {
+				continue
+			}
+			vg := vec(n, support...)
+			vr := VectorFromSupport[field.RatElem, field.Rat](field.Rat{}, n, support)
+			if got, want := gf.WouldCreateElementary(vg), rat.WouldCreateElementary(vr); got != want {
+				t.Fatalf("trial %d: WouldCreateElementary GF=%v Rat=%v support=%v", trial, got, want, support)
+			}
+			if got, want := gf.InSpan(vg), rat.InSpan(vr); got != want {
+				t.Fatalf("trial %d: InSpan mismatch", trial)
+			}
+			gf.Add(vg)
+			rat.Add(vr)
+			if gf.Rank() != rat.Rank() {
+				t.Fatalf("trial %d: rank GF=%d Rat=%d", trial, gf.Rank(), rat.Rank())
+			}
+			if err := gf.CheckInvariants(); err != nil {
+				t.Fatalf("gf invariants: %v", err)
+			}
+			if err := rat.CheckInvariants(); err != nil {
+				t.Fatalf("rat invariants: %v", err)
+			}
+		}
+	}
+}
+
+// TestRandomRankAgainstRecomputation: incremental rank equals from-
+// scratch Gaussian elimination.
+func TestRandomRankAgainstRecomputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(6)
+		var vectors [][]field.Elem61
+		e := newGF(n)
+		for k := 0; k < n+3; k++ {
+			var support []int
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					support = append(support, i)
+				}
+			}
+			if len(support) == 0 {
+				continue
+			}
+			v := vec(n, support...)
+			vectors = append(vectors, v)
+			e.Add(v)
+		}
+		fresh := newGF(n)
+		for _, v := range vectors {
+			fresh.Add(append([]field.Elem61(nil), v...))
+		}
+		if e.Rank() != fresh.Rank() {
+			t.Fatalf("incremental rank %d != fresh rank %d", e.Rank(), fresh.Rank())
+		}
+	}
+}

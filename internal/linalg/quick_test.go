@@ -1,0 +1,152 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"queryaudit/internal/field"
+)
+
+// TestQuickRankProperties: rank never exceeds min(#adds, ncols), a
+// re-added vector is always dependent, and invariants hold throughout.
+func TestQuickRankProperties(t *testing.T) {
+	check := func(seed int64, masks []uint16) bool {
+		const n = 9
+		e := newGF(n)
+		rng := rand.New(rand.NewSource(seed))
+		adds := 0
+		var kept [][]field.Elem61
+		for _, m := range masks {
+			var support []int
+			for i := 0; i < n; i++ {
+				if m&(1<<i) != 0 {
+					support = append(support, i)
+				}
+			}
+			if len(support) == 0 {
+				continue
+			}
+			v := vec(n, support...)
+			if e.Add(append([]field.Elem61(nil), v...)) {
+				adds++
+				kept = append(kept, v)
+			}
+			if e.Rank() != adds {
+				return false
+			}
+			if e.Rank() > n {
+				return false
+			}
+			if err := e.CheckInvariants(); err != nil {
+				return false
+			}
+			// Any previously kept vector must now be in the span.
+			if len(kept) > 0 {
+				probe := kept[rng.Intn(len(kept))]
+				if !e.InSpan(probe) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSpanClosure: the span is closed under random linear
+// combinations of basis rows.
+func TestQuickSpanClosure(t *testing.T) {
+	f := field.GF61{}
+	check := func(seed int64, masks []uint16, coeffs []uint32) bool {
+		const n = 8
+		e := newGF(n)
+		for _, m := range masks {
+			var support []int
+			for i := 0; i < n; i++ {
+				if m&(1<<i) != 0 {
+					support = append(support, i)
+				}
+			}
+			if len(support) > 0 {
+				e.Add(vec(n, support...))
+			}
+		}
+		rows := e.Rows()
+		if len(rows) == 0 {
+			return true
+		}
+		comb := make([]field.Elem61, n)
+		for j := range comb {
+			comb[j] = f.Zero()
+		}
+		for k, row := range rows {
+			var c field.Elem61
+			if k < len(coeffs) {
+				c = f.FromInt(int64(coeffs[k]))
+			} else {
+				c = f.One()
+			}
+			for j := range comb {
+				comb[j] = f.Add(comb[j], f.Mul(c, row[j]))
+			}
+		}
+		return e.InSpan(comb)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWouldCreateElementaryIsPredictive: the hypothetical check
+// agrees with actually committing the vector.
+func TestQuickWouldCreateElementaryIsPredictive(t *testing.T) {
+	check := func(seed int64, masks []uint16, probeMask uint16) bool {
+		const n = 8
+		e := newGF(n)
+		for _, m := range masks {
+			var support []int
+			for i := 0; i < n; i++ {
+				if m&(1<<i) != 0 {
+					support = append(support, i)
+				}
+			}
+			if len(support) < 2 {
+				continue
+			}
+			v := vec(n, support...)
+			if !e.WouldCreateElementary(v) {
+				e.Add(v)
+			}
+		}
+		var support []int
+		for i := 0; i < n; i++ {
+			if probeMask&(1<<i) != 0 {
+				support = append(support, i)
+			}
+		}
+		if len(support) == 0 {
+			return true
+		}
+		probe := vec(n, support...)
+		predicted := e.WouldCreateElementary(probe)
+		// Commit on a rebuilt copy and compare.
+		cp := newGF(n)
+		for _, row := range e.Rows() {
+			cp.Add(row)
+		}
+		_, before := cp.ElementaryInSpan()
+		cp.Add(probe)
+		_, after := cp.ElementaryInSpan()
+		actual := after && !before
+		return predicted == actual
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

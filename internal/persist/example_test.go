@@ -1,0 +1,38 @@
+package persist_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"queryaudit/internal/audit/maxfull"
+	"queryaudit/internal/persist"
+	"queryaudit/internal/query"
+)
+
+// Example round-trips a max auditor's trail through a snapshot: the
+// restored auditor remembers exactly what was answered and keeps
+// denying the same probes.
+func Example() {
+	a := maxfull.New(3)
+	q := query.New(query.Max, 0, 1, 2)
+	if d, _ := a.Decide(q); d == 1 {
+		a.Record(q, 9)
+	}
+
+	var buf bytes.Buffer
+	if err := persist.Save(&buf, a); err != nil {
+		panic(err)
+	}
+	restored, kind, err := persist.Load(&buf)
+	if err != nil {
+		panic(err)
+	}
+	b := restored.(*maxfull.Auditor)
+
+	probe := query.New(query.Max, 0, 1) // would localize the witness
+	d1, _ := a.Decide(probe)
+	d2, _ := b.Decide(probe)
+	fmt.Println(kind, d1, d2)
+	// Output:
+	// max-full deny deny
+}

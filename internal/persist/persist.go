@@ -1,0 +1,141 @@
+// Package persist serializes audit trails so a statistical database can
+// restart without forgetting what it has already answered — forgetting
+// would let an attacker replay complementary queries against a fresh
+// auditor and stitch the answers together offline.
+//
+// Snapshots are JSON with a versioned envelope naming the auditor kind.
+// Restoring always re-validates the structural invariants of the
+// underlying state (snapshots may come from untrusted storage); a
+// snapshot that fails validation is rejected rather than partially
+// loaded.
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"queryaudit/internal/audit/maxdup"
+	"queryaudit/internal/audit/maxfull"
+	"queryaudit/internal/audit/maxminfull"
+	"queryaudit/internal/audit/minfull"
+	"queryaudit/internal/audit/sumfull"
+	"queryaudit/internal/field"
+	"queryaudit/internal/synopsis"
+)
+
+// Local aliases for the snapshot payload types.
+type (
+	synopsisSnapshot   = synopsis.Snapshot
+	maxminfullSnapshot = synopsis.MaxMinSnapshot
+)
+
+// Version is the envelope schema version.
+const Version = 1
+
+// Kind names a persistable auditor type.
+type Kind string
+
+// Supported auditor kinds.
+const (
+	KindSumFull    Kind = "sum-full"
+	KindMaxFull    Kind = "max-full"
+	KindMinFull    Kind = "min-full"
+	KindMaxMinFull Kind = "maxmin-full"
+	KindMaxDup     Kind = "max-duplicates"
+)
+
+// envelope wraps a payload with identification.
+type envelope struct {
+	Version int             `json:"version"`
+	Kind    Kind            `json:"kind"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Save writes an auditor snapshot to w. Supported auditors: the
+// full-disclosure sum (GF(2^61−1) variant), max, min, max∧min and
+// duplicates-allowed max auditors. Probabilistic auditors carry Monte
+// Carlo state and are rebuilt from parameters instead.
+func Save(w io.Writer, auditor any) error {
+	var (
+		kind    Kind
+		payload any
+		err     error
+	)
+	switch a := auditor.(type) {
+	case *sumfull.Auditor[field.Elem61, field.GF61]:
+		kind = KindSumFull
+		payload, err = a.Snapshot()
+	case *maxfull.Auditor:
+		kind, payload = KindMaxFull, a.Snapshot()
+	case *minfull.Auditor:
+		kind, payload = KindMinFull, a.Snapshot()
+	case *maxminfull.Auditor:
+		kind, payload = KindMaxMinFull, a.Snapshot()
+	case *maxdup.Auditor:
+		kind, payload = KindMaxDup, a.Snapshot()
+	default:
+		return fmt.Errorf("persist: unsupported auditor type %T", auditor)
+	}
+	if err != nil {
+		return fmt.Errorf("persist: snapshot: %w", err)
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("persist: encode payload: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(envelope{Version: Version, Kind: kind, Payload: raw})
+}
+
+// Load reads an auditor snapshot from r and rebuilds the auditor. The
+// concrete type matches the envelope kind; assert on the result.
+func Load(r io.Reader) (any, Kind, error) {
+	var env envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, "", fmt.Errorf("persist: decode envelope: %w", err)
+	}
+	if env.Version != Version {
+		return nil, "", fmt.Errorf("persist: unsupported snapshot version %d", env.Version)
+	}
+	switch env.Kind {
+	case KindSumFull:
+		var s sumfull.Snapshot
+		if err := json.Unmarshal(env.Payload, &s); err != nil {
+			return nil, env.Kind, fmt.Errorf("persist: decode %s: %w", env.Kind, err)
+		}
+		a, err := sumfull.Restore(s)
+		return a, env.Kind, err
+	case KindMaxFull:
+		a, err := restoreSynopsis(env.Payload, maxfull.Restore)
+		return a, env.Kind, err
+	case KindMinFull:
+		a, err := restoreSynopsis(env.Payload, minfull.Restore)
+		return a, env.Kind, err
+	case KindMaxMinFull:
+		var s maxminfullSnapshot
+		if err := json.Unmarshal(env.Payload, &s); err != nil {
+			return nil, env.Kind, fmt.Errorf("persist: decode %s: %w", env.Kind, err)
+		}
+		a, err := maxminfull.Restore(s)
+		return a, env.Kind, err
+	case KindMaxDup:
+		var s maxdup.Snapshot
+		if err := json.Unmarshal(env.Payload, &s); err != nil {
+			return nil, env.Kind, fmt.Errorf("persist: decode %s: %w", env.Kind, err)
+		}
+		a, err := maxdup.Restore(s)
+		return a, env.Kind, err
+	default:
+		return nil, env.Kind, fmt.Errorf("persist: unknown auditor kind %q", env.Kind)
+	}
+}
+
+func restoreSynopsis[T any](payload json.RawMessage, restore func(synopsisSnapshot) (T, error)) (T, error) {
+	var zero T
+	var s synopsisSnapshot
+	if err := json.Unmarshal(payload, &s); err != nil {
+		return zero, fmt.Errorf("persist: decode synopsis payload: %w", err)
+	}
+	return restore(s)
+}

@@ -1,0 +1,149 @@
+package persist
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/audit/maxdup"
+	"queryaudit/internal/audit/maxfull"
+	"queryaudit/internal/audit/maxminfull"
+	"queryaudit/internal/audit/minfull"
+	"queryaudit/internal/audit/sumfull"
+	"queryaudit/internal/field"
+	"queryaudit/internal/query"
+	"queryaudit/internal/randx"
+)
+
+// driveAuditor runs a random answered history against any auditor.
+func driveAuditor(a audit.Auditor, kinds []query.Kind, xs []float64, steps int, seed int64) []query.Query {
+	rng := rand.New(rand.NewSource(seed))
+	var answered []query.Query
+	n := len(xs)
+	for s := 0; s < steps; s++ {
+		set := randx.SubsetSizeBetween(rng, n, 2, n)
+		q := query.Query{Set: query.NewSet(set...), Kind: kinds[rng.Intn(len(kinds))]}
+		if d, err := a.Decide(q); err == nil && d == audit.Answer {
+			a.Record(q, q.Eval(xs))
+			answered = append(answered, q)
+		}
+	}
+	return answered
+}
+
+// probeAgreement checks that two auditors decide identically on a probe
+// battery.
+func probeAgreement(t *testing.T, a, b audit.Auditor, kinds []query.Kind, n int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for s := 0; s < 60; s++ {
+		set := randx.SubsetSizeBetween(rng, n, 1, n)
+		q := query.Query{Set: query.NewSet(set...), Kind: kinds[rng.Intn(len(kinds))]}
+		d1, e1 := a.Decide(q)
+		d2, e2 := b.Decide(q)
+		if d1 != d2 || (e1 == nil) != (e2 == nil) {
+			t.Fatalf("probe %v: original=%v(%v) restored=%v(%v)", q, d1, e1, d2, e2)
+		}
+	}
+}
+
+func roundTrip(t *testing.T, a any) any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Save(&buf, a); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	restored, _, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return restored
+}
+
+func TestRoundTripSumFull(t *testing.T) {
+	const n = 20
+	xs := randx.UniformDataset(randx.New(1), n, 0, 1)
+	a := sumfull.New(n)
+	driveAuditor(a, []query.Kind{query.Sum}, xs, 30, 2)
+	a.NoteUpdate(3)
+	driveAuditor(a, []query.Kind{query.Sum}, xs, 10, 3)
+	b := roundTrip(t, a).(*sumfull.Auditor[gfElem, gfField])
+	probeAgreement(t, a, b, []query.Kind{query.Sum}, n, 4)
+}
+
+func TestRoundTripMaxFull(t *testing.T) {
+	const n = 15
+	xs := randx.DuplicateFreeDataset(randx.New(5), n, 0, 1)
+	a := maxfull.New(n)
+	driveAuditor(a, []query.Kind{query.Max}, xs, 25, 6)
+	b := roundTrip(t, a).(*maxfull.Auditor)
+	probeAgreement(t, a, b, []query.Kind{query.Max}, n, 7)
+}
+
+func TestRoundTripMinFull(t *testing.T) {
+	const n = 15
+	xs := randx.DuplicateFreeDataset(randx.New(8), n, 0, 1)
+	a := minfull.New(n)
+	driveAuditor(a, []query.Kind{query.Min}, xs, 25, 9)
+	b := roundTrip(t, a).(*minfull.Auditor)
+	probeAgreement(t, a, b, []query.Kind{query.Min}, n, 10)
+}
+
+func TestRoundTripMaxMinFull(t *testing.T) {
+	const n = 12
+	xs := randx.DuplicateFreeDataset(randx.New(11), n, 0, 1)
+	a := maxminfull.New(n)
+	driveAuditor(a, []query.Kind{query.Max, query.Min}, xs, 25, 12)
+	b := roundTrip(t, a).(*maxminfull.Auditor)
+	probeAgreement(t, a, b, []query.Kind{query.Max, query.Min}, n, 13)
+}
+
+func TestRoundTripMaxDup(t *testing.T) {
+	const n = 15
+	rng := randx.New(14)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(rng.Intn(10)) // duplicates welcome
+	}
+	a := maxdup.New(n)
+	driveAuditor(a, []query.Kind{query.Max}, xs, 25, 15)
+	b := roundTrip(t, a).(*maxdup.Auditor)
+	probeAgreement(t, a, b, []query.Kind{query.Max}, n, 16)
+}
+
+func TestRejectsGarbage(t *testing.T) {
+	cases := []string{
+		``,
+		`{"version":99,"kind":"sum-full","payload":{}}`,
+		`{"version":1,"kind":"who-knows","payload":{}}`,
+		// Overlapping predicate sets violate the synopsis invariant.
+		`{"version":1,"kind":"max-full","payload":{"n":3,"next_id":2,"preds":[
+			{"id":0,"set":[0,1],"value":5,"op":0},
+			{"id":1,"set":[1,2],"value":7,"op":0}]}}`,
+		// Duplicate equality values.
+		`{"version":1,"kind":"max-full","payload":{"n":4,"next_id":2,"preds":[
+			{"id":0,"set":[0,1],"value":5,"op":0},
+			{"id":1,"set":[2,3],"value":5,"op":0}]}}`,
+		// Out-of-range element.
+		`{"version":1,"kind":"max-dup","payload":{"n":2,"queries":[{"set":[0,9],"answer":3}]}}`,
+	}
+	for _, raw := range cases {
+		if _, _, err := Load(strings.NewReader(raw)); err == nil {
+			t.Errorf("garbage accepted: %s", raw)
+		}
+	}
+}
+
+func TestUnsupportedSave(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, 42); err == nil {
+		t.Fatal("saving a non-auditor must fail")
+	}
+}
+
+// Aliases for readability of the generic sum auditor type in tests.
+type gfElem = field.Elem61
+
+type gfField = field.GF61

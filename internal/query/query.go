@@ -1,0 +1,275 @@
+// Package query defines the statistical-query model of Section 1: a query
+// q = (Q, f) names a subset Q ⊆ {1..n} of record indices and an aggregate
+// function f; the result is f applied to the multiset {x_i | i ∈ Q} of
+// sensitive values.
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind enumerates the aggregate functions the library understands. The
+// paper's auditors cover Sum, Max and Min (and bags of Max and Min);
+// Count, Avg and Median are supported by the SDB engine for completeness
+// (Avg over a known-size set is Sum-equivalent for auditing purposes and
+// is routed to the sum auditor by the engine).
+type Kind int
+
+const (
+	// Sum is the sum aggregate.
+	Sum Kind = iota
+	// Max is the maximum aggregate.
+	Max
+	// Min is the minimum aggregate.
+	Min
+	// Count is the cardinality aggregate (public in this model: query
+	// sets are specified over public attributes, so counts leak nothing
+	// about the sensitive attribute).
+	Count
+	// Avg is the arithmetic mean.
+	Avg
+	// Median is the (lower) median.
+	Median
+)
+
+// String returns the lower-case SQL-ish name of the aggregate.
+func (k Kind) String() string {
+	switch k {
+	case Sum:
+		return "sum"
+	case Max:
+		return "max"
+	case Min:
+		return "min"
+	case Count:
+		return "count"
+	case Avg:
+		return "avg"
+	case Median:
+		return "median"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts an aggregate name to its Kind.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "sum":
+		return Sum, nil
+	case "max":
+		return Max, nil
+	case "min":
+		return Min, nil
+	case "count":
+		return Count, nil
+	case "avg", "average", "mean":
+		return Avg, nil
+	case "median":
+		return Median, nil
+	default:
+		return 0, fmt.Errorf("query: unknown aggregate %q", s)
+	}
+}
+
+// Set is a query set: a sorted, duplicate-free slice of 0-based record
+// indices.
+type Set []int
+
+// NewSet normalizes indices into a Set (sorting and removing duplicates).
+func NewSet(indices ...int) Set {
+	s := append([]int(nil), indices...)
+	sort.Ints(s)
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return Set(out)
+}
+
+// Size returns |Q|.
+func (s Set) Size() int { return len(s) }
+
+// Contains reports whether idx ∈ Q, by binary search.
+func (s Set) Contains(idx int) bool {
+	i := sort.SearchInts(s, idx)
+	return i < len(s) && s[i] == idx
+}
+
+// Intersect returns Q ∩ other.
+func (s Set) Intersect(other Set) Set {
+	var out Set
+	i, j := 0, 0
+	for i < len(s) && j < len(other) {
+		switch {
+		case s[i] < other[j]:
+			i++
+		case s[i] > other[j]:
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Minus returns Q \ other.
+func (s Set) Minus(other Set) Set {
+	var out Set
+	j := 0
+	for _, v := range s {
+		for j < len(other) && other[j] < v {
+			j++
+		}
+		if j < len(other) && other[j] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Union returns Q ∪ other.
+func (s Set) Union(other Set) Set {
+	out := make(Set, 0, len(s)+len(other))
+	i, j := 0, 0
+	for i < len(s) || j < len(other) {
+		switch {
+		case j >= len(other) || (i < len(s) && s[i] < other[j]):
+			out = append(out, s[i])
+			i++
+		case i >= len(s) || other[j] < s[i]:
+			out = append(out, other[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Overlaps reports whether Q ∩ other ≠ ∅ without materializing it.
+func (s Set) Overlaps(other Set) bool {
+	i, j := 0, 0
+	for i < len(s) && j < len(other) {
+		switch {
+		case s[i] < other[j]:
+			i++
+		case s[i] > other[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether two sets contain the same indices.
+func (s Set) Equal(other Set) bool {
+	if len(s) != len(other) {
+		return false
+	}
+	for i := range s {
+		if s[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (s Set) Clone() Set { return append(Set(nil), s...) }
+
+func (s Set) String() string {
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Query is a statistical query (Q, f).
+type Query struct {
+	Set  Set
+	Kind Kind
+}
+
+// New builds a query over the given indices.
+func New(kind Kind, indices ...int) Query {
+	return Query{Set: NewSet(indices...), Kind: kind}
+}
+
+func (q Query) String() string {
+	return fmt.Sprintf("%s%s", q.Kind, q.Set)
+}
+
+// Eval applies the query's aggregate to the dataset values xs. It panics
+// on an empty query set or out-of-range index — queries are validated at
+// the engine boundary before evaluation.
+func (q Query) Eval(xs []float64) float64 {
+	if len(q.Set) == 0 {
+		panic("query: evaluating empty query set")
+	}
+	switch q.Kind {
+	case Sum:
+		t := 0.0
+		for _, i := range q.Set {
+			t += xs[i]
+		}
+		return t
+	case Max:
+		t := math.Inf(-1)
+		for _, i := range q.Set {
+			if xs[i] > t {
+				t = xs[i]
+			}
+		}
+		return t
+	case Min:
+		t := math.Inf(1)
+		for _, i := range q.Set {
+			if xs[i] < t {
+				t = xs[i]
+			}
+		}
+		return t
+	case Count:
+		return float64(len(q.Set))
+	case Avg:
+		t := 0.0
+		for _, i := range q.Set {
+			t += xs[i]
+		}
+		return t / float64(len(q.Set))
+	case Median:
+		vals := make([]float64, 0, len(q.Set))
+		for _, i := range q.Set {
+			vals = append(vals, xs[i])
+		}
+		sort.Float64s(vals)
+		return vals[(len(vals)-1)/2]
+	default:
+		panic(fmt.Sprintf("query: unknown kind %v", q.Kind))
+	}
+}
+
+// Answered pairs a query with the exact answer that was released for it.
+// Denied queries never appear in an Answered log: under simulatability a
+// denial carries no information beyond what the attacker could compute.
+type Answered struct {
+	Query  Query
+	Answer float64
+}
+
+func (a Answered) String() string {
+	return fmt.Sprintf("%v=%g", a.Query, a.Answer)
+}

@@ -1,0 +1,128 @@
+package query
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestNewSetNormalizes: sorting and dedup.
+func TestNewSetNormalizes(t *testing.T) {
+	s := NewSet(5, 1, 3, 1, 5)
+	want := Set{1, 3, 5}
+	if !s.Equal(want) {
+		t.Fatalf("got %v, want %v", s, want)
+	}
+}
+
+// TestSetOpsAgainstMaps property-checks set algebra against map-based
+// reference implementations.
+func TestSetOpsAgainstMaps(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}
+	check := func(a, b []uint8) bool {
+		sa := fromBytes(a)
+		sb := fromBytes(b)
+		ma := toMap(sa)
+		mb := toMap(sb)
+
+		inter := sa.Intersect(sb)
+		for _, v := range inter {
+			if !ma[v] || !mb[v] {
+				return false
+			}
+		}
+		union := sa.Union(sb)
+		minus := sa.Minus(sb)
+		if len(union) != len(ma)+len(mb)-len(inter) {
+			return false
+		}
+		if len(minus) != len(ma)-len(inter) {
+			return false
+		}
+		if sa.Overlaps(sb) != (len(inter) > 0) {
+			return false
+		}
+		for _, s := range []Set{inter, union, minus} {
+			if !sort.IntsAreSorted(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fromBytes(bs []uint8) Set {
+	ints := make([]int, len(bs))
+	for i, b := range bs {
+		ints[i] = int(b % 32)
+	}
+	return NewSet(ints...)
+}
+
+func toMap(s Set) map[int]bool {
+	m := make(map[int]bool, len(s))
+	for _, v := range s {
+		m[v] = true
+	}
+	return m
+}
+
+// TestContains via binary search.
+func TestContains(t *testing.T) {
+	s := NewSet(2, 4, 8)
+	for _, v := range []int{2, 4, 8} {
+		if !s.Contains(v) {
+			t.Errorf("should contain %d", v)
+		}
+	}
+	for _, v := range []int{1, 3, 9} {
+		if s.Contains(v) {
+			t.Errorf("should not contain %d", v)
+		}
+	}
+}
+
+// TestEvalAggregates checks each aggregate against hand values.
+func TestEvalAggregates(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	set := []int{0, 1, 2, 3} // values 5,1,4,2
+	cases := []struct {
+		kind Kind
+		want float64
+	}{
+		{Sum, 12}, {Max, 5}, {Min, 1}, {Count, 4}, {Avg, 3}, {Median, 2},
+	}
+	for _, c := range cases {
+		got := New(c.kind, set...).Eval(xs)
+		if got != c.want {
+			t.Errorf("%v = %g, want %g", c.kind, got, c.want)
+		}
+	}
+}
+
+// TestParseKindRoundTrip: every kind parses from its own name.
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{Sum, Max, Min, Count, Avg, Median} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("mode"); err == nil {
+		t.Error("unknown aggregate must fail")
+	}
+}
+
+// TestEmptyEvalPanics documents the engine-boundary contract.
+func TestEmptyEvalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty set")
+		}
+	}()
+	Query{Kind: Sum}.Eval([]float64{1})
+}

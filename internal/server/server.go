@@ -1,0 +1,253 @@
+// Package server exposes an audited statistical database over HTTP with
+// a small JSON API — the deployment shape the paper's introduction
+// implies (a census-bureau-style service answering aggregate statistics
+// while refusing privacy-compromising combinations).
+//
+//	POST /v1/query    {"sql": "SELECT sum(salary) WHERE age >= 40"}
+//	POST /v1/queryset {"kind": "max", "indices": [0, 3, 7]}
+//	POST /v1/update   {"index": 3, "value": 81000}
+//	GET  /v1/stats
+//	GET  /v1/schema
+//
+// Denials are HTTP 200 with {"denied": true} — a denial is a normal
+// protocol outcome, not a transport error. Malformed requests are 400;
+// unsupported aggregates are 422.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/core"
+	"queryaudit/internal/query"
+)
+
+// Server wraps an SDB with HTTP handlers. The engine's own mutex makes
+// concurrent requests safe.
+type Server struct {
+	sdb *core.SDB
+	mux *http.ServeMux
+}
+
+// New builds a server over an SDB.
+func New(sdb *core.SDB) *Server {
+	s := &Server{sdb: sdb, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/queryset", s.handleQuerySet)
+	s.mux.HandleFunc("POST /v1/update", s.handleUpdate)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/schema", s.handleSchema)
+	s.mux.HandleFunc("GET /v1/knowledge", s.handleKnowledge)
+	s.mux.HandleFunc("POST /v1/prime", s.handlePrime)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// QueryRequest is the body of POST /v1/query.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+}
+
+// QuerySetRequest is the body of POST /v1/queryset: an explicit query
+// set, for clients that resolve predicates themselves.
+type QuerySetRequest struct {
+	Kind    string `json:"kind"`
+	Indices []int  `json:"indices"`
+}
+
+// QueryResponse is the body of query responses.
+type QueryResponse struct {
+	Denied bool    `json:"denied"`
+	Answer float64 `json:"answer,omitempty"`
+}
+
+// UpdateRequest is the body of POST /v1/update.
+type UpdateRequest struct {
+	Index int     `json:"index"`
+	Value float64 `json:"value"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Answered      int `json:"answered"`
+	Denied        int `json:"denied"`
+	Records       int `json:"records"`
+	Modifications int `json:"modifications"`
+}
+
+// errorResponse carries machine-readable failures.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.SQL == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be {\"sql\": \"SELECT ...\"}"})
+		return
+	}
+	resp, err := s.sdb.Query(req.SQL)
+	s.writeQueryResult(w, resp, err)
+}
+
+func (s *Server) handleQuerySet(w http.ResponseWriter, r *http.Request) {
+	var req QuerySetRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be {\"kind\": ..., \"indices\": [...]}"})
+		return
+	}
+	kind, err := query.ParseKind(req.Kind)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	resp, err := s.sdb.Engine().Ask(query.New(kind, req.Indices...))
+	s.writeQueryResult(w, resp, err)
+}
+
+func (s *Server) writeQueryResult(w http.ResponseWriter, resp core.Response, err error) {
+	switch {
+	case errors.Is(err, core.ErrNoAuditor) || errors.Is(err, audit.ErrUnsupportedKind):
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	case resp.Denied:
+		writeJSON(w, http.StatusOK, QueryResponse{Denied: true})
+	default:
+		writeJSON(w, http.StatusOK, QueryResponse{Answer: resp.Answer})
+	}
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be {\"index\": i, \"value\": v}"})
+		return
+	}
+	if err := s.sdb.Engine().Update(req.Index, req.Value); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	eng := s.sdb.Engine()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Answered:      eng.Answered(),
+		Denied:        eng.Denied(),
+		Records:       eng.Dataset().N(),
+		Modifications: eng.Dataset().Modifications(),
+	})
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
+	ds := s.sdb.Engine().Dataset()
+	type attr struct {
+		Name string `json:"name"`
+		Kind string `json:"kind"`
+	}
+	var attrs []attr
+	for _, a := range ds.Schema() {
+		k := "numeric"
+		if a.Kind != 0 {
+			k = "categorical"
+		}
+		attrs = append(attrs, attr{Name: a.Name, Kind: k})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"records":    ds.N(),
+		"attributes": attrs,
+	})
+}
+
+// PrimeRequest is the body of POST /v1/prime: "important" queries to
+// answer up front so they stay answerable forever (the paper's Section 7
+// remedy). Priming fails atomically per query; a denial mid-list leaves
+// earlier primes committed and reports the offender.
+type PrimeRequest struct {
+	Queries []QuerySetRequest `json:"queries"`
+}
+
+func (s *Server) handlePrime(w http.ResponseWriter, r *http.Request) {
+	var req PrimeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Queries) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be {\"queries\": [{\"kind\":...,\"indices\":[...]}, ...]}"})
+		return
+	}
+	var qs []query.Query
+	for _, q := range req.Queries {
+		kind, err := query.ParseKind(q.Kind)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		qs = append(qs, query.New(kind, q.Indices...))
+	}
+	if err := s.sdb.Engine().Prime(qs); err != nil {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "primed": len(qs)})
+}
+
+// KnowledgeResponse is the body of GET /v1/knowledge: what the answered
+// history exposes about each record, per reporting auditor.
+type KnowledgeResponse struct {
+	Auditors map[string][]audit.ElementKnowledge `json:"auditors"`
+}
+
+func (s *Server) handleKnowledge(w http.ResponseWriter, _ *http.Request) {
+	eng := s.sdb.Engine()
+	out := KnowledgeResponse{Auditors: map[string][]audit.ElementKnowledge{}}
+	for _, k := range []query.Kind{query.Sum, query.Max, query.Min} {
+		a, ok := eng.Auditor(k)
+		if !ok {
+			continue
+		}
+		kr, ok := a.(audit.KnowledgeReporter)
+		if !ok {
+			continue
+		}
+		if _, seen := out.Auditors[a.Name()]; seen {
+			continue // one auditor may serve several kinds
+		}
+		out.Auditors[a.Name()] = sanitizeKnowledge(kr.Knowledge())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// sanitizeKnowledge replaces ±Inf bounds (not expressible in JSON) with
+// omitted extremes encoded as NaN-free sentinels: the bound fields keep
+// their values only when finite; infinite bounds become ±MaxFloat64.
+func sanitizeKnowledge(ks []audit.ElementKnowledge) []audit.ElementKnowledge {
+	const huge = 1.797693134862315e+308
+	out := append([]audit.ElementKnowledge(nil), ks...)
+	for i := range out {
+		if out[i].Lower < -huge || out[i].Lower != out[i].Lower {
+			out[i].Lower = -huge
+		}
+		if out[i].Upper > huge || out[i].Upper != out[i].Upper {
+			out[i].Upper = huge
+		}
+	}
+	return out
+}
+
+// ListenAndServe runs the server on addr (blocking).
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s}
+	fmt.Printf("auditserver listening on %s\n", addr)
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,151 @@
+// Package stats provides the small statistical helpers the experiment
+// harness uses: means, confidence intervals, denial-probability curves
+// and step-threshold detection.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	t := 0.0
+	for _, x := range xs {
+		d := x - m
+		t += d * d
+	}
+	return t / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval for the mean.
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Median returns the lower median (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[(len(s)-1)/2]
+}
+
+// Quantile returns the q-quantile (nearest-rank), q ∈ [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}
+
+// Curve is a denial-probability curve: Y[i] is the probability estimate
+// at query index X[i].
+type Curve struct {
+	Name string
+	X    []int
+	Y    []float64
+}
+
+// StepThreshold estimates where a near-step curve crosses level: the
+// first x with y ≥ level (or the last x if never).
+func (c Curve) StepThreshold(level float64) int {
+	for i, y := range c.Y {
+		if y >= level {
+			return c.X[i]
+		}
+	}
+	if len(c.X) == 0 {
+		return 0
+	}
+	return c.X[len(c.X)-1]
+}
+
+// Tail returns the mean of the final frac portion of the curve — the
+// long-run denial probability.
+func (c Curve) Tail(frac float64) float64 {
+	if len(c.Y) == 0 {
+		return 0
+	}
+	start := int(float64(len(c.Y)) * (1 - frac))
+	if start >= len(c.Y) {
+		start = len(c.Y) - 1
+	}
+	return Mean(c.Y[start:])
+}
+
+// Format renders the curve as aligned text rows (query index, estimate).
+func (c Curve) Format() string {
+	out := fmt.Sprintf("# %s\n", c.Name)
+	for i := range c.X {
+		out += fmt.Sprintf("%8d %.4f\n", c.X[i], c.Y[i])
+	}
+	return out
+}
+
+// Accumulator averages per-position indicator streams across trials.
+type Accumulator struct {
+	sum   []float64
+	count int
+}
+
+// AddTrial accumulates one trial's per-position indicators (1 = denial).
+func (a *Accumulator) AddTrial(indicators []float64) {
+	if a.sum == nil {
+		a.sum = make([]float64, len(indicators))
+	}
+	if len(indicators) != len(a.sum) {
+		panic(fmt.Sprintf("stats: trial length %d != %d", len(indicators), len(a.sum)))
+	}
+	for i, v := range indicators {
+		a.sum[i] += v
+	}
+	a.count++
+}
+
+// Curve finalizes the averaged curve, sampling every stride-th position.
+func (a *Accumulator) Curve(name string, stride int) Curve {
+	if stride < 1 {
+		stride = 1
+	}
+	var c Curve
+	c.Name = name
+	for i := 0; i < len(a.sum); i += stride {
+		c.X = append(c.X, i+1)
+		c.Y = append(c.Y, a.sum[i]/float64(a.count))
+	}
+	return c
+}
+
+// Trials returns how many trials were accumulated.
+func (a *Accumulator) Trials() int { return a.count }

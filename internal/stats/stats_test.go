@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMoments(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean = %g", m)
+	}
+	if v := Variance(xs); math.Abs(v-32.0/7) > 1e-12 {
+		t.Errorf("variance = %g", v)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs")
+	}
+	if Median(xs) != 4 {
+		t.Errorf("median = %g", Median(xs))
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median")
+	}
+	if Quantile(xs, 0) != 2 || Quantile(xs, 1) != 9 {
+		t.Error("quantile endpoints")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	xs := []float64{1, 1, 1, 1}
+	if CI95(xs) != 0 {
+		t.Error("constant data has zero CI")
+	}
+	if CI95([]float64{1}) != 0 {
+		t.Error("single sample has zero CI")
+	}
+	wide := CI95([]float64{0, 10, 0, 10})
+	if wide <= 0 {
+		t.Error("CI must be positive for varying data")
+	}
+}
+
+func TestCurveHelpers(t *testing.T) {
+	c := Curve{Name: "x", X: []int{1, 2, 3, 4, 5}, Y: []float64{0, 0, 0.2, 0.8, 0.9}}
+	if got := c.StepThreshold(0.5); got != 4 {
+		t.Errorf("threshold = %d", got)
+	}
+	if got := c.StepThreshold(2); got != 5 {
+		t.Errorf("unreached threshold must return last x, got %d", got)
+	}
+	if got := c.Tail(0.4); math.Abs(got-0.85) > 1e-12 {
+		t.Errorf("tail = %g", got)
+	}
+	if s := c.Format(); len(s) == 0 {
+		t.Error("empty format")
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	a.AddTrial([]float64{1, 0, 1, 0})
+	a.AddTrial([]float64{1, 1, 0, 0})
+	c := a.Curve("avg", 1)
+	want := []float64{1, 0.5, 0.5, 0}
+	for i, y := range want {
+		if c.Y[i] != y {
+			t.Fatalf("curve %v, want %v", c.Y, want)
+		}
+	}
+	if a.Trials() != 2 {
+		t.Errorf("trials = %d", a.Trials())
+	}
+	// Stride sampling.
+	c2 := a.Curve("s", 2)
+	if len(c2.X) != 2 || c2.X[0] != 1 || c2.X[1] != 3 {
+		t.Errorf("stride curve %v", c2.X)
+	}
+	// Mismatched lengths panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	a.AddTrial([]float64{1})
+}

@@ -1,0 +1,45 @@
+package synopsis_test
+
+import (
+	"fmt"
+
+	"queryaudit/internal/query"
+	"queryaudit/internal/synopsis"
+)
+
+// ExampleMax reproduces the Section 2.2 blackbox example: two max
+// queries with a shared answer pin the witness into their intersection.
+func ExampleMax() {
+	b := synopsis.NewMax(3) // x_a=0, x_b=1, x_c=2
+	b.Add(query.NewSet(0, 1, 2), 9)
+	b.Add(query.NewSet(0, 1), 9)
+	for _, p := range b.Preds() {
+		fmt.Println(p)
+	}
+	// Output:
+	// [max{0,1} = 9]
+	// [max{2} < 9]
+}
+
+// ExampleMaxMin shows the combined normalization: a max and a min
+// predicate sharing a value pin their unique common element.
+func ExampleMaxMin() {
+	b := synopsis.NewMaxMin(4, 0, 10)
+	b.AddMax(query.NewSet(0, 1, 2), 5)
+	b.AddMin(query.NewSet(2, 3), 5)
+	r := b.RangeOf(2)
+	fmt.Printf("x2 pinned: %v (value %g)\n", r.Pinned(), r.Lo)
+	// Output:
+	// x2 pinned: true (value 5)
+}
+
+// ExampleMax_Add_inconsistent shows tamper detection: duplicate-free
+// data cannot give two disjoint queries the same max.
+func ExampleMax_Add_inconsistent() {
+	b := synopsis.NewMax(4)
+	b.Add(query.NewSet(0, 1), 9)
+	err := b.Add(query.NewSet(2, 3), 9)
+	fmt.Println(err)
+	// Output:
+	// synopsis: answer inconsistent with history
+}

@@ -1,0 +1,78 @@
+package synopsis
+
+import (
+	"testing"
+
+	"queryaudit/internal/query"
+)
+
+// FuzzMaxAdd: arbitrary (set, answer) streams must never panic or break
+// the structural invariants; inconsistent answers must leave state
+// untouched. Bytes drive set membership; answers come from a small grid
+// to force merge/split paths.
+func FuzzMaxAdd(f *testing.F) {
+	f.Add([]byte{0b1011, 3, 0b0110, 3, 0b0001, 1}, uint8(4))
+	f.Add([]byte{0xFF, 9, 0x0F, 9, 0xF0, 9}, uint8(8))
+	f.Add([]byte{}, uint8(2))
+	f.Fuzz(func(t *testing.T, ops []byte, nRaw uint8) {
+		n := int(nRaw%10) + 1
+		m := NewMax(n)
+		for i := 0; i+1 < len(ops); i += 2 {
+			var set query.Set
+			for b := 0; b < n && b < 8; b++ {
+				if ops[i]&(1<<b) != 0 {
+					set = append(set, b)
+				}
+			}
+			if len(set) == 0 {
+				continue
+			}
+			before := m.String()
+			err := m.Add(set, float64(ops[i+1]%16))
+			if err != nil && m.String() != before {
+				t.Fatalf("failed Add mutated state: %q -> %q", before, m.String())
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("invariants after Add: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzMaxMinAdd mirrors FuzzMaxAdd for the combined synopsis, including
+// the normalization paths.
+func FuzzMaxMinAdd(f *testing.F) {
+	f.Add([]byte{0b1011, 3, 1, 0b0110, 3, 0, 0b0001, 1, 1}, uint8(4))
+	f.Add([]byte{0xFF, 9, 0, 0x0F, 9, 1}, uint8(8))
+	f.Fuzz(func(t *testing.T, ops []byte, nRaw uint8) {
+		n := int(nRaw%8) + 2
+		b := NewMaxMin(n, -1, 17)
+		for i := 0; i+2 < len(ops); i += 3 {
+			var set query.Set
+			for bit := 0; bit < n && bit < 8; bit++ {
+				if ops[i]&(1<<bit) != 0 {
+					set = append(set, bit)
+				}
+			}
+			if len(set) == 0 {
+				continue
+			}
+			ans := float64(ops[i+1] % 16)
+			var err error
+			if ops[i+2]%2 == 0 {
+				err = b.AddMax(set, ans)
+			} else {
+				err = b.AddMin(set, ans)
+			}
+			_ = err
+			if err := b.CheckInvariants(); err != nil {
+				t.Fatalf("invariants: %v", err)
+			}
+			for j := 0; j < n; j++ {
+				if b.RangeOf(j).Empty() {
+					t.Fatalf("empty range for element %d after successful ops", j)
+				}
+			}
+		}
+	})
+}

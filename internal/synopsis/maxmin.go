@@ -1,0 +1,260 @@
+package synopsis
+
+import (
+	"math"
+
+	"queryaudit/internal/query"
+)
+
+// Range is the value range an element is confined to by the combined
+// synopsis: Lo {<, ≤} x {<, ≤} Hi according to the strictness flags.
+type Range struct {
+	Lo, Hi             float64
+	LoStrict, HiStrict bool
+}
+
+// Pinned reports whether the range determines the value exactly.
+func (r Range) Pinned() bool {
+	return r.Lo == r.Hi && !r.LoStrict && !r.HiStrict
+}
+
+// Empty reports whether no value satisfies the range.
+func (r Range) Empty() bool {
+	if r.Lo > r.Hi {
+		return true
+	}
+	if r.Lo == r.Hi {
+		return r.LoStrict || r.HiStrict
+	}
+	return false
+}
+
+// Length returns the measure Hi − Lo (zero when pinned or empty).
+func (r Range) Length() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.Hi - r.Lo
+}
+
+// Contains reports whether v satisfies the range constraints.
+func (r Range) Contains(v float64) bool {
+	if v < r.Lo || (v == r.Lo && r.LoStrict) {
+		return false
+	}
+	if v > r.Hi || (v == r.Hi && r.HiStrict) {
+		return false
+	}
+	return true
+}
+
+// MaxMin is the combined synopsis B = (B_max, B_min) of Sections 3.2 and
+// 4, including the paper's normalization: whenever a max equality
+// predicate and a min equality predicate hold the same value M, their
+// unique common element is pinned to M and split out of both sets.
+type MaxMin struct {
+	max *Max
+	min *Min
+	// alpha/beta bound the data range for Range computations; classical
+	// (full-disclosure) callers use ±Inf.
+	alpha, beta float64
+}
+
+// NewMaxMin returns an empty combined synopsis over n elements with data
+// range [alpha, beta]. Use math.Inf bounds for the unbounded classical
+// setting.
+func NewMaxMin(n int, alpha, beta float64) *MaxMin {
+	return &MaxMin{max: NewMax(n), min: NewMin(n), alpha: alpha, beta: beta}
+}
+
+// N returns the number of elements covered.
+func (b *MaxMin) N() int { return b.max.N() }
+
+// Alpha returns the lower end of the data range.
+func (b *MaxMin) Alpha() float64 { return b.alpha }
+
+// Beta returns the upper end of the data range.
+func (b *MaxMin) Beta() float64 { return b.beta }
+
+// Clone returns a deep copy.
+func (b *MaxMin) Clone() *MaxMin {
+	return &MaxMin{max: b.max.Clone(), min: b.min.Clone(), alpha: b.alpha, beta: b.beta}
+}
+
+// MaxPreds returns the current max-side predicates.
+func (b *MaxMin) MaxPreds() []Pred { return b.max.Preds() }
+
+// MinPreds returns the current min-side predicates (min orientation).
+func (b *MaxMin) MinPreds() []Pred { return b.min.Preds() }
+
+// AddMax folds [max(Q) = a] into the synopsis, applying normalization.
+// On inconsistency the synopsis is unchanged.
+func (b *MaxMin) AddMax(q query.Set, a float64) error {
+	snapMax, snapMin := b.max.Clone(), b.min.Clone()
+	if err := b.max.Add(q, a); err != nil {
+		return err
+	}
+	if err := b.normalizeAndCheck(a); err != nil {
+		b.max, b.min = snapMax, snapMin
+		return err
+	}
+	return nil
+}
+
+// AddMin folds [min(Q) = a] into the synopsis, applying normalization.
+func (b *MaxMin) AddMin(q query.Set, a float64) error {
+	snapMax, snapMin := b.max.Clone(), b.min.Clone()
+	if err := b.min.Add(q, a); err != nil {
+		return err
+	}
+	if err := b.normalizeAndCheck(a); err != nil {
+		b.max, b.min = snapMax, snapMin
+		return err
+	}
+	return nil
+}
+
+// normalizeAndCheck applies the shared-value split for value a (the only
+// value a fresh Add can newly collide on) and re-verifies global
+// consistency of element ranges and witness feasibility.
+func (b *MaxMin) normalizeAndCheck(a float64) error {
+	maxP, okMax := b.max.EqPredWithValue(a)
+	minP, okMin := b.min.EqPredWithValue(a)
+	if okMax && okMin && !(len(maxP.Set) == 1 && maxP.Set.Equal(minP.Set)) {
+		inter := maxP.Set.Intersect(minP.Set)
+		if len(inter) != 1 {
+			// Zero common elements would require two distinct elements
+			// with the same value; two or more would force a duplicate
+			// among the non-witnesses. Either way: inconsistent.
+			return ErrInconsistent
+		}
+		j := inter[0]
+		// Pin x_j = a: everything else in the max set is strictly below
+		// a, everything else in the min set strictly above. The equality
+		// predicates then shrink to the singleton {j} on both sides.
+		b.max.ForceStrictBelow(maxP.Set.Minus(query.Set{j}), a)
+		b.min.ForceStrictAbove(minP.Set.Minus(query.Set{j}), a)
+	}
+	return b.checkConsistent()
+}
+
+// checkConsistent verifies that every element's range is non-empty and
+// every equality predicate retains a feasible witness.
+func (b *MaxMin) checkConsistent() error {
+	n := b.N()
+	for i := 0; i < n; i++ {
+		if b.RangeOf(i).Empty() {
+			return ErrInconsistent
+		}
+	}
+	for _, p := range b.max.Preds() {
+		if p.Eq() && !b.hasFeasibleWitness(p) {
+			return ErrInconsistent
+		}
+	}
+	for _, p := range b.min.Preds() {
+		if p.Eq() && !b.hasFeasibleWitness(p) {
+			return ErrInconsistent
+		}
+	}
+	return nil
+}
+
+// hasFeasibleWitness reports whether some element of the equality
+// predicate p can actually take the value p.Value given the combined
+// bounds from both synopsis sides.
+func (b *MaxMin) hasFeasibleWitness(p Pred) bool {
+	for _, i := range p.Set {
+		if b.RangeOf(i).Contains(p.Value) {
+			return true
+		}
+	}
+	return false
+}
+
+// RangeOf returns the range element i is confined to, combining both
+// synopsis sides with the ambient data range [alpha, beta].
+func (b *MaxMin) RangeOf(i int) Range {
+	r := Range{Lo: b.alpha, Hi: b.beta}
+	if v, strict, ok := b.max.UpperBound(i); ok && (v < r.Hi || (v == r.Hi && strict)) {
+		r.Hi, r.HiStrict = v, strict
+	}
+	if v, strict, ok := b.min.LowerBound(i); ok && (v > r.Lo || (v == r.Lo && strict)) {
+		r.Lo, r.LoStrict = v, strict
+	}
+	return r
+}
+
+// EqValues returns every value held by an equality predicate on either
+// side (candidate generators must avoid them for interval
+// representatives).
+func (b *MaxMin) EqValues() map[float64]bool {
+	out := b.max.EqValues()
+	for v := range b.min.EqValues() {
+		out[v] = true
+	}
+	return out
+}
+
+// MaxPredOf returns the max-side predicate containing i, if any.
+func (b *MaxMin) MaxPredOf(i int) (Pred, bool) { return b.max.PredOf(i) }
+
+// MinPredOf returns the min-side predicate containing i, if any.
+func (b *MaxMin) MinPredOf(i int) (Pred, bool) { return b.min.PredOf(i) }
+
+// SingletonEqCount returns the total number of one-element equality
+// predicates on both sides. A pinned element contributes two (one per
+// side) after normalization, or one if only a single side pins it.
+func (b *MaxMin) SingletonEqCount() int {
+	return b.max.SingletonEqCount() + b.min.SingletonEqCount()
+}
+
+// WeakPredCount returns the total number of OpLe predicates on both
+// sides. When positive, weak bounds can pin elements without producing a
+// singleton equality predicate, so compromise detection must fall back to
+// the full extreme-element analysis.
+func (b *MaxMin) WeakPredCount() int {
+	return b.max.WeakPredCount() + b.min.WeakPredCount()
+}
+
+// Update reacts to a modification of record i's sensitive value (see
+// Max.Update): i's bounds are dropped and any equality predicate that
+// might have had i as its witness demotes to a witness-free bound.
+func (b *MaxMin) Update(i int) {
+	b.max.Update(i)
+	b.min.Update(i)
+}
+
+// CheckInvariants validates both sides plus the combined normal form: no
+// max equality value may coincide with a min equality value except as a
+// pinned singleton shared by both.
+func (b *MaxMin) CheckInvariants() error {
+	if err := b.max.CheckInvariants(); err != nil {
+		return err
+	}
+	if err := b.min.CheckInvariants(); err != nil {
+		return err
+	}
+	for _, p := range b.max.Preds() {
+		if !p.Eq() {
+			continue
+		}
+		if mp, ok := b.min.EqPredWithValue(p.Value); ok {
+			if !(len(p.Set) == 1 && p.Set.Equal(mp.Set)) {
+				return errNotNormalized(p.Value)
+			}
+		}
+	}
+	return nil
+}
+
+type errNotNormalized float64
+
+func (e errNotNormalized) Error() string {
+	return "synopsis: max/min equality predicates share value without pinned singleton"
+}
+
+// Unbounded returns ±Inf ambient bounds for the classical setting.
+func Unbounded() (alpha, beta float64) {
+	return math.Inf(-1), math.Inf(1)
+}

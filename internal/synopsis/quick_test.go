@@ -1,0 +1,157 @@
+package synopsis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"queryaudit/internal/query"
+)
+
+// script is a randomly generated interaction against one synopsis: a
+// dataset plus a stream of query sets, answered truthfully, with
+// interleaved updates. quick generates the raw bytes; decode shapes them.
+type script struct {
+	Seed    int64
+	N       uint8
+	Ops     []opByte
+	Updates []uint8
+}
+
+type opByte struct {
+	Mask uint16
+	Kind uint8 // 0 max, 1 min, 2 update
+}
+
+// TestQuickMaxMinInvariants drives random scripts through the combined
+// synopsis: truthful answers are never rejected, structural invariants
+// hold after every operation, derived ranges always contain the truth.
+func TestQuickMaxMinInvariants(t *testing.T) {
+	check := func(s script) bool {
+		n := int(s.N%8) + 2
+		rng := rand.New(rand.NewSource(s.Seed))
+		xs := make([]float64, n)
+		used := map[float64]bool{}
+		for i := range xs {
+			v := float64(rng.Intn(40))
+			for used[v] {
+				v = float64(rng.Intn(40))
+			}
+			used[v] = true
+			xs[i] = v
+		}
+		b := NewMaxMin(n, -1, 41)
+		for _, op := range s.Ops {
+			if op.Kind%3 == 2 {
+				i := int(op.Mask) % n
+				b.Update(i)
+				v := float64(rng.Intn(40))
+				for used[v] {
+					v = float64(rng.Intn(40))
+				}
+				used[v] = true
+				xs[i] = v
+			} else {
+				var set query.Set
+				for i := 0; i < n; i++ {
+					if op.Mask&(1<<i) != 0 {
+						set = append(set, i)
+					}
+				}
+				if len(set) == 0 {
+					continue
+				}
+				var err error
+				if op.Kind%3 == 0 {
+					err = b.AddMax(set, maxOf(xs, set))
+				} else {
+					err = b.AddMin(set, minOf(xs, set))
+				}
+				if err != nil {
+					return false // truth rejected
+				}
+			}
+			if err := b.CheckInvariants(); err != nil {
+				return false
+			}
+			for i := 0; i < n; i++ {
+				if !b.RangeOf(i).Contains(xs[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 250, Rand: rand.New(rand.NewSource(99))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCloneIsolation: mutating a clone never affects the original.
+func TestQuickCloneIsolation(t *testing.T) {
+	check := func(seed int64, mask uint16) bool {
+		n := 6
+		rng := rand.New(rand.NewSource(seed))
+		xs := distinctValues(rng, n)
+		m := NewMax(n)
+		for step := 0; step < 4; step++ {
+			set := randomSet(rng, n)
+			if m.Add(set, maxOf(xs, set)) != nil {
+				return false
+			}
+		}
+		before := m.String()
+		c := m.Clone()
+		var set query.Set
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				set = append(set, i)
+			}
+		}
+		if len(set) > 0 {
+			_ = c.Add(set, maxOf(xs, set))
+			c.Update(set[0])
+		}
+		return m.String() == before && m.CheckInvariants() == nil
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBoundMonotone: folding more answers only tightens bounds.
+func TestQuickBoundMonotone(t *testing.T) {
+	check := func(seed int64) bool {
+		n := 7
+		rng := rand.New(rand.NewSource(seed))
+		xs := distinctValues(rng, n)
+		m := NewMax(n)
+		prev := make([]float64, n)
+		for i := range prev {
+			prev[i] = 1e18
+		}
+		for step := 0; step < 8; step++ {
+			set := randomSet(rng, n)
+			if m.Add(set, maxOf(xs, set)) != nil {
+				return false
+			}
+			for i := 0; i < n; i++ {
+				v, _, ok := m.UpperBound(i)
+				if !ok {
+					continue
+				}
+				if v > prev[i] {
+					return false // bound loosened
+				}
+				prev[i] = v
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(8))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,34 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"queryaudit/internal/audit/sumfull"
+	"queryaudit/internal/core"
+	"queryaudit/internal/dataset"
+	"queryaudit/internal/query"
+	"queryaudit/internal/trace"
+)
+
+// Example records a short session and replays it against a fresh engine
+// over the same data: every decision and answer reproduces.
+func Example() {
+	build := func() *core.Engine {
+		eng := core.NewEngine(dataset.FromValues([]float64{10, 20, 30}))
+		eng.Use(sumfull.New(3), query.Sum)
+		return eng
+	}
+
+	var buf bytes.Buffer
+	rec := trace.NewRecorder(build(), &buf)
+	rec.Ask(query.New(query.Sum, 0, 1, 2))
+	rec.Ask(query.New(query.Sum, 1, 2)) // denied
+	rec.Update(0, 15)
+	rec.Ask(query.New(query.Sum, 0, 1))
+
+	rep, _ := trace.Replay(bytes.NewReader(buf.Bytes()), build())
+	fmt.Println(rep.Clean(), rep.Queries, rep.Updates)
+	// Output:
+	// true 3 1
+}

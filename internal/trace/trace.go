@@ -1,0 +1,137 @@
+// Package trace records audited sessions as JSONL event streams and
+// replays them later — against the same engine build for regression
+// checking (every decision must reproduce), or against a modified
+// auditor to see how its decisions would have differed on a real
+// workload.
+//
+// Events are self-contained: queries carry their kind and index set,
+// updates carry index and value, and outcomes carry the decision and
+// (for answered queries) the released answer.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"queryaudit/internal/core"
+	"queryaudit/internal/query"
+)
+
+// Event is one line of a trace.
+type Event struct {
+	// Type is "query" or "update".
+	Type string `json:"type"`
+	// Query fields.
+	Kind    string  `json:"kind,omitempty"`
+	Indices []int   `json:"indices,omitempty"`
+	Denied  bool    `json:"denied,omitempty"`
+	Answer  float64 `json:"answer,omitempty"`
+	// Update fields.
+	Index int     `json:"index,omitempty"`
+	Value float64 `json:"value,omitempty"`
+}
+
+// Recorder wraps an engine, mirroring every interaction into a JSONL
+// stream. It is not safe for concurrent use (wrap externally if the
+// engine is shared).
+type Recorder struct {
+	eng *core.Engine
+	enc *json.Encoder
+}
+
+// NewRecorder returns a recorder writing events to w.
+func NewRecorder(eng *core.Engine, w io.Writer) *Recorder {
+	return &Recorder{eng: eng, enc: json.NewEncoder(w)}
+}
+
+// Engine exposes the wrapped engine.
+func (r *Recorder) Engine() *core.Engine { return r.eng }
+
+// Ask forwards to the engine and records the outcome.
+func (r *Recorder) Ask(q query.Query) (core.Response, error) {
+	resp, err := r.eng.Ask(q)
+	if err != nil {
+		return resp, err // malformed queries are not part of the trace
+	}
+	ev := Event{Type: "query", Kind: q.Kind.String(), Indices: q.Set, Denied: resp.Denied}
+	if !resp.Denied {
+		ev.Answer = resp.Answer
+	}
+	if encErr := r.enc.Encode(ev); encErr != nil {
+		return resp, fmt.Errorf("trace: %w", encErr)
+	}
+	return resp, nil
+}
+
+// Update forwards to the engine and records the modification.
+func (r *Recorder) Update(i int, v float64) error {
+	if err := r.eng.Update(i, v); err != nil {
+		return err
+	}
+	if err := r.enc.Encode(Event{Type: "update", Index: i, Value: v}); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// Report summarizes a replay.
+type Report struct {
+	// Queries and Updates count replayed events.
+	Queries int
+	Updates int
+	// DecisionMismatches lists 0-based query positions whose
+	// answer/deny outcome differed from the recording.
+	DecisionMismatches []int
+	// AnswerMismatches lists positions answered in both runs with
+	// different values (expected when the dataset differs).
+	AnswerMismatches []int
+}
+
+// Clean reports whether the replay reproduced every decision.
+func (rep Report) Clean() bool { return len(rep.DecisionMismatches) == 0 }
+
+// Replay re-drives a recorded session against eng, comparing outcomes.
+func Replay(r io.Reader, eng *core.Engine) (Report, error) {
+	var rep Report
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	qpos := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return rep, fmt.Errorf("trace: line %d: %w", rep.Queries+rep.Updates+1, err)
+		}
+		switch ev.Type {
+		case "query":
+			kind, err := query.ParseKind(ev.Kind)
+			if err != nil {
+				return rep, fmt.Errorf("trace: %w", err)
+			}
+			resp, err := eng.Ask(query.New(kind, ev.Indices...))
+			if err != nil {
+				return rep, fmt.Errorf("trace: replaying query %d: %w", qpos, err)
+			}
+			if resp.Denied != ev.Denied {
+				rep.DecisionMismatches = append(rep.DecisionMismatches, qpos)
+			} else if !resp.Denied && resp.Answer != ev.Answer {
+				rep.AnswerMismatches = append(rep.AnswerMismatches, qpos)
+			}
+			rep.Queries++
+			qpos++
+		case "update":
+			if err := eng.Update(ev.Index, ev.Value); err != nil {
+				return rep, fmt.Errorf("trace: replaying update: %w", err)
+			}
+			rep.Updates++
+		default:
+			return rep, fmt.Errorf("trace: unknown event type %q", ev.Type)
+		}
+	}
+	return rep, sc.Err()
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"queryaudit/internal/audit/maxfull"
+	"queryaudit/internal/audit/sumfull"
+	"queryaudit/internal/core"
+	"queryaudit/internal/dataset"
+	"queryaudit/internal/query"
+	"queryaudit/internal/randx"
+)
+
+func freshEngine(n int, seed int64) *core.Engine {
+	ds := dataset.UniformDuplicateFree(randx.New(seed), n, 0, 1)
+	eng := core.NewEngine(ds)
+	eng.Use(sumfull.New(n), query.Sum)
+	eng.Use(maxfull.New(n), query.Max)
+	return eng
+}
+
+// TestRecordReplayClean: replaying a recorded session against an
+// identical engine reproduces every decision and answer.
+func TestRecordReplayClean(t *testing.T) {
+	const n = 25
+	var buf bytes.Buffer
+	rec := NewRecorder(freshEngine(n, 1), &buf)
+	rng := randx.New(2)
+	for step := 0; step < 40; step++ {
+		kind := query.Sum
+		if step%3 == 0 {
+			kind = query.Max
+		}
+		set := randx.SubsetSizeBetween(rng, n, 2, n)
+		if _, err := rec.Ask(query.New(kind, set...)); err != nil {
+			t.Fatal(err)
+		}
+		if step%10 == 9 {
+			if err := rec.Update(rng.Intn(n), rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rep, err := Replay(bytes.NewReader(buf.Bytes()), freshEngine(n, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || len(rep.AnswerMismatches) != 0 {
+		t.Fatalf("identical replay not clean: %+v", rep)
+	}
+	if rep.Queries != 40 || rep.Updates != 4 {
+		t.Fatalf("counts %+v", rep)
+	}
+}
+
+// TestReplayDetectsDrift: replaying against a different dataset flags
+// answer mismatches (decisions stay identical — they are simulatable,
+// data-independent functions of the query history... unless answers
+// steer the max synopsis; sums never mismatch decisions).
+func TestReplayDetectsDrift(t *testing.T) {
+	const n = 25
+	var buf bytes.Buffer
+	rec := NewRecorder(freshEngine(n, 1), &buf)
+	rng := randx.New(2)
+	for step := 0; step < 20; step++ {
+		set := randx.SubsetSizeBetween(rng, n, 2, n)
+		if _, err := rec.Ask(query.New(query.Sum, set...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := Replay(bytes.NewReader(buf.Bytes()), freshEngine(n, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("sum decisions are data-independent; mismatches %+v", rep.DecisionMismatches)
+	}
+	if len(rep.AnswerMismatches) == 0 {
+		t.Fatal("different data must produce answer mismatches")
+	}
+}
+
+// TestReplayMalformed: garbage lines are reported, not paniced over.
+func TestReplayMalformed(t *testing.T) {
+	if _, err := Replay(strings.NewReader("{not json"), freshEngine(4, 1)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Replay(strings.NewReader(`{"type":"teleport"}`), freshEngine(4, 1)); err == nil {
+		t.Fatal("unknown event accepted")
+	}
+}

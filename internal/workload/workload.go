@@ -1,0 +1,137 @@
+// Package workload generates the query and update streams of the
+// Section 6 experiments: uniformly random sum/max/min queries, the
+// 1-dimensional range sum queries of Figure 2 / Plot 3, and update
+// streams interleaving modifications with queries.
+package workload
+
+import (
+	"math/rand"
+
+	"queryaudit/internal/query"
+	"queryaudit/internal/randx"
+)
+
+// Generator produces a stream of queries.
+type Generator interface {
+	// Next returns the next query in the stream.
+	Next() query.Query
+	// Name identifies the workload in experiment output.
+	Name() string
+}
+
+// UniformRandom draws each query set uniformly from all nonempty subsets
+// of {0..n−1} — the paper's "random query" model for Theorem 6/7 and
+// Figures 1–2.
+type UniformRandom struct {
+	N    int
+	Kind query.Kind
+	Rng  *rand.Rand
+}
+
+// Next implements Generator.
+func (g *UniformRandom) Next() query.Query {
+	return query.Query{Set: query.NewSet(randx.Subset(g.Rng, g.N)...), Kind: g.Kind}
+}
+
+// Name implements Generator.
+func (g *UniformRandom) Name() string { return "uniform-" + g.Kind.String() }
+
+// SizedRandom draws query sets of a size uniform in [MinSize, MaxSize].
+type SizedRandom struct {
+	N                int
+	MinSize, MaxSize int
+	Kind             query.Kind
+	Rng              *rand.Rand
+}
+
+// Next implements Generator.
+func (g *SizedRandom) Next() query.Query {
+	s := randx.SubsetSizeBetween(g.Rng, g.N, g.MinSize, g.MaxSize)
+	return query.Query{Set: query.NewSet(s...), Kind: g.Kind}
+}
+
+// Name implements Generator.
+func (g *SizedRandom) Name() string { return "sized-" + g.Kind.String() }
+
+// RangeQueries draws 1-D range queries over records sorted on a public
+// attribute: each query selects a contiguous index range whose width is
+// uniform in [MinWidth, MaxWidth] (50–100 in the paper's Plot 3).
+type RangeQueries struct {
+	N                  int
+	MinWidth, MaxWidth int
+	Kind               query.Kind
+	Rng                *rand.Rand
+}
+
+// Next implements Generator.
+func (g *RangeQueries) Next() query.Query {
+	w := g.MinWidth
+	if g.MaxWidth > g.MinWidth {
+		w += g.Rng.Intn(g.MaxWidth - g.MinWidth + 1)
+	}
+	return query.Query{Set: query.NewSet(randx.Range(g.Rng, g.N, w)...), Kind: g.Kind}
+}
+
+// Name implements Generator.
+func (g *RangeQueries) Name() string { return "range-" + g.Kind.String() }
+
+// UpdateStream schedules a modification of a uniformly random record
+// every Period queries (Figure 2 / Plot 2 modifies once per 10 queries).
+type UpdateStream struct {
+	N      int
+	Period int
+	Lo, Hi float64
+	Rng    *rand.Rand
+	step   int
+}
+
+// Tick advances the stream by one query and reports whether an update is
+// due now, returning the record index and fresh value when so.
+func (u *UpdateStream) Tick() (idx int, value float64, due bool) {
+	u.step++
+	if u.Period <= 0 || u.step%u.Period != 0 {
+		return 0, 0, false
+	}
+	return u.Rng.Intn(u.N), u.Lo + u.Rng.Float64()*(u.Hi-u.Lo), true
+}
+
+// Clustered models correlated real-world interest: each query picks a
+// random center record and includes nearby records (by index, i.e. by
+// the public sort attribute) with geometrically decaying probability —
+// the paper's conjecture is that such non-uniform workloads keep more
+// utility than uniform ones.
+type Clustered struct {
+	N int
+	// Spread is the expected one-sided reach of a cluster (≈ mean
+	// geometric tail length).
+	Spread int
+	Kind   query.Kind
+	Rng    *rand.Rand
+}
+
+// Next implements Generator.
+func (g *Clustered) Next() query.Query {
+	p := 1 / float64(g.Spread+1)
+	for {
+		center := g.Rng.Intn(g.N)
+		var idx []int
+		for i := center; i < g.N; i++ {
+			if i > center && g.Rng.Float64() < p {
+				break
+			}
+			idx = append(idx, i)
+		}
+		for i := center - 1; i >= 0; i-- {
+			if g.Rng.Float64() < p {
+				break
+			}
+			idx = append(idx, i)
+		}
+		if len(idx) >= 2 {
+			return query.Query{Set: query.NewSet(idx...), Kind: g.Kind}
+		}
+	}
+}
+
+// Name implements Generator.
+func (g *Clustered) Name() string { return "clustered-" + g.Kind.String() }

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"queryaudit/internal/query"
+)
+
+// TestUniformRandomBasics: nonempty sorted sets of the right kind.
+func TestUniformRandomBasics(t *testing.T) {
+	g := &UniformRandom{N: 12, Kind: query.Sum, Rng: rand.New(rand.NewSource(1))}
+	for i := 0; i < 200; i++ {
+		q := g.Next()
+		if q.Kind != query.Sum || q.Set.Size() == 0 {
+			t.Fatalf("bad query %v", q)
+		}
+		for _, idx := range q.Set {
+			if idx < 0 || idx >= 12 {
+				t.Fatalf("index out of range: %v", q.Set)
+			}
+		}
+	}
+	if g.Name() != "uniform-sum" {
+		t.Errorf("name = %q", g.Name())
+	}
+}
+
+// TestSizedRandomRespectsBounds.
+func TestSizedRandomRespectsBounds(t *testing.T) {
+	g := &SizedRandom{N: 30, MinSize: 5, MaxSize: 9, Kind: query.Max, Rng: rand.New(rand.NewSource(2))}
+	for i := 0; i < 200; i++ {
+		q := g.Next()
+		if q.Set.Size() < 5 || q.Set.Size() > 9 {
+			t.Fatalf("size %d outside [5,9]", q.Set.Size())
+		}
+	}
+}
+
+// TestRangeQueriesContiguity: 1-D ranges are contiguous with widths in
+// the paper's 50–100 band.
+func TestRangeQueriesContiguity(t *testing.T) {
+	g := &RangeQueries{N: 500, MinWidth: 50, MaxWidth: 100, Kind: query.Sum, Rng: rand.New(rand.NewSource(3))}
+	for i := 0; i < 200; i++ {
+		q := g.Next()
+		w := q.Set.Size()
+		if w < 50 || w > 100 {
+			t.Fatalf("width %d outside [50,100]", w)
+		}
+		for j := 1; j < len(q.Set); j++ {
+			if q.Set[j] != q.Set[j-1]+1 {
+				t.Fatalf("not contiguous: %v", q.Set[:5])
+			}
+		}
+	}
+}
+
+// TestUpdateStreamPeriod: exactly one update per period, none when
+// disabled.
+func TestUpdateStreamPeriod(t *testing.T) {
+	u := &UpdateStream{N: 10, Period: 10, Lo: 0, Hi: 1, Rng: rand.New(rand.NewSource(4))}
+	due := 0
+	for i := 0; i < 100; i++ {
+		if idx, v, d := u.Tick(); d {
+			due++
+			if idx < 0 || idx >= 10 || v < 0 || v >= 1 {
+				t.Fatalf("bad update (%d, %g)", idx, v)
+			}
+		}
+	}
+	if due != 10 {
+		t.Fatalf("updates = %d, want 10", due)
+	}
+	off := &UpdateStream{N: 10, Period: 0, Rng: rand.New(rand.NewSource(5))}
+	for i := 0; i < 50; i++ {
+		if _, _, d := off.Tick(); d {
+			t.Fatal("disabled stream produced an update")
+		}
+	}
+}
+
+// TestClusteredShape: clusters are index-contiguous-ish, at least 2
+// elements, and centered spreads scale with Spread.
+func TestClusteredShape(t *testing.T) {
+	g := &Clustered{N: 200, Spread: 10, Kind: query.Sum, Rng: rand.New(rand.NewSource(6))}
+	total := 0
+	for i := 0; i < 300; i++ {
+		q := g.Next()
+		if q.Set.Size() < 2 {
+			t.Fatalf("cluster too small: %v", q.Set)
+		}
+		// Contiguity: clusters are intervals by construction.
+		for j := 1; j < len(q.Set); j++ {
+			if q.Set[j] != q.Set[j-1]+1 {
+				t.Fatalf("cluster not contiguous: %v", q.Set)
+			}
+		}
+		total += q.Set.Size()
+	}
+	mean := float64(total) / 300
+	if mean < 5 || mean > 60 {
+		t.Fatalf("mean cluster size %.1f out of the expected band for spread 10", mean)
+	}
+}
