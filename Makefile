@@ -1,0 +1,21 @@
+# Build/test entry points. `make ci` is the gate CI runs: it includes
+# the race detector, which protects the engine locking discipline and
+# the concurrent-load tests in internal/server.
+
+GO ?= go
+
+.PHONY: build test race vet ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: build vet race

@@ -11,27 +11,37 @@
 //	curl -s -X POST localhost:8080/v1/queryset \
 //	     -d '{"kind":"max","indices":[0,1,2,3]}'
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/v1/metrics
+//	curl -s localhost:8080/healthz
 //
 // With -snapshot the sum auditor's trail is loaded at startup (if the
 // file exists) and written back on SIGINT/SIGTERM, so restarting the
 // service does not forget what it already revealed.
+//
+// Shutdown is graceful: on the first SIGINT/SIGTERM the server stops
+// accepting connections, drains in-flight requests (bounded by
+// -shutdown-timeout), flushes the audit-trail snapshot, and logs the
+// final protocol and HTTP counters. A second signal aborts immediately.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
-	"fmt"
 	"io/fs"
-	"net/http"
+	"log"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"queryaudit/internal/audit/maxminfull"
 	"queryaudit/internal/audit/sumfull"
 	"queryaudit/internal/core"
 	"queryaudit/internal/dataset"
 	"queryaudit/internal/field"
+	"queryaudit/internal/metrics"
 	"queryaudit/internal/persist"
 	"queryaudit/internal/query"
 	"queryaudit/internal/randx"
@@ -40,78 +50,130 @@ import (
 
 func main() {
 	var (
-		n        = flag.Int("n", 300, "number of records in the synthetic table")
-		seed     = flag.Int64("seed", 1, "random seed for the synthetic table")
-		addr     = flag.String("addr", ":8080", "listen address")
-		snapshot = flag.String("snapshot", "", "path for the sum auditor's persisted trail")
+		n           = flag.Int("n", 300, "number of records in the synthetic table")
+		seed        = flag.Int64("seed", 1, "random seed for the synthetic table")
+		addr        = flag.String("addr", ":8080", "listen address")
+		snapshot    = flag.String("snapshot", "", "path for the sum auditor's persisted trail")
+		maxBody     = flag.Int64("max-body-bytes", 1<<20, "maximum POST body size in bytes")
+		maxIndices  = flag.Int("max-indices", 100_000, "maximum indices per query set")
+		perClient   = flag.Int("per-client-concurrency", 0, "maximum in-flight requests per client IP (0 = unlimited)")
+		drain       = flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain window on SIGINT/SIGTERM")
+		quietAccess = flag.Bool("quiet", false, "disable per-request access logging")
 	)
 	flag.Parse()
+	logger := log.New(os.Stderr, "auditserver ", log.LstdFlags|log.Lmsgprefix)
 
 	ds := dataset.GenerateCompany(randx.New(*seed), dataset.DefaultCompanyConfig(*n))
 	eng := core.NewEngine(ds)
 
 	sumAud := sumfull.New(*n)
 	if *snapshot != "" {
-		if a, ok := loadSnapshot(*snapshot, *n); ok {
+		if a, ok := loadSnapshot(logger, *snapshot, *n); ok {
 			sumAud = a
 		}
 	}
 	eng.Use(sumAud, query.Sum)
 	eng.Use(maxminfull.New(*n), query.Max, query.Min)
 
+	opts := server.Defaults()
+	opts.MaxBodyBytes = *maxBody
+	opts.MaxIndices = *maxIndices
+	opts.PerClientConcurrency = *perClient
+	opts.ShutdownTimeout = *drain
+	if !*quietAccess {
+		opts.AccessLog = logger
+	}
+	reg := metrics.NewRegistry()
 	sdb := core.NewSDB(eng, "salary")
-	srv := server.New(sdb)
+	srv := server.New(sdb, server.WithOptions(opts), server.WithMetrics(reg))
 
+	// First SIGINT/SIGTERM cancels ctx (graceful drain); a second signal
+	// restores default handling, so it kills the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	logger.Printf("%s", ds.Describe())
+	ready := make(chan net.Addr, 1)
+	go func() {
+		a := <-ready
+		logger.Printf("listening on %s", a)
+	}()
+	err := srv.Run(ctx, *addr, ready)
+	stop()
+	if err != nil {
+		logger.Printf("serve: %v", err)
+	}
+
+	// Post-drain: flush the audit trail, then report final counters.
+	exit := 0
 	if *snapshot != "" {
-		go saveOnSignal(*snapshot, sumAud)
+		if err := saveSnapshot(*snapshot, sumAud); err != nil {
+			logger.Printf("snapshot save failed: %v", err)
+			exit = 1
+		} else {
+			logger.Printf("audit trail saved to %s (rank %d)", *snapshot, sumAud.Rank())
+		}
 	}
-	fmt.Printf("auditserver: %s\n", ds.Describe())
-	if err := srv.ListenAndServe(*addr); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	st := eng.Stats()
+	logger.Printf("final stats: answered=%d denied=%d records=%d modifications=%d",
+		st.Answered, st.Denied, st.Records, st.Modifications)
+	snap := reg.Snapshot()
+	logger.Printf("http: requests=%d 2xx=%d 4xx=%d 5xx=%d throttled=%d",
+		snap.Counters["http_requests_total"], snap.Counters["http_responses_total_2xx"],
+		snap.Counters["http_responses_total_4xx"], snap.Counters["http_responses_total_5xx"],
+		snap.Counters["http_throttled_total"])
+	if h, ok := snap.Histograms["engine_decide_seconds"]; ok && h.Count > 0 {
+		logger.Printf("engine: decisions=%d p50=%.4fs p99=%.4fs", h.Count, h.Quantile(0.5), h.Quantile(0.99))
 	}
+	if err != nil {
+		exit = 1
+	}
+	os.Exit(exit)
 }
 
 // loadSnapshot restores the sum auditor from path when present and
 // compatible; a missing file is a clean first boot.
-func loadSnapshot(path string, n int) (*sumfull.Auditor[field.Elem61, field.GF61], bool) {
+func loadSnapshot(logger *log.Logger, path string, n int) (*sumfull.Auditor[field.Elem61, field.GF61], bool) {
 	f, err := os.Open(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, false
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "snapshot: %v (starting fresh)\n", err)
+		logger.Printf("snapshot: %v (starting fresh)", err)
 		return nil, false
 	}
 	defer f.Close()
 	restored, kind, err := persist.Load(f)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "snapshot: %v (starting fresh)\n", err)
+		logger.Printf("snapshot: %v (starting fresh)", err)
 		return nil, false
 	}
 	a, ok := restored.(*sumfull.Auditor[field.Elem61, field.GF61])
 	if !ok || kind != persist.KindSumFull || a.N() != n {
-		fmt.Fprintf(os.Stderr, "snapshot: kind %q / n mismatch (starting fresh)\n", kind)
+		logger.Printf("snapshot: kind %q / n mismatch (starting fresh)", kind)
 		return nil, false
 	}
-	fmt.Printf("auditserver: restored sum audit trail from %s (rank %d)\n", path, a.Rank())
+	logger.Printf("restored sum audit trail from %s (rank %d)", path, a.Rank())
 	return a, true
 }
 
-// saveOnSignal writes the trail on shutdown signals, then exits.
-func saveOnSignal(path string, a *sumfull.Auditor[field.Elem61, field.GF61]) {
-	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-	<-ch
-	f, err := os.Create(path)
-	if err == nil {
-		err = persist.Save(f, a)
-		f.Close()
-	}
+// saveSnapshot writes the trail atomically (temp file + rename), so a
+// crash mid-write cannot truncate a previously good snapshot.
+func saveSnapshot(path string, a *sumfull.Auditor[field.Elem61, field.GF61]) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "snapshot save failed: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("auditserver: audit trail saved to %s\n", path)
-	os.Exit(0)
+	if err := persist.Save(f, a); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
+

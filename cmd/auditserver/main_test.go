@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestGracefulShutdownWritesSnapshot is an end-to-end check of the
+// serving path: build the binary, run it, issue a query, send SIGTERM,
+// and verify the process drains, writes its audit-trail snapshot, and
+// exits 0.
+func TestGracefulShutdownWritesSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping e2e binary test in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "auditserver")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+
+	snap := filepath.Join(dir, "state.json")
+	cmd := exec.Command(bin, "-n", "30", "-addr", "127.0.0.1:0", "-snapshot", snap, "-quiet")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Scan stderr for the bound address; keep draining afterwards so the
+	// child never blocks on a full pipe.
+	addrCh := make(chan string, 1)
+	logDone := make(chan string, 1)
+	go func() {
+		var buf strings.Builder
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			buf.WriteString(line + "\n")
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+		logDone <- buf.String()
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never reported its listen address")
+	}
+
+	// Answer one query so the snapshot has a non-trivial trail.
+	body := bytes.NewReader([]byte(`{"kind":"sum","indices":[0,1,2,3,4]}`))
+	resp, err := http.Post("http://"+addr+"/v1/queryset", "application/json", body)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if out["denied"] == true {
+		t.Fatalf("fresh sum denied: %v", out)
+	}
+	// healthz answers too.
+	hr, err := http.Get("http://" + addr + "/healthz")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, hr)
+	}
+	hr.Body.Close()
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitDone := make(chan error, 1)
+	go func() { waitDone <- cmd.Wait() }()
+	select {
+	case err := <-waitDone:
+		if err != nil {
+			t.Fatalf("process exited with %v\nlog:\n%s", err, <-logDone)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("process did not exit after SIGTERM")
+	}
+	logs := <-logDone
+	if !strings.Contains(logs, "audit trail saved") {
+		t.Fatalf("no snapshot-save log line:\n%s", logs)
+	}
+	if !strings.Contains(logs, "final stats: answered=1") {
+		t.Fatalf("final stats missing or wrong:\n%s", logs)
+	}
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	if !json.Valid(data) {
+		t.Fatal("snapshot is not valid JSON")
+	}
+}

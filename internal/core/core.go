@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"queryaudit/internal/audit"
 	"queryaudit/internal/dataset"
@@ -45,6 +46,26 @@ var ErrNoAuditor = errors.New("core: no auditor registered for this aggregate")
 // NP-hard offline problem — see internal/audit/offline.AuditSumMax — and
 // no online auditor for the mix is known; the paper treats the classes
 // separately, as does this engine.)
+//
+// # Locking discipline
+//
+// One mutex (mu) guards ALL mutable engine state: the auditor
+// registries, every auditor's internal state (auditors are not
+// goroutine-safe; see audit.Auditor), the protocol counters, and the
+// dataset's sensitive values and modification count. Every exported
+// method acquires mu for its whole duration, so each is an atomic step
+// of the protocol:
+//
+//   - Ask runs decide/evaluate/record as one critical section.
+//   - Prime holds the lock across the ENTIRE list, so user queries
+//     cannot interleave mid-prime and spuriously deny a must-have query.
+//   - Stats and KnowledgeSnapshot read counters and auditor knowledge
+//     in one acquisition — no torn snapshots.
+//
+// Auditor-returned state (audit.KnowledgeReporter, Log.Answered, the
+// persist package's savers) must only be touched through the engine's
+// snapshot methods once the engine is serving concurrent traffic;
+// reaching around the engine to an auditor races with Ask.
 type Engine struct {
 	// mu serializes the protocol: auditors are stateful and their
 	// Decide/Record pairs must not interleave across requests.
@@ -52,9 +73,25 @@ type Engine struct {
 	ds       *dataset.Dataset
 	auditors map[query.Kind]audit.Auditor
 	naive    map[query.Kind]audit.AnswerDependent
+	obs      Observer
 	// stats
 	answered int
 	denied   int
+}
+
+// Observer receives engine protocol events for instrumentation. The
+// callbacks run while the engine lock is held, so implementations must
+// be fast and lock-free (atomic counters / histograms) and must not call
+// back into the engine.
+type Observer interface {
+	// ObserveDecision reports one completed top-level query: its
+	// aggregate kind, whether it was denied, and the wall-clock time the
+	// decide/evaluate/record critical section took. Queries that fail
+	// with an error (malformed, unsupported) are not reported.
+	ObserveDecision(kind query.Kind, denied bool, elapsed time.Duration)
+	// ObservePrime reports one Prime call: how many queries were
+	// committed before it stopped, and whether the whole list succeeded.
+	ObservePrime(committed int, ok bool)
 }
 
 // NewEngine returns an engine over ds with no auditors registered.
@@ -66,17 +103,27 @@ func NewEngine(ds *dataset.Dataset) *Engine {
 	}
 }
 
-// Dataset returns the underlying dataset.
+// Dataset returns the underlying dataset. The dataset itself is not
+// goroutine-safe: while the engine serves concurrent traffic, read its
+// mutable fields (sensitive values, modification count) through
+// engine methods (Stats, Update) rather than directly.
 func (e *Engine) Dataset() *dataset.Dataset { return e.ds }
 
 // Auditor returns the simulatable auditor registered for kind, if any.
+// The returned auditor's state is guarded by the engine lock — do not
+// call its methods while the engine serves concurrent traffic (use
+// KnowledgeSnapshot for exposure reports).
 func (e *Engine) Auditor(k query.Kind) (audit.Auditor, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	a, ok := e.auditors[k]
 	return a, ok
 }
 
 // Use registers a simulatable auditor for the given aggregate kinds.
 func (e *Engine) Use(a audit.Auditor, kinds ...query.Kind) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for _, k := range kinds {
 		e.auditors[k] = a
 	}
@@ -85,12 +132,22 @@ func (e *Engine) Use(a audit.Auditor, kinds ...query.Kind) {
 // UseAnswerDependent registers a non-simulatable auditor (baselines
 // only).
 func (e *Engine) UseAnswerDependent(a audit.AnswerDependent, kinds ...query.Kind) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for _, k := range kinds {
 		e.naive[k] = a
 	}
 }
 
-// Answered and Denied return protocol counters.
+// SetObserver installs the instrumentation hook (nil disables). See
+// Observer for the constraints on implementations.
+func (e *Engine) SetObserver(o Observer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.obs = o
+}
+
+// Answered returns how many queries were answered.
 func (e *Engine) Answered() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -104,12 +161,75 @@ func (e *Engine) Denied() int {
 	return e.denied
 }
 
+// Stats is a consistent snapshot of the protocol counters and dataset
+// tallies, taken under one lock acquisition.
+type Stats struct {
+	// Answered and Denied count protocol outcomes; their sum is the
+	// number of well-formed queries the engine has decided.
+	Answered int
+	Denied   int
+	// Records is the dataset size; Modifications counts sensitive-value
+	// updates applied through Update.
+	Records       int
+	Modifications int
+}
+
+// Stats returns a torn-free snapshot of the counters. Unlike separate
+// Answered()/Denied() calls, the pair is read in one critical section,
+// so answered+denied always equals the number of decided queries at
+// some single instant.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		Answered:      e.answered,
+		Denied:        e.denied,
+		Records:       e.ds.N(),
+		Modifications: e.ds.Modifications(),
+	}
+}
+
+// KnowledgeSnapshot reports, per reporting auditor (by name), what the
+// answered history exposes about each record. The whole report is built
+// under the engine lock, so it reflects one instant of the protocol —
+// calling auditors' Knowledge() directly instead races with Ask.
+// Auditors registered for several kinds appear once.
+func (e *Engine) KnowledgeSnapshot() map[string][]audit.ElementKnowledge {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := map[string][]audit.ElementKnowledge{}
+	seen := map[audit.Auditor]bool{}
+	for _, a := range e.auditors {
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		kr, ok := a.(audit.KnowledgeReporter)
+		if !ok {
+			continue
+		}
+		out[a.Name()] = append([]audit.ElementKnowledge(nil), kr.Knowledge()...)
+	}
+	return out
+}
+
 // Ask runs one query through the protocol. It is safe for concurrent
 // use: the decide/evaluate/record triplet runs atomically per query.
 func (e *Engine) Ask(q query.Query) (Response, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.ask(q)
+	return e.askObserved(q)
+}
+
+// askObserved wraps ask with the instrumentation hook; it reports only
+// top-level queries (the Avg→Sum recursion inside ask stays one event).
+func (e *Engine) askObserved(q query.Query) (Response, error) {
+	start := time.Now()
+	resp, err := e.ask(q)
+	if e.obs != nil && err == nil {
+		e.obs.ObserveDecision(q.Kind, resp.Denied, time.Since(start))
+	}
+	return resp, err
 }
 
 // ask is the lock-free core of Ask (Avg recursion stays under one lock).
@@ -176,17 +296,34 @@ func (e *Engine) ask(q query.Query) (Response, error) {
 // into the answered pool first guarantees they remain answerable forever
 // (repeats add no information), at the cost of whatever query room they
 // consume. Prime fails if any primed query is itself denied.
+//
+// The engine lock is held across the WHOLE list: concurrent user
+// queries cannot interleave between two primed queries and consume the
+// query room a later must-have query needs. A denial mid-list still
+// leaves earlier primes committed (they were answered, so the auditor
+// remembers them) and reports the offending query.
 func (e *Engine) Prime(qs []query.Query) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	committed := 0
+	var err error
 	for _, q := range qs {
-		resp, err := e.Ask(q)
+		var resp Response
+		resp, err = e.askObserved(q)
 		if err != nil {
-			return fmt.Errorf("core: priming %v: %w", q, err)
+			err = fmt.Errorf("core: priming %v: %w", q, err)
+			break
 		}
 		if resp.Denied {
-			return fmt.Errorf("core: priming %v: denied — primed queries must be mutually safe", q)
+			err = fmt.Errorf("core: priming %v: denied — primed queries must be mutually safe", q)
+			break
 		}
+		committed++
 	}
-	return nil
+	if e.obs != nil {
+		e.obs.ObservePrime(committed, err == nil)
+	}
+	return err
 }
 
 // Update modifies record i's sensitive value and notifies every auditor

@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"queryaudit/internal/query"
+)
+
+// TestCounterConcurrent: atomic increments from many goroutines land
+// exactly (run with -race).
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 16000 {
+		t.Fatalf("counter = %d, want 16000", got)
+	}
+}
+
+// TestHistogramBuckets: observations land in the right buckets, count
+// and sum track, and boundary values go to the bucket they bound
+// (v <= bound).
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Sum != 556.5 {
+		t.Fatalf("sum = %v, want 556.5", s.Sum)
+	}
+	want := []int64{2, 1, 1, 1} // (≤1)=0.5,1 ; (≤10)=5 ; (≤100)=50 ; overflow=500
+	for i, w := range want {
+		if s.Buckets[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Buckets[i], w, s.Buckets)
+		}
+	}
+}
+
+// TestHistogramConcurrent: concurrent observes lose nothing (the sum is
+// CAS-maintained; run with -race).
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram([]float64{0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 || h.Sum() != 4000 {
+		t.Fatalf("count=%d sum=%v, want 4000/4000", h.Count(), h.Sum())
+	}
+}
+
+// TestQuantile: the interpolated quantile is monotone and lands inside
+// the containing bucket.
+func TestQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5) // all in the first bucket
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q <= 0 || q > 1 {
+		t.Fatalf("p50 = %v, want in (0,1]", q)
+	}
+	h.Observe(8) // overflow bucket
+	s = h.Snapshot()
+	if q := s.Quantile(1.0); q != 4 {
+		t.Fatalf("p100 with overflow = %v, want top bound 4", q)
+	}
+	var empty HistogramSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+// TestRegistryIdentity: get-or-create returns the same instance per
+// name, and snapshots include everything registered.
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	a, b := r.Counter("x"), r.Counter("x")
+	if a != b {
+		t.Fatal("Counter(x) returned distinct instances")
+	}
+	a.Add(3)
+	h := r.Histogram("lat", nil)
+	h.Observe(0.001)
+	s := r.Snapshot()
+	if s.Counters["x"] != 3 {
+		t.Fatalf("snapshot counter = %d, want 3", s.Counters["x"])
+	}
+	if s.Histograms["lat"].Count != 1 {
+		t.Fatalf("snapshot histogram count = %d, want 1", s.Histograms["lat"].Count)
+	}
+	if names := r.CounterNames(); len(names) != 1 || names[0] != "x" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+// TestEngineCollector: decision and prime events reach the right
+// counters.
+func TestEngineCollector(t *testing.T) {
+	r := NewRegistry()
+	c := NewEngineCollector(r)
+	c.ObserveDecision(query.Sum, false, time.Millisecond)
+	c.ObserveDecision(query.Sum, true, time.Millisecond)
+	c.ObserveDecision(query.Max, false, time.Millisecond)
+	c.ObservePrime(2, true)
+	c.ObservePrime(1, false)
+	s := r.Snapshot()
+	checks := map[string]int64{
+		"engine_answered_total_sum":   1,
+		"engine_denied_total_sum":     1,
+		"engine_answered_total_max":   1,
+		"engine_prime_ok_total":       1,
+		"engine_prime_failed_total":   1,
+		"engine_primed_queries_total": 3,
+	}
+	for name, want := range checks {
+		if got := s.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if s.Histograms["engine_decide_seconds"].Count != 3 {
+		t.Fatalf("decide histogram count = %d, want 3", s.Histograms["engine_decide_seconds"].Count)
+	}
+}

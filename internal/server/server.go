@@ -6,35 +6,82 @@
 //	POST /v1/query    {"sql": "SELECT sum(salary) WHERE age >= 40"}
 //	POST /v1/queryset {"kind": "max", "indices": [0, 3, 7]}
 //	POST /v1/update   {"index": 3, "value": 81000}
+//	POST /v1/prime    {"queries": [{"kind": "sum", "indices": [...]}]}
 //	GET  /v1/stats
 //	GET  /v1/schema
+//	GET  /v1/knowledge
+//	GET  /v1/metrics
+//	GET  /healthz
 //
 // Denials are HTTP 200 with {"denied": true} — a denial is a normal
 // protocol outcome, not a transport error. Malformed requests are 400;
-// unsupported aggregates are 422.
+// unsupported aggregates are 422; oversized bodies or index lists are
+// 413; a throttled client is 429.
+//
+// # Production hygiene
+//
+// Every POST body is capped by http.MaxBytesReader (Options.MaxBodyBytes,
+// default 1 MiB), and /v1/queryset and /v1/prime additionally bound the
+// number of indices / queries they accept (Options.MaxIndices,
+// Options.MaxPrimeQueries), so a single request cannot hold the engine
+// lock arbitrarily long. Run (and ListenAndServe) install read/write/
+// idle timeouts on the http.Server and drain in-flight requests on
+// context cancellation. All handlers run behind middleware that records
+// per-route counters and latency histograms into a metrics.Registry
+// (exported at GET /v1/metrics) and, when Options.AccessLog is set,
+// writes one structured line per request. An optional per-client
+// concurrency limiter (Options.PerClientConcurrency) bounds how many
+// requests one client may have in flight.
+//
+// Concurrency correctness is delegated to core.Engine's locking
+// discipline: handlers only touch engine state through locked methods
+// (Ask, Update, Prime, Stats, KnowledgeSnapshot) and never reach around
+// the engine to an auditor.
 package server
 
 import (
 	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
+	"strconv"
 
 	"queryaudit/internal/audit"
 	"queryaudit/internal/core"
+	"queryaudit/internal/metrics"
 	"queryaudit/internal/query"
 )
 
 // Server wraps an SDB with HTTP handlers. The engine's own mutex makes
 // concurrent requests safe.
 type Server struct {
-	sdb *core.SDB
-	mux *http.ServeMux
+	sdb     *core.SDB
+	mux     *http.ServeMux
+	handler http.Handler // mux behind the middleware chain
+	opts    Options
+	reg     *metrics.Registry
+	httpM   *httpMetrics
+	limiter *clientLimiter
 }
 
-// New builds a server over an SDB.
-func New(sdb *core.SDB) *Server {
-	s := &Server{sdb: sdb, mux: http.NewServeMux()}
+// New builds a server over an SDB. With no options it uses Defaults()
+// and an internal metrics registry; pass WithOptions / WithMetrics to
+// customize. The engine is instrumented with a metrics.EngineCollector
+// unless it already has an observer installed by the caller.
+func New(sdb *core.SDB, opts ...Option) *Server {
+	s := &Server{sdb: sdb, mux: http.NewServeMux(), opts: Defaults()}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.reg == nil {
+		s.reg = metrics.NewRegistry()
+	}
+	if s.opts.InstrumentEngine {
+		sdb.Engine().SetObserver(metrics.NewEngineCollector(s.reg))
+	}
+	s.httpM = newHTTPMetrics(s.reg)
+	if s.opts.PerClientConcurrency > 0 {
+		s.limiter = newClientLimiter(s.opts.PerClientConcurrency)
+	}
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/queryset", s.handleQuerySet)
 	s.mux.HandleFunc("POST /v1/update", s.handleUpdate)
@@ -42,11 +89,19 @@ func New(sdb *core.SDB) *Server {
 	s.mux.HandleFunc("GET /v1/schema", s.handleSchema)
 	s.mux.HandleFunc("GET /v1/knowledge", s.handleKnowledge)
 	s.mux.HandleFunc("POST /v1/prime", s.handlePrime)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.handler = s.middleware(s.mux)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// Metrics returns the registry the server records into.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// ServeHTTP implements http.Handler (middleware included).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
 
 // QueryRequest is the body of POST /v1/query.
 type QueryRequest struct {
@@ -60,10 +115,13 @@ type QuerySetRequest struct {
 	Indices []int  `json:"indices"`
 }
 
-// QueryResponse is the body of query responses.
+// QueryResponse is the body of query responses. Answer is a pointer so
+// a legitimate answer of exactly 0 is serialized as {"denied":false,
+// "answer":0} rather than silently omitted; on denials the field is
+// absent.
 type QueryResponse struct {
-	Denied bool    `json:"denied"`
-	Answer float64 `json:"answer,omitempty"`
+	Denied bool     `json:"denied"`
+	Answer *float64 `json:"answer,omitempty"`
 }
 
 // UpdateRequest is the body of POST /v1/update.
@@ -72,7 +130,9 @@ type UpdateRequest struct {
 	Value float64 `json:"value"`
 }
 
-// StatsResponse is the body of GET /v1/stats.
+// StatsResponse is the body of GET /v1/stats. All four fields are read
+// in one engine lock acquisition (core.Engine.Stats), so answered+denied
+// is never a torn snapshot.
 type StatsResponse struct {
 	Answered      int `json:"answered"`
 	Denied        int `json:"denied"`
@@ -91,9 +151,26 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// decodeBody decodes a JSON body capped at MaxBodyBytes. It reports
+// oversized bodies distinctly so the caller can 413 instead of 400.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) (ok, tooLarge bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil {
+		return true, false
+	}
+	var mbe *http.MaxBytesError
+	return false, errors.As(err, &mbe)
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.SQL == "" {
+	ok, tooLarge := s.decodeBody(w, r, &req)
+	if tooLarge {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: "request body too large"})
+		return
+	}
+	if !ok || req.SQL == "" {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be {\"sql\": \"SELECT ...\"}"})
 		return
 	}
@@ -103,8 +180,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleQuerySet(w http.ResponseWriter, r *http.Request) {
 	var req QuerySetRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	ok, tooLarge := s.decodeBody(w, r, &req)
+	if tooLarge {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: "request body too large"})
+		return
+	}
+	if !ok {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be {\"kind\": ..., \"indices\": [...]}"})
+		return
+	}
+	if len(req.Indices) > s.opts.MaxIndices {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+			Error: "too many indices (limit " + strconv.Itoa(s.opts.MaxIndices) + ")"})
 		return
 	}
 	kind, err := query.ParseKind(req.Kind)
@@ -125,13 +212,19 @@ func (s *Server) writeQueryResult(w http.ResponseWriter, resp core.Response, err
 	case resp.Denied:
 		writeJSON(w, http.StatusOK, QueryResponse{Denied: true})
 	default:
-		writeJSON(w, http.StatusOK, QueryResponse{Answer: resp.Answer})
+		ans := resp.Answer
+		writeJSON(w, http.StatusOK, QueryResponse{Answer: &ans})
 	}
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	var req UpdateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	ok, tooLarge := s.decodeBody(w, r, &req)
+	if tooLarge {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: "request body too large"})
+		return
+	}
+	if !ok {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be {\"index\": i, \"value\": v}"})
 		return
 	}
@@ -143,12 +236,12 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	eng := s.sdb.Engine()
+	st := s.sdb.Engine().Stats()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Answered:      eng.Answered(),
-		Denied:        eng.Denied(),
-		Records:       eng.Dataset().N(),
-		Modifications: eng.Dataset().Modifications(),
+		Answered:      st.Answered,
+		Denied:        st.Denied,
+		Records:       st.Records,
+		Modifications: st.Modifications,
 	})
 }
 
@@ -174,20 +267,36 @@ func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
 
 // PrimeRequest is the body of POST /v1/prime: "important" queries to
 // answer up front so they stay answerable forever (the paper's Section 7
-// remedy). Priming fails atomically per query; a denial mid-list leaves
-// earlier primes committed and reports the offender.
+// remedy). The whole list runs under one engine lock acquisition, so
+// user queries cannot interleave mid-prime; a denial mid-list leaves
+// earlier primes committed and reports the offender with 409.
 type PrimeRequest struct {
 	Queries []QuerySetRequest `json:"queries"`
 }
 
 func (s *Server) handlePrime(w http.ResponseWriter, r *http.Request) {
 	var req PrimeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Queries) == 0 {
+	ok, tooLarge := s.decodeBody(w, r, &req)
+	if tooLarge {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: "request body too large"})
+		return
+	}
+	if !ok || len(req.Queries) == 0 {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be {\"queries\": [{\"kind\":...,\"indices\":[...]}, ...]}"})
+		return
+	}
+	if len(req.Queries) > s.opts.MaxPrimeQueries {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+			Error: "too many prime queries (limit " + strconv.Itoa(s.opts.MaxPrimeQueries) + ")"})
 		return
 	}
 	var qs []query.Query
 	for _, q := range req.Queries {
+		if len(q.Indices) > s.opts.MaxIndices {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+				Error: "too many indices (limit " + strconv.Itoa(s.opts.MaxIndices) + ")"})
+			return
+		}
 		kind, err := query.ParseKind(q.Kind)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
@@ -209,23 +318,29 @@ type KnowledgeResponse struct {
 }
 
 func (s *Server) handleKnowledge(w http.ResponseWriter, _ *http.Request) {
-	eng := s.sdb.Engine()
-	out := KnowledgeResponse{Auditors: map[string][]audit.ElementKnowledge{}}
-	for _, k := range []query.Kind{query.Sum, query.Max, query.Min} {
-		a, ok := eng.Auditor(k)
-		if !ok {
-			continue
-		}
-		kr, ok := a.(audit.KnowledgeReporter)
-		if !ok {
-			continue
-		}
-		if _, seen := out.Auditors[a.Name()]; seen {
-			continue // one auditor may serve several kinds
-		}
-		out.Auditors[a.Name()] = sanitizeKnowledge(kr.Knowledge())
+	// KnowledgeSnapshot reads every auditor under the engine lock — the
+	// previous implementation called Auditor()/Knowledge() unlocked and
+	// raced with concurrent Ask/Record.
+	snap := s.sdb.Engine().KnowledgeSnapshot()
+	out := KnowledgeResponse{Auditors: make(map[string][]audit.ElementKnowledge, len(snap))}
+	for name, ks := range snap {
+		out.Auditors[name] = sanitizeKnowledge(ks)
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealthz is a liveness probe: the process is up and the mux is
+// serving. It deliberately avoids the engine lock so a long-running
+// decide cannot fail the probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics exports the registry as JSON: HTTP counters/latency
+// per route, engine decision counters per aggregate kind, and the
+// decide-latency histogram.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Snapshot())
 }
 
 // sanitizeKnowledge replaces ±Inf bounds (not expressible in JSON) with
@@ -243,11 +358,4 @@ func sanitizeKnowledge(ks []audit.ElementKnowledge) []audit.ElementKnowledge {
 		}
 	}
 	return out
-}
-
-// ListenAndServe runs the server on addr (blocking).
-func (s *Server) ListenAndServe(addr string) error {
-	srv := &http.Server{Addr: addr, Handler: s}
-	fmt.Printf("auditserver listening on %s\n", addr)
-	return srv.ListenAndServe()
 }
