@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet ci
+.PHONY: build test race vet ci bench
 
 build:
 	$(GO) build ./...
@@ -19,3 +19,11 @@ race:
 	$(GO) test -race ./...
 
 ci: build vet race
+
+# Monte Carlo engine benchmarks (per-worker Decide sweeps + coloring
+# chain), archived as a dated JSON stream of test2json events so runs
+# are diffable across machines and commits.
+BENCH_OUT ?= BENCH_$(shell date +%Y-%m-%d).json
+bench:
+	$(GO) test -run='^$$' -bench='Decide$$|ColoringChain' -benchmem -json . > $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT)"

@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"queryaudit/internal/audit"
@@ -321,43 +322,55 @@ func BenchmarkMaxAuditorDecide(b *testing.B) {
 }
 
 // BenchmarkMaxProbDecide measures one probabilistic (Section 3.1)
-// decision including its Monte Carlo sampling.
+// decision including its Monte Carlo sampling, per worker-pool size.
+// Decisions are bit-identical across the sub-benchmarks (same seed, same
+// counter-based streams); only the wall clock may differ.
 func BenchmarkMaxProbDecide(b *testing.B) {
 	const n = 100
-	a, err := maxprob.New(n, maxprob.Params{
-		Lambda: 0.45, Gamma: 4, Delta: 0.2, T: 50, Samples: 64, Seed: 4,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
 	rng := randx.New(5)
 	set := query.New(query.Max, randx.SubsetSizeBetween(rng, n, 40, 90)...)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := a.Decide(set); err != nil {
-			b.Fatal(err)
-		}
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			a, err := maxprob.New(n, maxprob.Params{
+				Lambda: 0.45, Gamma: 4, Delta: 0.2, T: 50,
+				Samples: 512, Workers: workers, Seed: 4,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.Decide(set); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
 // BenchmarkMaxMinProbDecide measures one Section 3.2 decision (Lemma 2
-// pre-check plus nested MCMC estimation).
+// pre-check plus nested MCMC estimation), per worker-pool size.
 func BenchmarkMaxMinProbDecide(b *testing.B) {
 	const n = 30
-	a, err := maxminprob.New(n, maxminprob.Params{
-		Lambda: 0.45, Gamma: 4, Delta: 0.2, T: 10,
-		OuterSamples: 8, InnerSamples: 16, MixFactor: 2, Seed: 6,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
 	rng := randx.New(7)
 	q := query.New(query.Max, randx.SubsetSizeBetween(rng, n, 15, 30)...)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := a.Decide(q); err != nil {
-			b.Fatal(err)
-		}
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			a, err := maxminprob.New(n, maxminprob.Params{
+				Lambda: 0.45, Gamma: 4, Delta: 0.2, T: 10,
+				OuterSamples: 32, InnerSamples: 16, MixFactor: 2,
+				Workers: workers, Seed: 6,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.Decide(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

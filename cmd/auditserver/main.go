@@ -14,9 +14,17 @@
 //	curl -s localhost:8080/v1/metrics
 //	curl -s localhost:8080/healthz
 //
+// With -auditors=prob the table is instead guarded by the probabilistic
+// (λ, δ, γ, T) auditors of Section 3 — maxminprob on max/min, sumprob on
+// sum — whose per-decision Monte Carlo fans out across -mc-workers
+// workers (0 = GOMAXPROCS). Decisions are bit-identical at any worker
+// count for a fixed -prob-seed; /v1/metrics exports the mc_* counters
+// (samples per decision, early-exit savings, parallel speedup).
+//
 // With -snapshot the sum auditor's trail is loaded at startup (if the
 // file exists) and written back on SIGINT/SIGTERM, so restarting the
-// service does not forget what it already revealed.
+// service does not forget what it already revealed. Snapshots apply to
+// the full-disclosure auditors only.
 //
 // Shutdown is graceful: on the first SIGINT/SIGTERM the server stops
 // accepting connections, drains in-flight requests (bounded by
@@ -37,7 +45,9 @@ import (
 	"time"
 
 	"queryaudit/internal/audit/maxminfull"
+	"queryaudit/internal/audit/maxminprob"
 	"queryaudit/internal/audit/sumfull"
+	"queryaudit/internal/audit/sumprob"
 	"queryaudit/internal/core"
 	"queryaudit/internal/dataset"
 	"queryaudit/internal/field"
@@ -59,27 +69,72 @@ func main() {
 		perClient   = flag.Int("per-client-concurrency", 0, "maximum in-flight requests per client IP (0 = unlimited)")
 		drain       = flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain window on SIGINT/SIGTERM")
 		quietAccess = flag.Bool("quiet", false, "disable per-request access logging")
+		auditors    = flag.String("auditors", "full", "auditor family: full (exact disclosure auditors) or prob (Section 3 probabilistic auditors)")
+		mcWorkers   = flag.Int("mc-workers", 0, "parallel Monte Carlo workers per decision for prob auditors (0 = GOMAXPROCS, 1 = sequential)")
+		probLambda  = flag.Float64("prob-lambda", 0.45, "prob auditors: tolerated posterior/prior drift λ in (0,1)")
+		probGamma   = flag.Int("prob-gamma", 4, "prob auditors: partition intervals γ")
+		probDelta   = flag.Float64("prob-delta", 0.2, "prob auditors: attacker winning-probability bound δ")
+		probT       = flag.Int("prob-t", 12, "prob auditors: game rounds T")
+		probSeed    = flag.Int64("prob-seed", 1, "prob auditors: Monte Carlo seed (decisions are reproducible per seed)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "auditserver ", log.LstdFlags|log.Lmsgprefix)
 
-	ds := dataset.GenerateCompany(randx.New(*seed), dataset.DefaultCompanyConfig(*n))
+	cfg := dataset.DefaultCompanyConfig(*n)
+	if *auditors == "prob" {
+		// The Section 3 auditors implement the paper's normalized data
+		// model: sensitive values i.i.d. uniform on [0,1], which is also
+		// the range their interval partition and polytope box protect.
+		// Feeding raw salaries would make every recorded answer
+		// inconsistent with the [0,1] synopsis.
+		cfg.MinSalary, cfg.MaxSalary = 0, 1
+	}
+	ds := dataset.GenerateCompany(randx.New(*seed), cfg)
 	eng := core.NewEngine(ds)
 
-	sumAud := sumfull.New(*n)
-	if *snapshot != "" {
-		if a, ok := loadSnapshot(logger, *snapshot, *n); ok {
-			sumAud = a
+	var sumAud *sumfull.Auditor[field.Elem61, field.GF61]
+	switch *auditors {
+	case "full":
+		sumAud = sumfull.New(*n)
+		if *snapshot != "" {
+			if a, ok := loadSnapshot(logger, *snapshot, *n); ok {
+				sumAud = a
+			}
 		}
+		eng.Use(sumAud, query.Sum)
+		eng.Use(maxminfull.New(*n), query.Max, query.Min)
+	case "prob":
+		if *snapshot != "" {
+			logger.Fatalf("-snapshot only supports -auditors=full")
+		}
+		mmAud, err := maxminprob.New(*n, maxminprob.Params{
+			Lambda: *probLambda, Gamma: *probGamma, Delta: *probDelta, T: *probT,
+			Workers: *mcWorkers, Seed: *probSeed,
+		})
+		if err != nil {
+			logger.Fatalf("maxminprob: %v", err)
+		}
+		sAud, err := sumprob.New(*n, sumprob.Params{
+			Lambda: *probLambda, Gamma: *probGamma, Delta: *probDelta, T: *probT,
+			Workers: *mcWorkers, Seed: *probSeed + 1,
+		})
+		if err != nil {
+			logger.Fatalf("sumprob: %v", err)
+		}
+		eng.Use(mmAud, query.Max, query.Min)
+		eng.Use(sAud, query.Sum)
+		logger.Printf("probabilistic auditors: lambda=%g gamma=%d delta=%g T=%d mc-workers=%d (sensitive values normalized to [0,1])",
+			*probLambda, *probGamma, *probDelta, *probT, *mcWorkers)
+	default:
+		logger.Fatalf("unknown -auditors %q (want full or prob)", *auditors)
 	}
-	eng.Use(sumAud, query.Sum)
-	eng.Use(maxminfull.New(*n), query.Max, query.Min)
 
 	opts := server.Defaults()
 	opts.MaxBodyBytes = *maxBody
 	opts.MaxIndices = *maxIndices
 	opts.PerClientConcurrency = *perClient
 	opts.ShutdownTimeout = *drain
+	opts.MCWorkers = *mcWorkers
 	if !*quietAccess {
 		opts.AccessLog = logger
 	}

@@ -90,17 +90,18 @@ func TestGracefulShutdownWritesSnapshot(t *testing.T) {
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
-	waitDone := make(chan error, 1)
-	go func() { waitDone <- cmd.Wait() }()
+	// Drain stderr to EOF before calling Wait: Wait closes the pipe as
+	// soon as the child exits, and calling it concurrently with the
+	// scanner can discard the final (snapshot/stats) log lines.
+	var logs string
 	select {
-	case err := <-waitDone:
-		if err != nil {
-			t.Fatalf("process exited with %v\nlog:\n%s", err, <-logDone)
-		}
+	case logs = <-logDone:
 	case <-time.After(15 * time.Second):
 		t.Fatal("process did not exit after SIGTERM")
 	}
-	logs := <-logDone
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("process exited with %v\nlog:\n%s", err, logs)
+	}
 	if !strings.Contains(logs, "audit trail saved") {
 		t.Fatalf("no snapshot-save log line:\n%s", logs)
 	}

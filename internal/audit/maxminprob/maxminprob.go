@@ -19,6 +19,13 @@
 // current synopsis could produce a graph violating the condition, the
 // query is refused before any sampling happens (the finite candidate-
 // answer technique of Section 4 makes this check effective).
+//
+// The outer Monte Carlo loop runs on the shared parallel engine
+// (internal/mcpar): the coloring graph of the current synopsis is built
+// once per decision and shared read-only, each worker keeps a reusable
+// chain sampler and dataset buffers, and every outer sample draws from a
+// counter-based stream keyed by (decision seed, sample index) so the
+// decision is bit-identical at any worker count.
 package maxminprob
 
 import (
@@ -28,6 +35,7 @@ import (
 	"queryaudit/internal/audit"
 	"queryaudit/internal/coloring"
 	"queryaudit/internal/interval"
+	"queryaudit/internal/mcpar"
 	"queryaudit/internal/query"
 	"queryaudit/internal/randx"
 	"queryaudit/internal/synopsis"
@@ -56,6 +64,10 @@ type Params struct {
 	// auditor switches from MCMC to exact enumeration — the paper's
 	// fallback when Lemma 2's degree condition fails (0 → 20000).
 	EnumerateLimit int
+	// Workers bounds the parallel Monte Carlo pool per decision;
+	// 0 = GOMAXPROCS, 1 = sequential. Decisions are identical at any
+	// worker count for a fixed Seed.
+	Workers int
 	// Seed drives the auditor's randomness.
 	Seed int64
 }
@@ -107,12 +119,17 @@ func (p Params) enumerateLimit() int {
 
 // Auditor is the Section 3.2 simulatable probabilistic max∧min auditor.
 type Auditor struct {
-	n             int
-	params        Params
-	part          interval.Partition
-	window        interval.RatioWindow
-	syn           *synopsis.MaxMin
-	rng           *rand.Rand
+	n      int
+	params Params
+	part   interval.Partition
+	window interval.RatioWindow
+	syn    *synopsis.MaxMin
+	// decisions counts Decide calls; each decision derives its own base
+	// seed from (params.Seed, decisions) so samples are fresh per decision
+	// yet bit-reproducible across runs and worker counts.
+	decisions uint64
+	// mc observes per-decision Monte Carlo accounting (may be nil).
+	mc            mcpar.Observer
 	denyThreshold float64
 }
 
@@ -127,10 +144,16 @@ func New(n int, params Params) (*Auditor, error) {
 		part:          interval.NewPartition(0, 1, params.Gamma),
 		window:        interval.RatioWindow{Lambda: params.Lambda},
 		syn:           synopsis.NewMaxMin(n, 0, 1),
-		rng:           randx.New(params.Seed),
 		denyThreshold: params.Delta / (2 * float64(params.T)),
 	}, nil
 }
+
+// SetWorkers adjusts the Monte Carlo pool size (0 = GOMAXPROCS).
+func (a *Auditor) SetWorkers(n int) { a.params.Workers = n }
+
+// SetMCObserver installs the per-decision Monte Carlo observer (nil
+// disables).
+func (a *Auditor) SetMCObserver(o mcpar.Observer) { a.mc = o }
 
 // Name implements audit.Auditor.
 func (a *Auditor) Name() string { return "maxmin-partial-disclosure" }
@@ -231,7 +254,7 @@ func witnessProbs(b *synopsis.MaxMin, params Params, rng *rand.Rand) (*coloring.
 		for st := 0; st < thin; st++ {
 			s.Step()
 		}
-		c := s.Coloring()
+		c := s.Current() // no-copy read; consumed before the next Step
 		for v, col := range c {
 			for ci, candidate := range g.Nodes[v].Colors {
 				if candidate == col {
@@ -250,9 +273,9 @@ func witnessProbs(b *synopsis.MaxMin, params Params, rng *rand.Rand) (*coloring.
 }
 
 // safeState checks the λ-window for every element × interval given a
-// synopsis state, using Monte Carlo witness probabilities.
-func (a *Auditor) safeState(b *synopsis.MaxMin) (bool, error) {
-	g, probs, err := witnessProbs(b, a.params, a.rng)
+// synopsis state, using Monte Carlo witness probabilities drawn from rng.
+func (a *Auditor) safeState(b *synopsis.MaxMin, rng *rand.Rand) (bool, error) {
+	g, probs, err := witnessProbs(b, a.params, rng)
 	if err != nil {
 		return false, err
 	}
@@ -315,49 +338,71 @@ func (a *Auditor) Decide(q query.Query) (audit.Decision, error) {
 	if !a.inferenceTractableForAllAnswers(q) {
 		return audit.Deny, nil
 	}
-	outer := a.params.outer()
-	unsafe := 0
-	for s := 0; s < outer; s++ {
-		xs, err := a.sampleConsistent()
-		if err != nil {
-			return audit.Deny, err
-		}
-		ans := q.Eval(xs)
-		trial := a.syn.Clone()
-		var aerr error
-		if q.Kind == query.Max {
-			aerr = trial.AddMax(q.Set, ans)
-		} else {
-			aerr = trial.AddMin(q.Set, ans)
-		}
-		if aerr != nil {
-			unsafe++ // sampled-consistent answers should fold cleanly
-			continue
-		}
-		ok, serr := a.safeState(trial)
-		if serr != nil || !ok {
-			unsafe++
-		}
+	// The coloring graph of the current synopsis is identical for every
+	// outer sample: build it (and its deterministic starting coloring)
+	// once per decision and share both read-only across the workers.
+	g, err := coloring.Build(a.syn)
+	if err != nil {
+		return audit.Deny, err
 	}
-	if float64(unsafe)/float64(outer) > a.denyThreshold {
+	init, err := g.InitialColoring()
+	if err != nil {
+		return audit.Deny, err
+	}
+	budget := a.params.outer()
+	barrier := mcpar.DenyBarrier(budget, a.denyThreshold)
+	seed := randx.DeriveSeed(a.params.Seed, a.decisions)
+	a.decisions++
+	out := mcpar.Vote(
+		mcpar.Config{Workers: a.params.Workers, Seed: seed, Observer: a.mc},
+		budget, barrier,
+		func() *decideScratch {
+			return &decideScratch{
+				xs:    make([]float64, a.n),
+				fixed: make([]bool, a.n),
+			}
+		},
+		func(_ int, rng *rand.Rand, sc *decideScratch) bool {
+			// Draw one dataset from P(X | B) via the coloring chain
+			// (Lemma 1), reusing the worker's sampler rebased onto this
+			// sample's random stream.
+			if sc.sampler == nil {
+				s, serr := coloring.NewSamplerFrom(g, rng, init)
+				if serr != nil {
+					return true
+				}
+				sc.sampler = s
+			} else if sc.sampler.Reset(rng, init) != nil {
+				return true
+			}
+			sc.sampler.Mix(a.params.mixFactor())
+			sc.sampler.SampleDatasetInto(rng, sc.xs, sc.fixed)
+			ans := q.Eval(sc.xs)
+			trial := a.syn.Clone()
+			var aerr error
+			if q.Kind == query.Max {
+				aerr = trial.AddMax(q.Set, ans)
+			} else {
+				aerr = trial.AddMin(q.Set, ans)
+			}
+			if aerr != nil {
+				return true // sampled-consistent answers should fold cleanly
+			}
+			ok, serr := a.safeState(trial, rng)
+			return serr != nil || !ok
+		})
+	if out.Exceeded {
 		return audit.Deny, nil
 	}
 	return audit.Answer, nil
 }
 
-// sampleConsistent draws one dataset from P(X | B) via the coloring
-// chain (Lemma 1).
-func (a *Auditor) sampleConsistent() ([]float64, error) {
-	g, err := coloring.Build(a.syn)
-	if err != nil {
-		return nil, err
-	}
-	s, err := coloring.NewSampler(g, a.rng)
-	if err != nil {
-		return nil, err
-	}
-	s.Mix(a.params.mixFactor())
-	return s.SampleDataset(a.rng), nil
+// decideScratch is the per-worker reusable state of Decide: the chain
+// sampler over the shared decision graph plus the dataset buffers.
+type decideScratch struct {
+	sampler *coloring.Sampler
+	xs      []float64
+	fixed   []bool
 }
 
 // Record implements audit.Auditor.

@@ -14,6 +14,13 @@
 // the current synopsis, computes the answer each sample would give to the
 // new query, and denies iff the fraction of samples whose answer would
 // violate safety exceeds δ/(2T). Theorem 1 proves (λ, δ, γ, T)-privacy.
+//
+// The Monte Carlo loop runs on the shared parallel engine
+// (internal/mcpar): the sample budget fans out across Params.Workers
+// workers, every sample drawing from its own counter-based stream keyed
+// by (decision seed, sample index), so decisions are bit-identical at any
+// worker count and the loop exits early once the δ/(2T) barrier is
+// provably crossed or provably out of reach.
 package maxprob
 
 import (
@@ -23,6 +30,7 @@ import (
 
 	"queryaudit/internal/audit"
 	"queryaudit/internal/interval"
+	"queryaudit/internal/mcpar"
 	"queryaudit/internal/query"
 	"queryaudit/internal/randx"
 	"queryaudit/internal/synopsis"
@@ -42,6 +50,10 @@ type Params struct {
 	// Samples overrides the number of Monte Carlo datasets per decision;
 	// 0 selects the Chernoff-derived default O((T/δ)·log(T/δ)).
 	Samples int
+	// Workers bounds the parallel Monte Carlo pool per decision;
+	// 0 = GOMAXPROCS, 1 = sequential. Decisions are identical at any
+	// worker count for a fixed Seed.
+	Workers int
 	// Seed drives the auditor's internal randomness.
 	Seed int64
 	// Alpha, Beta optionally widen the data range from the default [0,1]
@@ -100,7 +112,12 @@ type Auditor struct {
 	part   interval.Partition
 	window interval.RatioWindow
 	syn    *synopsis.Max
-	rng    *rand.Rand
+	// decisions counts Decide calls; each decision derives its own base
+	// seed from (params.Seed, decisions), so samples are fresh per
+	// decision yet bit-reproducible across runs and worker counts.
+	decisions uint64
+	// mc observes per-decision Monte Carlo accounting (may be nil).
+	mc mcpar.Observer
 	// denyThreshold is δ/(2T).
 	denyThreshold float64
 	samples       int
@@ -120,13 +137,19 @@ func New(n int, params Params) (*Auditor, error) {
 		part:          interval.NewPartition(0, 1, params.Gamma),
 		window:        interval.RatioWindow{Lambda: params.Lambda},
 		syn:           synopsis.NewMax(n),
-		rng:           randx.New(params.Seed),
 		denyThreshold: params.Delta / (2 * float64(params.T)),
 		samples:       params.DefaultSamples(),
 		alpha:         alpha,
 		scale:         beta - alpha,
 	}, nil
 }
+
+// SetWorkers adjusts the Monte Carlo pool size (0 = GOMAXPROCS).
+func (a *Auditor) SetWorkers(n int) { a.params.Workers = n }
+
+// SetMCObserver installs the per-decision Monte Carlo observer (nil
+// disables).
+func (a *Auditor) SetMCObserver(o mcpar.Observer) { a.mc = o }
 
 // normalize maps a raw answer into the internal [0,1] coordinates.
 func (a *Auditor) normalize(v float64) float64 { return (v - a.alpha) / a.scale }
@@ -192,8 +215,19 @@ func SafeSynopsis(syn *synopsis.Max, part interval.Partition, window interval.Ra
 // uniform on [0,1].
 func SampleConsistent(syn *synopsis.Max, n int, rng *rand.Rand) []float64 {
 	xs := make([]float64, n)
-	constrained := make([]bool, n)
-	for _, p := range syn.Preds() {
+	samplePreds(syn.Preds(), xs, make([]bool, n), rng)
+	return xs
+}
+
+// samplePreds fills xs with one consistent dataset using caller-owned
+// scratch (constrained is reset in place) — the allocation-free core of
+// SampleConsistent used by the parallel decision loop, where preds is a
+// per-decision snapshot shared read-only across workers.
+func samplePreds(preds []synopsis.Pred, xs []float64, constrained []bool, rng *rand.Rand) {
+	for i := range constrained {
+		constrained[i] = false
+	}
+	for _, p := range preds {
 		switch p.Op {
 		case synopsis.OpEq:
 			w := p.Set[rng.Intn(len(p.Set))]
@@ -212,12 +246,11 @@ func SampleConsistent(syn *synopsis.Max, n int, rng *rand.Rand) []float64 {
 			}
 		}
 	}
-	for i := 0; i < n; i++ {
+	for i := range xs {
 		if !constrained[i] {
 			xs[i] = rng.Float64()
 		}
 	}
-	return xs
 }
 
 // Decide implements audit.Auditor (Algorithm 2). The true answer is never
@@ -235,25 +268,41 @@ func (a *Auditor) Decide(q query.Query) (audit.Decision, error) {
 			return audit.Deny, fmt.Errorf("maxprob: index %d out of range", i)
 		}
 	}
-	unsafe := 0
-	for s := 0; s < a.samples; s++ {
-		xs := SampleConsistent(a.syn, a.n, a.rng)
-		ans := maxOver(xs, q.Set)
-		trial := a.syn.Clone()
-		if err := trial.Add(q.Set, ans); err != nil {
-			// A sampled dataset is consistent by construction; Add can
-			// only fail on float pathologies. Count as unsafe.
-			unsafe++
-			continue
-		}
-		if !SafeSynopsis(trial, a.part, a.window) {
-			unsafe++
-		}
-	}
-	if float64(unsafe)/float64(a.samples) > a.denyThreshold {
+	budget := a.samples
+	barrier := mcpar.DenyBarrier(budget, a.denyThreshold)
+	seed := randx.DeriveSeed(a.params.Seed, a.decisions)
+	a.decisions++
+	preds := a.syn.Preds() // per-decision snapshot, read-only across workers
+	out := mcpar.Vote(
+		mcpar.Config{Workers: a.params.Workers, Seed: seed, Observer: a.mc},
+		budget, barrier,
+		func() *decideScratch {
+			return &decideScratch{
+				xs:          make([]float64, a.n),
+				constrained: make([]bool, a.n),
+			}
+		},
+		func(_ int, rng *rand.Rand, sc *decideScratch) bool {
+			samplePreds(preds, sc.xs, sc.constrained, rng)
+			ans := maxOver(sc.xs, q.Set)
+			trial := a.syn.Clone()
+			if err := trial.Add(q.Set, ans); err != nil {
+				// A sampled dataset is consistent by construction; Add can
+				// only fail on float pathologies. Count as unsafe.
+				return true
+			}
+			return !SafeSynopsis(trial, a.part, a.window)
+		})
+	if out.Exceeded {
 		return audit.Deny, nil
 	}
 	return audit.Answer, nil
+}
+
+// decideScratch is the per-worker reusable sample buffer of Decide.
+type decideScratch struct {
+	xs          []float64
+	constrained []bool
 }
 
 // Record implements audit.Auditor. Raw answers are normalized onto the

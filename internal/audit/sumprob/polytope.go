@@ -315,6 +315,10 @@ func (p *polytope) newWalker() *walker {
 	return &walker{p: p, x: append([]float64(nil), p.x0...), d: make([]float64, p.n)}
 }
 
+// reset returns the walker to the polytope's feasible origin so a reused
+// walker can start an independent chain.
+func (w *walker) reset() { copy(w.x, w.p.x0) }
+
 // step performs one hit-and-run transition; a nil-dimension polytope
 // (point) stays put. It returns the chord parameters (pre-move position
 // is no longer available, so callers wanting the chord use stepChord).

@@ -10,6 +10,16 @@
 // runs nested hit-and-run sampling over convex polytopes, which is what
 // the paper means by its max auditor being "decidedly more efficient".
 // BenchmarkProbSumVsMax quantifies the gap.
+//
+// The outer Monte Carlo loop runs on the shared parallel engine
+// (internal/mcpar): the base polytope is built once per decision and
+// shared read-only, each worker keeps a reusable hit-and-run walker that
+// restarts from the feasible origin for every sample, and every sample
+// draws from a counter-based stream keyed by (decision seed, sample
+// index) so the decision is bit-identical at any worker count. Restarting
+// the chain per sample (burn-in + thinning each time) makes the outer
+// draws independent — a statistical upgrade over the former single
+// sequential chain — at a per-sample cost the pool absorbs.
 package sumprob
 
 import (
@@ -19,6 +29,7 @@ import (
 
 	"queryaudit/internal/audit"
 	"queryaudit/internal/interval"
+	"queryaudit/internal/mcpar"
 	"queryaudit/internal/query"
 	"queryaudit/internal/randx"
 )
@@ -42,6 +53,10 @@ type Params struct {
 	// Thin steps between collected points (0 → max(4, dim), since the
 	// walk's autocorrelation grows with the polytope dimension).
 	Thin int
+	// Workers bounds the parallel Monte Carlo pool per decision;
+	// 0 = GOMAXPROCS, 1 = sequential. Decisions are identical at any
+	// worker count for a fixed Seed.
+	Workers int
 	// Seed drives the auditor's randomness.
 	Seed int64
 }
@@ -96,13 +111,18 @@ func (p Params) thin(dim int) int {
 
 // Auditor is the [21]-style probabilistic sum auditor.
 type Auditor struct {
-	n             int
-	params        Params
-	part          interval.Partition
-	window        interval.RatioWindow
-	rows          [][]float64
-	b             []float64
-	rng           *rand.Rand
+	n      int
+	params Params
+	part   interval.Partition
+	window interval.RatioWindow
+	rows   [][]float64
+	b      []float64
+	// decisions counts Decide calls; each decision derives its own base
+	// seed from (params.Seed, decisions) so samples are fresh per decision
+	// yet bit-reproducible across runs and worker counts.
+	decisions uint64
+	// mc observes per-decision Monte Carlo accounting (may be nil).
+	mc            mcpar.Observer
 	denyThreshold float64
 }
 
@@ -116,10 +136,16 @@ func New(n int, params Params) (*Auditor, error) {
 		params:        params,
 		part:          interval.NewPartition(0, 1, params.Gamma),
 		window:        interval.RatioWindow{Lambda: params.Lambda},
-		rng:           randx.New(params.Seed),
 		denyThreshold: params.Delta / (2 * float64(params.T)),
 	}, nil
 }
+
+// SetWorkers adjusts the Monte Carlo pool size (0 = GOMAXPROCS).
+func (a *Auditor) SetWorkers(n int) { a.params.Workers = n }
+
+// SetMCObserver installs the per-decision Monte Carlo observer (nil
+// disables).
+func (a *Auditor) SetMCObserver(o mcpar.Observer) { a.mc = o }
 
 // Name implements audit.Auditor.
 func (a *Auditor) Name() string { return "sum-partial-disclosure" }
@@ -137,9 +163,10 @@ func (a *Auditor) rowOf(s query.Set) []float64 {
 }
 
 // safeForSystem estimates, by polytope sampling, whether every element's
-// interval posterior stays inside the λ-window for the given system.
-func (a *Auditor) safeForSystem(rows [][]float64, b []float64) (bool, error) {
-	p, err := newPolytope(rows, b, a.n, a.rng)
+// interval posterior stays inside the λ-window for the given system,
+// drawing all randomness from rng.
+func (a *Auditor) safeForSystem(rows [][]float64, b []float64, rng *rand.Rand) (bool, error) {
+	p, err := newPolytope(rows, b, a.n, rng)
 	if err != nil {
 		return false, err
 	}
@@ -166,7 +193,7 @@ func (a *Auditor) safeForSystem(rows [][]float64, b []float64) (bool, error) {
 	}
 	w := p.newWalker()
 	for s := 0; s < a.params.burnIn(p.dim()); s++ {
-		w.step(a.rng)
+		w.step(rng)
 	}
 	// Rao–Blackwellized chord estimator: every step contributes the exact
 	// conditional cell probabilities of each coordinate along its chord.
@@ -174,7 +201,7 @@ func (a *Auditor) safeForSystem(rows [][]float64, b []float64) (bool, error) {
 	usedPer := make([]int, batches)
 	for s := 0; s < batches*perBatch; s++ {
 		b := s / perBatch
-		x, d, lo, hi, ok := w.stepChord(a.rng)
+		x, d, lo, hi, ok := w.stepChord(rng)
 		if !ok {
 			continue
 		}
@@ -267,38 +294,60 @@ func (a *Auditor) Decide(q query.Query) (audit.Decision, error) {
 			return audit.Deny, fmt.Errorf("sumprob: index %d out of range", i)
 		}
 	}
-	base, err := newPolytope(a.rows, a.b, a.n, a.rng)
+	// Decision-level randomness splits into two decorrelated streams: one
+	// seeds the per-sample streams inside the engine, the other drives the
+	// one-off feasible-point search of the shared base polytope.
+	decSeed := randx.DeriveSeed(a.params.Seed, a.decisions)
+	a.decisions++
+	voteSeed := randx.DeriveSeed(decSeed, 0)
+	setupRng := randx.Stream(decSeed, 1)
+	base, err := newPolytope(a.rows, a.b, a.n, setupRng)
 	if err != nil {
 		return audit.Deny, err
 	}
-	outer := a.params.outer()
 	newRow := a.rowOf(q.Set)
 	extRows := append(append([][]float64{}, a.rows...), newRow)
-	unsafe := 0
-	w := base.newWalker()
-	for s := 0; s < a.params.burnIn(base.dim()); s++ {
-		w.step(a.rng)
-	}
+	budget := a.params.outer()
+	barrier := mcpar.DenyBarrier(budget, a.denyThreshold)
+	burn := a.params.burnIn(base.dim())
 	thin := a.params.thin(base.dim())
-	for s := 0; s < outer; s++ {
-		for t := 0; t < 3*thin; t++ {
-			w.step(a.rng)
-		}
-		x := w.point()
-		ans := 0.0
-		for _, i := range q.Set {
-			ans += x[i]
-		}
-		extB := append(append([]float64{}, a.b...), ans)
-		ok, serr := a.safeForSystem(extRows, extB)
-		if serr != nil || !ok {
-			unsafe++
-		}
-	}
-	if float64(unsafe)/float64(outer) > a.denyThreshold {
+	out := mcpar.Vote(
+		mcpar.Config{Workers: a.params.Workers, Seed: voteSeed, Observer: a.mc},
+		budget, barrier,
+		func() *decideScratch {
+			return &decideScratch{
+				w:    base.newWalker(),
+				extB: make([]float64, len(a.b)+1),
+			}
+		},
+		func(_ int, rng *rand.Rand, sc *decideScratch) bool {
+			// Independent chain per sample: restart from the feasible
+			// origin, burn in, thin, and read one hypothetical dataset.
+			sc.w.reset()
+			for t := 0; t < burn+3*thin; t++ {
+				sc.w.step(rng)
+			}
+			x := sc.w.point()
+			ans := 0.0
+			for _, i := range q.Set {
+				ans += x[i]
+			}
+			copy(sc.extB, a.b)
+			sc.extB[len(a.b)] = ans
+			ok, serr := a.safeForSystem(extRows, sc.extB, rng)
+			return serr != nil || !ok
+		})
+	if out.Exceeded {
 		return audit.Deny, nil
 	}
 	return audit.Answer, nil
+}
+
+// decideScratch is the per-worker reusable state of Decide: a hit-and-run
+// walker over the shared base polytope and the extended answer vector.
+type decideScratch struct {
+	w    *walker
+	extB []float64
 }
 
 // Record implements audit.Auditor.

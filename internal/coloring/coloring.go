@@ -394,6 +394,27 @@ func (s *Sampler) Mix(factor float64) {
 // Coloring returns a copy of the current coloring.
 func (s *Sampler) Coloring() []int { return append([]int(nil), s.c...) }
 
+// Current returns the live coloring without copying. The slice aliases the
+// sampler's state: callers must read it before the next Step and never
+// mutate it. It exists for hot loops (witness-probability counting) where
+// the per-iteration copy of Coloring dominates the profile.
+func (s *Sampler) Current() []int { return s.c }
+
+// Reset rebases the sampler for reuse: randomness moves onto rng, the
+// coloring is restored to c (copied into the existing buffer), and the
+// step counter clears. It is the per-sample path of the parallel Monte
+// Carlo workers, which keep one sampler per worker and rebase it onto a
+// fresh random stream for every sample.
+func (s *Sampler) Reset(rng *rand.Rand, c []int) error {
+	if !s.g.Valid(c) {
+		return fmt.Errorf("coloring: reset coloring invalid")
+	}
+	s.rng = rng
+	s.c = append(s.c[:0], c...)
+	s.steps = 0
+	return nil
+}
+
 // Steps returns the number of chain transitions taken so far.
 func (s *Sampler) Steps() int { return s.steps }
 
@@ -404,11 +425,27 @@ func (s *Sampler) SampleDataset(rng *rand.Rand) []float64 {
 	return DatasetFromColoring(s.g, s.c, rng)
 }
 
+// SampleDatasetInto is SampleDataset over caller-owned buffers (both of
+// length n) — the allocation-free path of the parallel workers.
+func (s *Sampler) SampleDatasetInto(rng *rand.Rand, xs []float64, fixed []bool) {
+	DatasetFromColoringInto(s.g, s.c, rng, xs, fixed)
+}
+
 // DatasetFromColoring implements Lemma 1's steps 2–3 for an arbitrary
 // valid coloring.
 func DatasetFromColoring(g *Graph, c []int, rng *rand.Rand) []float64 {
 	xs := make([]float64, g.n)
 	fixed := make([]bool, g.n)
+	DatasetFromColoringInto(g, c, rng, xs, fixed)
+	return xs
+}
+
+// DatasetFromColoringInto is DatasetFromColoring over caller-owned scratch
+// (fixed is reset in place).
+func DatasetFromColoringInto(g *Graph, c []int, rng *rand.Rand, xs []float64, fixed []bool) {
+	for i := range fixed {
+		fixed[i] = false
+	}
 	for vi, v := range g.Nodes {
 		xs[c[vi]] = v.Value
 		fixed[c[vi]] = true
@@ -424,5 +461,4 @@ func DatasetFromColoring(g *Graph, c []int, rng *rand.Rand) []float64 {
 		}
 		xs[i] = r.Lo + rng.Float64()*(r.Hi-r.Lo)
 	}
-	return xs
 }

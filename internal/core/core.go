@@ -19,6 +19,7 @@ import (
 
 	"queryaudit/internal/audit"
 	"queryaudit/internal/dataset"
+	"queryaudit/internal/mcpar"
 	"queryaudit/internal/query"
 )
 
@@ -145,6 +146,54 @@ func (e *Engine) SetObserver(o Observer) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.obs = o
+}
+
+// MCTunable is satisfied by auditors whose decisions run on the shared
+// parallel Monte Carlo engine (internal/mcpar): the probabilistic
+// auditors expose a worker-pool knob and a per-decision observer hook.
+type MCTunable interface {
+	// SetWorkers bounds the Monte Carlo pool per decision
+	// (0 = GOMAXPROCS, 1 = sequential).
+	SetWorkers(n int)
+	// SetMCObserver installs the per-decision accounting hook (nil
+	// disables). metrics.MCCollector implements mcpar.Observer.
+	SetMCObserver(o mcpar.Observer)
+}
+
+// SetMCWorkers sets the Monte Carlo pool size on every registered auditor
+// that supports it and reports how many auditors it reached. Non-Monte-
+// Carlo auditors (the full-disclosure family, the naive baselines) are
+// unaffected.
+func (e *Engine) SetMCWorkers(n int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.forEachMCTunable(func(t MCTunable) { t.SetWorkers(n) })
+}
+
+// SetMCObserver installs the Monte Carlo accounting observer on every
+// registered auditor that supports it and reports how many it reached.
+func (e *Engine) SetMCObserver(o mcpar.Observer) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.forEachMCTunable(func(t MCTunable) { t.SetMCObserver(o) })
+}
+
+// forEachMCTunable applies f once per distinct MC-tunable auditor;
+// callers hold mu.
+func (e *Engine) forEachMCTunable(f func(MCTunable)) int {
+	seen := map[audit.Auditor]bool{}
+	reached := 0
+	for _, a := range e.auditors {
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		if t, ok := a.(MCTunable); ok {
+			f(t)
+			reached++
+		}
+	}
+	return reached
 }
 
 // Answered returns how many queries were answered.

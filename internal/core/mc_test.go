@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"queryaudit/internal/audit/maxminfull"
+	"queryaudit/internal/audit/maxprob"
+	"queryaudit/internal/dataset"
+	"queryaudit/internal/query"
+	"queryaudit/internal/randx"
+)
+
+type nopMCObserver struct{ calls int }
+
+func (o *nopMCObserver) ObserveMC(_, _, _, _ int, _, _ time.Duration) { o.calls++ }
+
+// SetMCWorkers / SetMCObserver must reach every MC-tunable auditor
+// exactly once (even when registered for several kinds) and skip the
+// exact-disclosure family.
+func TestEngineMCForwarding(t *testing.T) {
+	const n = 10
+	ds := dataset.UniformDuplicateFree(randx.New(1), n, 0, 1)
+	eng := NewEngine(ds)
+
+	if got := eng.SetMCWorkers(4); got != 0 {
+		t.Fatalf("empty engine reached %d auditors", got)
+	}
+
+	mp, err := maxprob.New(n, maxprob.Params{Lambda: 0.45, Gamma: 4, Delta: 0.2, T: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Use(mp, query.Max, query.Min) // one auditor, two registrations
+	eng.Use(maxminfull.New(n), query.Sum)
+
+	if got := eng.SetMCWorkers(4); got != 1 {
+		t.Fatalf("SetMCWorkers reached %d auditors, want 1 (maxprob only, deduplicated)", got)
+	}
+	obs := &nopMCObserver{}
+	if got := eng.SetMCObserver(obs); got != 1 {
+		t.Fatalf("SetMCObserver reached %d auditors, want 1", got)
+	}
+}

@@ -1,0 +1,221 @@
+// Package mcpar is the shared parallel Monte Carlo decision engine behind
+// the probabilistic simulatable auditors (Section 3). Every decision of
+// maxprob, maxminprob and sumprob reduces to the same shape: run up to
+// `budget` independent sample evaluations, count how many vote "unsafe",
+// and deny iff the unsafe fraction exceeds the δ/(2T) threshold. This
+// package fans that budget across a bounded worker pool while keeping the
+// decision bit-identical at ANY worker count, including 1.
+//
+// # Determinism
+//
+// Sample i draws all of its randomness from a counter-based stream keyed
+// by (seed, i) — randx.Stream — so its verdict is a pure function of the
+// sample index, never of scheduling. The full-budget unsafe count is
+// therefore a deterministic value U(seed), and the decision U > barrier is
+// invariant under the worker count and under the dispatch order.
+//
+// # Early exit
+//
+// Votes only accumulate, so partial counts yield sound certificates about
+// the full-budget outcome:
+//
+//   - votes > barrier            ⇒ U > barrier (deny), stop sampling;
+//   - votes + remaining ≤ barrier ⇒ U ≤ barrier (answer), stop sampling.
+//
+// Either certificate proves the decision the full budget would have made,
+// so early exit never changes a decision — it only skips samples whose
+// verdicts cannot matter. The number of samples actually evaluated MAY
+// vary with scheduling (a fast worker can land one more sample before the
+// stop flag propagates); only the decision is scheduling-invariant.
+//
+// # Worker isolation
+//
+// Each worker owns a private rand.Rand over a reseedable splitmix source
+// and a private scratch value, so the hot path shares nothing but three
+// atomics (the index dispenser, the vote count, the evaluated count).
+// internal/server's CI runs the auditor tests under -race to enforce this.
+package mcpar
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"queryaudit/internal/randx"
+)
+
+// Config selects the worker pool and the random seed of one Vote run.
+type Config struct {
+	// Workers is the pool size; 0 means runtime.GOMAXPROCS(0), and 1
+	// forces the sequential path (same decisions, no goroutines).
+	Workers int
+	// Seed keys the per-sample random streams. Two runs with the same
+	// seed, budget and sample function reach the same decision at any
+	// worker count.
+	Seed int64
+	// Observer, when non-nil, receives one report per Vote run.
+	Observer Observer
+}
+
+// Observer receives per-decision Monte Carlo accounting — sample budget
+// vs samples actually evaluated (early-exit savings) and wall vs busy
+// time (parallel speedup). internal/metrics.MCCollector implements it.
+type Observer interface {
+	ObserveMC(budget, evaluated, votes, workers int, wall, busy time.Duration)
+}
+
+// Outcome reports one Vote run.
+type Outcome struct {
+	// Budget is the sample budget requested.
+	Budget int
+	// Evaluated is how many samples actually ran (≤ Budget on early exit).
+	Evaluated int
+	// Votes counts "unsafe" verdicts among the evaluated samples.
+	Votes int
+	// Workers is the resolved pool size.
+	Workers int
+	// Exceeded reports the decision: the full-budget vote count provably
+	// exceeds the barrier (deny) or provably cannot (answer).
+	Exceeded bool
+	// busy is the summed per-worker time inside the sample loop;
+	// observers receive it via ObserveMC.
+	busy time.Duration
+}
+
+// resolveWorkers maps the Workers knob onto a concrete pool size.
+func (c Config) resolveWorkers(budget int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > budget {
+		w = budget
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// DenyBarrier returns the largest vote count k such that k out of budget
+// does NOT exceed threshold under the auditors' historical float
+// comparison float64(k)/float64(budget) > threshold. A decision denies
+// iff votes > DenyBarrier(budget, threshold).
+func DenyBarrier(budget int, threshold float64) int {
+	if budget <= 0 {
+		return 0
+	}
+	k := int(threshold * float64(budget))
+	if k > budget {
+		k = budget
+	}
+	for k < budget && float64(k+1)/float64(budget) <= threshold {
+		k++
+	}
+	for k > 0 && float64(k)/float64(budget) > threshold {
+		k--
+	}
+	return k
+}
+
+// Vote runs sample(i, rng, scratch) for i ∈ [0, budget), counting true
+// returns as unsafe votes, and reports whether the full-budget vote count
+// exceeds barrier. Each sample's rng is the (cfg.Seed, i) stream; scratch
+// is per-worker state from newScratch (called once per worker; may build
+// reusable buffers). sample must not touch anything mutable outside its
+// scratch — shared inputs (the synopsis, the query) are read-only.
+func Vote[S any](cfg Config, budget, barrier int, newScratch func() S, sample func(i int, rng *rand.Rand, scratch S) bool) Outcome {
+	workers := cfg.resolveWorkers(budget)
+	start := time.Now()
+	var out Outcome
+	if workers <= 1 {
+		out = voteSequential(cfg, budget, barrier, newScratch, sample)
+	} else {
+		out = voteParallel(cfg, budget, barrier, workers, newScratch, sample)
+	}
+	out.Budget = budget
+	out.Workers = workers
+	out.Exceeded = out.Votes > barrier
+	if cfg.Observer != nil {
+		wall := time.Since(start)
+		busy := out.busy
+		if busy <= 0 {
+			busy = wall
+		}
+		cfg.Observer.ObserveMC(budget, out.Evaluated, out.Votes, workers, wall, busy)
+	}
+	return out
+}
+
+func voteSequential[S any](cfg Config, budget, barrier int, newScratch func() S, sample func(i int, rng *rand.Rand, scratch S) bool) Outcome {
+	src := randx.NewSplitMix(cfg.Seed, 0)
+	rng := rand.New(src)
+	scratch := newScratch()
+	begin := time.Now()
+	votes, evaluated := 0, 0
+	for i := 0; i < budget; i++ {
+		src.Reseed(cfg.Seed, uint64(i))
+		if sample(i, rng, scratch) {
+			votes++
+		}
+		evaluated++
+		if votes > barrier || votes+(budget-evaluated) <= barrier {
+			break
+		}
+	}
+	return Outcome{Evaluated: evaluated, Votes: votes, busy: time.Since(begin)}
+}
+
+func voteParallel[S any](cfg Config, budget, barrier, workers int, newScratch func() S, sample func(i int, rng *rand.Rand, scratch S) bool) Outcome {
+	var (
+		next      atomic.Int64 // index dispenser
+		votes     atomic.Int64
+		evaluated atomic.Int64
+		stop      atomic.Bool
+		busy      atomic.Int64 // summed worker nanoseconds
+		wg        sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			src := randx.NewSplitMix(cfg.Seed, 0)
+			rng := rand.New(src)
+			scratch := newScratch()
+			begin := time.Now()
+			for !stop.Load() {
+				i := next.Add(1) - 1
+				if i >= int64(budget) {
+					break
+				}
+				src.Reseed(cfg.Seed, uint64(i))
+				unsafe := sample(int(i), rng, scratch)
+				// Order matters for the certificates: publish the vote
+				// BEFORE the evaluated count, and read votes after, so a
+				// vote can never be missing from v for a sample already
+				// counted in ev (which would let the answer certificate
+				// fire with an unsafe vote still in flight).
+				if unsafe {
+					votes.Add(1)
+				}
+				ev := evaluated.Add(1)
+				v := votes.Load()
+				// Certificates (see package doc): either one proves the
+				// full-budget decision, so stopping cannot change it.
+				if v > int64(barrier) || v+(int64(budget)-ev) <= int64(barrier) {
+					stop.Store(true)
+					break
+				}
+			}
+			busy.Add(int64(time.Since(begin)))
+		}()
+	}
+	wg.Wait()
+	return Outcome{
+		Evaluated: int(evaluated.Load()),
+		Votes:     int(votes.Load()),
+		busy:      time.Duration(busy.Load()),
+	}
+}

@@ -31,6 +31,15 @@ type Options struct {
 	// engine's observer (on by default; disable when the caller wires
 	// its own core.Observer).
 	InstrumentEngine bool
+	// InstrumentMC installs a metrics.MCCollector as the Monte Carlo
+	// observer on every MC-tunable auditor (on by default; a no-op when
+	// no probabilistic auditor is registered).
+	InstrumentMC bool
+	// MCWorkers overrides the parallel Monte Carlo pool of every
+	// MC-tunable auditor: 0 leaves the auditors as configured (their own
+	// default is GOMAXPROCS), 1 forces sequential decisions, n > 1 bounds
+	// the pool. Decisions are identical at any setting for a fixed seed.
+	MCWorkers int
 
 	// ReadHeaderTimeout / ReadTimeout / WriteTimeout / IdleTimeout are
 	// applied to the http.Server by Run and ListenAndServe.
@@ -50,6 +59,7 @@ func Defaults() Options {
 		MaxIndices:        100_000,
 		MaxPrimeQueries:   1024,
 		InstrumentEngine:  true,
+		InstrumentMC:      true,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      30 * time.Second,

@@ -78,6 +78,12 @@ func New(sdb *core.SDB, opts ...Option) *Server {
 	if s.opts.InstrumentEngine {
 		sdb.Engine().SetObserver(metrics.NewEngineCollector(s.reg))
 	}
+	if s.opts.InstrumentMC {
+		sdb.Engine().SetMCObserver(metrics.NewMCCollector(s.reg))
+	}
+	if s.opts.MCWorkers != 0 {
+		sdb.Engine().SetMCWorkers(s.opts.MCWorkers)
+	}
 	s.httpM = newHTTPMetrics(s.reg)
 	if s.opts.PerClientConcurrency > 0 {
 		s.limiter = newClientLimiter(s.opts.PerClientConcurrency)

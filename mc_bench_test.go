@@ -1,0 +1,137 @@
+// Micro-benchmarks for the parallel Monte Carlo decision engine: the
+// three probabilistic auditors' Decide hot paths per worker-pool size,
+// plus the coloring-chain sample unit that dominates maxminprob. Run
+// with -benchmem to see the per-worker scratch reuse (the steady-state
+// sample loop should not allocate per sample beyond the synopsis clone).
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"testing"
+
+	"queryaudit/internal/audit/sumprob"
+	"queryaudit/internal/coloring"
+	"queryaudit/internal/query"
+	"queryaudit/internal/randx"
+	"queryaudit/internal/synopsis"
+)
+
+// benchWorkerCounts returns the deduplicated, sorted pool sizes the
+// Decide benchmarks sweep: sequential, 2, 4, and whatever the runner
+// offers. On a single-core runner this collapses to {1, 2, 4}.
+func benchWorkerCounts() []int {
+	set := map[int]bool{1: true, 2: true, 4: true, runtime.GOMAXPROCS(0): true}
+	counts := make([]int, 0, len(set))
+	for w := range set {
+		counts = append(counts, w)
+	}
+	sort.Ints(counts)
+	return counts
+}
+
+// BenchmarkSumProbDecide measures one Section 3.3-style sum decision
+// (hit-and-run polytope sampling per hypothetical dataset), per
+// worker-pool size. The outer Monte Carlo loop is what parallelizes;
+// each sample runs its own short chain from the shared base point.
+func BenchmarkSumProbDecide(b *testing.B) {
+	const n = 32
+	set := make([]int, n)
+	for i := range set {
+		set[i] = i
+	}
+	q := query.New(query.Sum, set...)
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			a, err := sumprob.New(n, sumprob.Params{
+				Lambda: 0.6, Gamma: 4, Delta: 0.2, T: 10,
+				OuterSamples: 32, InnerSamples: 300,
+				Workers: workers, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.Decide(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkColoringChain measures maxminprob's per-sample unit — rebase
+// the chain on the initial coloring, mix, draw a dataset — in the two
+// forms the engine can run it: allocating a fresh sampler and dataset
+// per sample ("fresh", the pre-scratch behaviour) versus reusing a
+// per-worker sampler and output buffers ("scratch", what mcpar workers
+// do). The -benchmem delta between the two is the allocation the
+// scratch design removes from the hot loop.
+func BenchmarkColoringChain(b *testing.B) {
+	const n = 60
+	rng := randx.New(1)
+	syn := synopsis.NewMaxMin(n, 0, 1)
+	xs := randx.DuplicateFreeDataset(rng, n, 0, 1)
+	for t := 0; t < 10; t++ {
+		set := query.NewSet(randx.SubsetSizeBetween(rng, n, 20, 50)...)
+		q := query.Query{Set: set, Kind: query.Max}
+		if t%2 == 1 {
+			q.Kind = query.Min
+		}
+		ans := q.Eval(xs)
+		var err error
+		if q.Kind == query.Max {
+			err = syn.AddMax(set, ans)
+		} else {
+			err = syn.AddMin(set, ans)
+		}
+		if err != nil {
+			b.Fatalf("building synopsis: %v", err)
+		}
+	}
+	g, err := coloring.Build(syn)
+	if err != nil {
+		b.Fatal(err)
+	}
+	init, err := g.InitialColoring()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const mixFactor = 2
+
+	b.Run("fresh", func(b *testing.B) {
+		rng := randx.New(2)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s, err := coloring.NewSamplerFrom(g, rng, init)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Mix(mixFactor)
+			if ds := s.SampleDataset(rng); len(ds) != n {
+				b.Fatal("short dataset")
+			}
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		rng := randx.New(2)
+		s, err := coloring.NewSamplerFrom(g, rng, init)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ds := make([]float64, n)
+		fixed := make([]bool, n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.Reset(rng, init); err != nil {
+				b.Fatal(err)
+			}
+			s.Mix(mixFactor)
+			s.SampleDatasetInto(rng, ds, fixed)
+		}
+	})
+}
