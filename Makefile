@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet ci bench
+.PHONY: build test race vet ci bench cover
 
 build:
 	$(GO) build ./...
@@ -21,9 +21,23 @@ race:
 ci: build vet race
 
 # Monte Carlo engine benchmarks (per-worker Decide sweeps + coloring
-# chain), archived as a dated JSON stream of test2json events so runs
-# are diffable across machines and commits.
+# chain) plus the session-manager benchmarks (hot-path lookup and the
+# 1000-analyst eviction/replay churn), archived as a dated JSON stream
+# of test2json events so runs are diffable across machines and commits.
 BENCH_OUT ?= BENCH_$(shell date +%Y-%m-%d).json
 bench:
-	$(GO) test -run='^$$' -bench='Decide$$|ColoringChain' -benchmem -json . > $(BENCH_OUT)
+	$(GO) test -run='^$$' -bench='Decide$$|ColoringChain|^BenchmarkSession' -benchmem -json . ./internal/session > $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
+
+# Coverage with a floor for the session subsystem: the replay/eviction
+# machinery is the correctness core of multi-analyst mode, so its
+# statement coverage must not rot below the floor.
+SESSION_COVER_FLOOR ?= 70.0
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | tail -1
+	@pct=$$($(GO) test -cover ./internal/session 2>/dev/null | \
+		sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	echo "internal/session coverage: $$pct% (floor $(SESSION_COVER_FLOOR)%)"; \
+	awk -v p="$$pct" -v f="$(SESSION_COVER_FLOOR)" \
+		'BEGIN { if (p+0 < f+0) { print "FAIL: internal/session coverage below floor"; exit 1 } }'

@@ -3,16 +3,32 @@
 // loads (or generates) a company-salary table, guards it with the
 // full-disclosure auditors, and answers a JSON API:
 //
-//	auditserver -n 300 -addr :8080 [-snapshot state.json]
+//	auditserver -n 300 -addr :8080 [-session-snapshot sessions.json]
 //
 //	curl -s localhost:8080/v1/schema
 //	curl -s -X POST localhost:8080/v1/query \
+//	     -H 'X-Analyst-ID: alice' \
 //	     -d '{"sql":"SELECT sum(salary) WHERE age BETWEEN 30 AND 40"}'
 //	curl -s -X POST localhost:8080/v1/queryset \
-//	     -d '{"kind":"max","indices":[0,1,2,3]}'
-//	curl -s localhost:8080/v1/stats
+//	     -H 'X-Analyst-ID: alice' -d '{"kind":"max","indices":[0,1,2,3]}'
+//	curl -s -H 'X-Analyst-ID: alice' localhost:8080/v1/stats
+//	curl -s localhost:8080/v1/sessions
 //	curl -s localhost:8080/v1/metrics
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/readyz
+//
+// # Multi-analyst sessions
+//
+// Every request runs in the session of the analyst named by its
+// X-Analyst-ID header (or ?analyst= parameter; neither means the shared
+// "default" session). Each session is an isolated auditor stack built
+// from the same factories, so one analyst's denials never depend on
+// another's history — the paper's per-adversary compromise model.
+// -max-sessions bounds admitted analysts (beyond it: 503 + Retry-After),
+// -session-max-live bounds materialized engines (idle sessions are
+// evicted down to their compact query log and rebuilt bit-identically by
+// replay on return), -session-ttl expires idle sessions outright, and
+// -session-shards sizes the session table's lock striping.
 //
 // With -auditors=prob the table is instead guarded by the probabilistic
 // (λ, δ, γ, T) auditors of Section 3 — maxminprob on max/min, sumprob on
@@ -21,15 +37,19 @@
 // count for a fixed -prob-seed; /v1/metrics exports the mc_* counters
 // (samples per decision, early-exit savings, parallel speedup).
 //
-// With -snapshot the sum auditor's trail is loaded at startup (if the
-// file exists) and written back on SIGINT/SIGTERM, so restarting the
-// service does not forget what it already revealed. Snapshots apply to
-// the full-disclosure auditors only.
+// With -session-snapshot every session's query log is restored at
+// startup (if the file exists) and written back on SIGINT/SIGTERM; the
+// server reports ready on /readyz only after replay completes. Works for
+// both auditor families (replay reconstructs Monte Carlo state exactly,
+// given the same -prob-seed and parameters). The older -snapshot flag
+// persists the default session's sum auditor trail directly
+// (full-disclosure only) and is mutually exclusive with
+// -session-snapshot.
 //
 // Shutdown is graceful: on the first SIGINT/SIGTERM the server stops
 // accepting connections, drains in-flight requests (bounded by
-// -shutdown-timeout), flushes the audit-trail snapshot, and logs the
-// final protocol and HTTP counters. A second signal aborts immediately.
+// -shutdown-timeout), flushes the snapshots, and logs the final protocol
+// and HTTP counters. A second signal aborts immediately.
 package main
 
 import (
@@ -44,6 +64,7 @@ import (
 	"syscall"
 	"time"
 
+	"queryaudit/internal/audit"
 	"queryaudit/internal/audit/maxminfull"
 	"queryaudit/internal/audit/maxminprob"
 	"queryaudit/internal/audit/sumfull"
@@ -56,6 +77,7 @@ import (
 	"queryaudit/internal/query"
 	"queryaudit/internal/randx"
 	"queryaudit/internal/server"
+	"queryaudit/internal/session"
 )
 
 func main() {
@@ -63,7 +85,12 @@ func main() {
 		n           = flag.Int("n", 300, "number of records in the synthetic table")
 		seed        = flag.Int64("seed", 1, "random seed for the synthetic table")
 		addr        = flag.String("addr", ":8080", "listen address")
-		snapshot    = flag.String("snapshot", "", "path for the sum auditor's persisted trail")
+		snapshot    = flag.String("snapshot", "", "path for the default session's sum auditor trail (full auditors only; see -session-snapshot)")
+		sessSnap    = flag.String("session-snapshot", "", "path for the per-analyst session logs (restored by replay at startup)")
+		maxSessions = flag.Int("max-sessions", 4096, "maximum admitted analyst sessions (0 = unlimited; beyond it new analysts get 503)")
+		maxLive     = flag.Int("session-max-live", 256, "maximum materialized session engines before LRU eviction to logs (0 = unlimited)")
+		sessTTL     = flag.Duration("session-ttl", time.Hour, "idle time before a session (log included) expires (0 = never)")
+		sessShards  = flag.Int("session-shards", 16, "lock shards for the session table")
 		maxBody     = flag.Int64("max-body-bytes", 1<<20, "maximum POST body size in bytes")
 		maxIndices  = flag.Int("max-indices", 100_000, "maximum indices per query set")
 		perClient   = flag.Int("per-client-concurrency", 0, "maximum in-flight requests per client IP (0 = unlimited)")
@@ -79,6 +106,9 @@ func main() {
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "auditserver ", log.LstdFlags|log.Lmsgprefix)
+	if *snapshot != "" && *sessSnap != "" {
+		logger.Fatalf("-snapshot and -session-snapshot are mutually exclusive (the session snapshot already carries the default session)")
+	}
 
 	cfg := dataset.DefaultCompanyConfig(*n)
 	if *auditors == "prob" {
@@ -90,43 +120,67 @@ func main() {
 		cfg.MinSalary, cfg.MaxSalary = 0, 1
 	}
 	ds := dataset.GenerateCompany(randx.New(*seed), cfg)
-	eng := core.NewEngine(ds)
 
-	var sumAud *sumfull.Auditor[field.Elem61, field.GF61]
+	// One spec builds every session's engine: identical fresh auditors,
+	// observers installed at construction (never mid-flight).
+	reg := metrics.NewRegistry()
+	spec := core.NewEngineSpec(ds)
+	spec.SetObserver(metrics.NewEngineCollector(reg))
+	spec.SetMCObserver(metrics.NewMCCollector(reg))
+	spec.SetMCWorkers(*mcWorkers)
 	switch *auditors {
 	case "full":
-		sumAud = sumfull.New(*n)
-		if *snapshot != "" {
-			if a, ok := loadSnapshot(logger, *snapshot, *n); ok {
-				sumAud = a
-			}
-		}
-		eng.Use(sumAud, query.Sum)
-		eng.Use(maxminfull.New(*n), query.Max, query.Min)
+		nn := *n
+		spec.Register(func() (audit.Auditor, error) { return sumfull.New(nn), nil }, query.Sum)
+		spec.Register(func() (audit.Auditor, error) { return maxminfull.New(nn), nil }, query.Max, query.Min)
 	case "prob":
 		if *snapshot != "" {
-			logger.Fatalf("-snapshot only supports -auditors=full")
+			logger.Fatalf("-snapshot only supports -auditors=full (use -session-snapshot, which replays either family)")
 		}
-		mmAud, err := maxminprob.New(*n, maxminprob.Params{
+		nn := *n
+		mmP := maxminprob.Params{
 			Lambda: *probLambda, Gamma: *probGamma, Delta: *probDelta, T: *probT,
 			Workers: *mcWorkers, Seed: *probSeed,
-		})
-		if err != nil {
-			logger.Fatalf("maxminprob: %v", err)
 		}
-		sAud, err := sumprob.New(*n, sumprob.Params{
+		sP := sumprob.Params{
 			Lambda: *probLambda, Gamma: *probGamma, Delta: *probDelta, T: *probT,
 			Workers: *mcWorkers, Seed: *probSeed + 1,
-		})
-		if err != nil {
-			logger.Fatalf("sumprob: %v", err)
 		}
-		eng.Use(mmAud, query.Max, query.Min)
-		eng.Use(sAud, query.Sum)
+		spec.Register(func() (audit.Auditor, error) { return maxminprob.New(nn, mmP) }, query.Max, query.Min)
+		spec.Register(func() (audit.Auditor, error) { return sumprob.New(nn, sP) }, query.Sum)
 		logger.Printf("probabilistic auditors: lambda=%g gamma=%d delta=%g T=%d mc-workers=%d (sensitive values normalized to [0,1])",
 			*probLambda, *probGamma, *probDelta, *probT, *mcWorkers)
 	default:
 		logger.Fatalf("unknown -auditors %q (want full or prob)", *auditors)
+	}
+
+	mgr, err := session.NewManager(spec, session.Config{
+		MaxSessions: *maxSessions,
+		MaxLive:     *maxLive,
+		TTL:         *sessTTL,
+		Shards:      *sessShards,
+		Observer:    metrics.NewSessionCollector(reg, *sessShards),
+	})
+	if err != nil {
+		logger.Fatalf("sessions: %v", err)
+	}
+	defer mgr.Close()
+
+	// Legacy single-analyst trail: restore the sum auditor directly and
+	// pin it as the default session (a hand-restored engine is not
+	// rebuildable from factories, so it must never be evicted).
+	var sumAud *sumfull.Auditor[field.Elem61, field.GF61]
+	if *snapshot != "" {
+		sumAud = sumfull.New(*n)
+		if a, ok := loadSnapshot(logger, *snapshot, *n); ok {
+			sumAud = a
+		}
+		eng, err := spec.Build()
+		if err != nil {
+			logger.Fatalf("engine: %v", err)
+		}
+		eng.Use(sumAud, query.Sum)
+		mgr.AdoptDefault(eng)
 	}
 
 	opts := server.Defaults()
@@ -134,32 +188,50 @@ func main() {
 	opts.MaxIndices = *maxIndices
 	opts.PerClientConcurrency = *perClient
 	opts.ShutdownTimeout = *drain
-	opts.MCWorkers = *mcWorkers
 	if !*quietAccess {
 		opts.AccessLog = logger
 	}
-	reg := metrics.NewRegistry()
-	sdb := core.NewSDB(eng, "salary")
-	srv := server.New(sdb, server.WithOptions(opts), server.WithMetrics(reg))
+	srv := server.NewWithSessions(mgr, "salary",
+		server.WithOptions(opts), server.WithMetrics(reg), server.WithReadinessGate())
 
 	// First SIGINT/SIGTERM cancels ctx (graceful drain); a second signal
-	// restores default handling, so it kills the process outright.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// restores default handling, so it kills the process outright. A
+	// failed session restore also cancels, via the same context.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ctx, cancel := context.WithCancel(sigCtx)
+	defer cancel()
 
 	logger.Printf("%s", ds.Describe())
 	ready := make(chan net.Addr, 1)
 	go func() {
-		a := <-ready
+		a, ok := <-ready
+		if !ok {
+			return
+		}
+		// Restore session logs while the listener already accepts:
+		// /healthz answers (liveness) but /readyz and the session-scoped
+		// endpoints stay 503 until replay finishes. The "listening on"
+		// line is the external go-signal (scripts and the e2e test key
+		// on it), so it is only printed once the server is ready.
+		if *sessSnap != "" {
+			if err := restoreSessions(logger, mgr, *sessSnap); err != nil {
+				logger.Printf("session restore failed: %v", err)
+				cancel()
+				return
+			}
+		}
+		srv.MarkReady()
 		logger.Printf("listening on %s", a)
+		logger.Printf("ready (sessions live=%d tracked=%d)", mgr.Live(), mgr.Tracked())
 	}()
-	err := srv.Run(ctx, *addr, ready)
+	err = srv.Run(ctx, *addr, ready)
 	stop()
 	if err != nil {
 		logger.Printf("serve: %v", err)
 	}
 
-	// Post-drain: flush the audit trail, then report final counters.
+	// Post-drain: flush the audit trails, then report final counters.
 	exit := 0
 	if *snapshot != "" {
 		if err := saveSnapshot(*snapshot, sumAud); err != nil {
@@ -169,10 +241,23 @@ func main() {
 			logger.Printf("audit trail saved to %s (rank %d)", *snapshot, sumAud.Rank())
 		}
 	}
-	st := eng.Stats()
+	if *sessSnap != "" {
+		logs := mgr.LogSnapshots()
+		if err := saveSessions(*sessSnap, logs); err != nil {
+			logger.Printf("session snapshot save failed: %v", err)
+			exit = 1
+		} else {
+			logger.Printf("session logs saved to %s (%d sessions)", *sessSnap, len(logs))
+		}
+	}
+	st := mgr.Stats(session.DefaultAnalyst)
 	logger.Printf("final stats: answered=%d denied=%d records=%d modifications=%d",
 		st.Answered, st.Denied, st.Records, st.Modifications)
 	snap := reg.Snapshot()
+	logger.Printf("sessions: created=%d evicted=%d expired=%d rejected=%d replayed=%d live=%d",
+		snap.Counters["sessions_created_total"], snap.Counters["sessions_evicted_total"],
+		snap.Counters["sessions_expired_total"], snap.Counters["sessions_rejected_total"],
+		snap.Counters["sessions_replayed_total"], snap.Gauges["sessions_live"])
 	logger.Printf("http: requests=%d 2xx=%d 4xx=%d 5xx=%d throttled=%d",
 		snap.Counters["http_requests_total"], snap.Counters["http_responses_total_2xx"],
 		snap.Counters["http_responses_total_4xx"], snap.Counters["http_responses_total_5xx"],
@@ -184,6 +269,48 @@ func main() {
 		exit = 1
 	}
 	os.Exit(exit)
+}
+
+// restoreSessions replays persisted session logs into the manager; a
+// missing file is a clean first boot.
+func restoreSessions(logger *log.Logger, mgr *session.Manager, path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	snaps, err := persist.LoadSessions(f)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := mgr.Restore(snaps); err != nil {
+		return err
+	}
+	logger.Printf("restored %d session logs from %s in %s", len(snaps), path, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// saveSessions writes the session logs atomically (temp file + rename).
+func saveSessions(path string, logs []session.LogSnapshot) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := persist.SaveSessions(f, logs); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // loadSnapshot restores the sum auditor from path when present and
@@ -231,4 +358,3 @@ func saveSnapshot(path string, a *sumfull.Auditor[field.Elem61, field.GF61]) err
 	}
 	return os.Rename(tmp, path)
 }
-

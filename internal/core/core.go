@@ -75,6 +75,9 @@ type Engine struct {
 	auditors map[query.Kind]audit.Auditor
 	naive    map[query.Kind]audit.AnswerDependent
 	obs      Observer
+	// rec journals committed protocol steps for session replay (see
+	// replay.go); nil disables journaling.
+	rec Recorder
 	// stats
 	answered int
 	denied   int
@@ -296,6 +299,7 @@ func (e *Engine) ask(q query.Query) (Response, error) {
 		// Query sets are defined by public attributes; counts carry no
 		// information about the sensitive attribute.
 		e.answered++
+		e.record(q, OutcomeAnswered, float64(len(q.Set)))
 		return Response{Answer: float64(len(q.Set))}, nil
 	case query.Avg:
 		// avg = sum/|Q| with |Q| public: audit as the equivalent sum.
@@ -310,29 +314,39 @@ func (e *Engine) ask(q query.Query) (Response, error) {
 	if a, ok := e.auditors[q.Kind]; ok {
 		d, err := a.Decide(q)
 		if err != nil {
+			// Journaled even though it is not a protocol outcome: a failed
+			// Decide may still have advanced auditor-internal state (the
+			// probabilistic auditors' per-decision seed counter), and
+			// replay must retrace it.
+			e.record(q, OutcomeErrored, 0)
 			return Response{Denied: true}, err
 		}
 		if d == audit.Deny {
 			e.denied++
+			e.record(q, OutcomeDenied, 0)
 			return Response{Denied: true}, nil
 		}
 		ans := e.ds.Eval(q)
 		a.Record(q, ans)
 		e.answered++
+		e.record(q, OutcomeAnswered, ans)
 		return Response{Answer: ans}, nil
 	}
 	if a, ok := e.naive[q.Kind]; ok {
 		ans := e.ds.Eval(q) // deliberately unsafe: answer computed first
 		d, err := a.DecideWithAnswer(q, ans)
 		if err != nil {
+			e.record(q, OutcomeErrored, 0)
 			return Response{Denied: true}, err
 		}
 		if d == audit.Deny {
 			e.denied++
+			e.record(q, OutcomeDenied, 0)
 			return Response{Denied: true}, nil
 		}
 		a.Record(q, ans)
 		e.answered++
+		e.record(q, OutcomeAnswered, ans)
 		return Response{Answer: ans}, nil
 	}
 	return Response{Denied: true}, ErrNoAuditor
@@ -385,6 +399,8 @@ func (e *Engine) Update(i int, v float64) error {
 	if i < 0 || i >= e.ds.N() {
 		return fmt.Errorf("core: index %d out of range", i)
 	}
+	// Check support before mutating, so an unsupported stack refuses the
+	// update without applying it.
 	seen := map[audit.Auditor]bool{}
 	for _, a := range e.auditors {
 		if seen[a] {
@@ -396,8 +412,5 @@ func (e *Engine) Update(i int, v float64) error {
 		}
 	}
 	e.ds.SetSensitive(i, v)
-	for a := range seen {
-		a.(audit.UpdateObserver).NoteUpdate(i)
-	}
-	return nil
+	return e.noteUpdate(i)
 }

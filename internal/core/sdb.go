@@ -24,6 +24,35 @@ func NewSDB(eng *Engine, sensitive string) *SDB {
 // Engine exposes the underlying engine.
 func (s *SDB) Engine() *Engine { return s.eng }
 
+// Sensitive returns the aggregate target column name.
+func (s *SDB) Sensitive() string { return s.sensitive }
+
+// ResolveSQL parses one SQL-ish statement and resolves its predicate
+// against ds into an auditable query, without running it — the front-end
+// half of Query, split out so a multi-session server can parse once and
+// route the query to any analyst's engine. Predicate resolution touches
+// only the public attributes, which are immutable after generation, so
+// ResolveSQL is safe to call concurrently with sensitive-value updates.
+func ResolveSQL(ds *dataset.Dataset, sensitive, sql string) (query.Query, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return query.Query{}, err
+	}
+	return ResolveStatement(ds, sensitive, stmt)
+}
+
+// ResolveStatement resolves a parsed statement against ds.
+func ResolveStatement(ds *dataset.Dataset, sensitive string, stmt Statement) (query.Query, error) {
+	if stmt.Target != sensitive {
+		return query.Query{}, fmt.Errorf("core: unknown aggregate target %q (sensitive attribute is %q)", stmt.Target, sensitive)
+	}
+	set := ds.Select(stmt.Predicate())
+	if len(set) == 0 {
+		return query.Query{}, fmt.Errorf("core: predicate selects no records")
+	}
+	return query.Query{Set: set, Kind: stmt.Agg}, nil
+}
+
 // Query parses and runs one SQL-ish statement:
 //
 //	SELECT <agg>(<sensitive>) [FROM <ident>] [WHERE <pred> {AND <pred>}]
@@ -42,14 +71,11 @@ func (s *SDB) Query(sql string) (Response, error) {
 
 // Run executes a parsed statement.
 func (s *SDB) Run(stmt Statement) (Response, error) {
-	if stmt.Target != s.sensitive {
-		return Response{Denied: true}, fmt.Errorf("core: unknown aggregate target %q (sensitive attribute is %q)", stmt.Target, s.sensitive)
+	q, err := ResolveStatement(s.eng.Dataset(), s.sensitive, stmt)
+	if err != nil {
+		return Response{Denied: true}, err
 	}
-	set := s.eng.Dataset().Select(stmt.Predicate())
-	if len(set) == 0 {
-		return Response{Denied: true}, fmt.Errorf("core: predicate selects no records")
-	}
-	return s.eng.Ask(query.Query{Set: set, Kind: stmt.Agg})
+	return s.eng.Ask(q)
 }
 
 // Statement is a parsed SQL-ish query.

@@ -33,6 +33,21 @@ func (c *Counter) Add(delta int64) { c.v.Add(delta) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Gauge is an atomic instantaneous value that can move both ways
+// (live sessions, current shard-lock waiters).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
 // DefaultLatencyBuckets covers 100µs … 10s, roughly logarithmic — wide
 // enough for both the sub-millisecond full-disclosure deciders and the
 // ~300ms probabilistic sum decisions noted in docs/DEPLOYMENT.md.
@@ -90,10 +105,10 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBit.Load())
 // counts are read individually; under concurrent writes the snapshot may
 // be mid-flight by a few observations, which is fine for monitoring).
 type HistogramSnapshot struct {
-	Count   int64    `json:"count"`
-	Sum     float64  `json:"sum"`
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
 	Bounds  []float64 `json:"bounds"`
-	Buckets []int64  `json:"buckets"` // len(Bounds)+1; last is overflow
+	Buckets []int64   `json:"buckets"` // len(Bounds)+1; last is overflow
 }
 
 // Snapshot captures the histogram's current state.
@@ -140,16 +155,21 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	return 0
 }
 
-// Registry holds named counters and histograms.
+// Registry holds named counters, gauges and histograms.
 type Registry struct {
-	mu    sync.Mutex
-	ctrs  map[string]*Counter
-	hists map[string]*Histogram
+	mu     sync.Mutex
+	ctrs   map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{ctrs: map[string]*Counter{}, hists: map[string]*Histogram{}}
+	return &Registry{
+		ctrs:   map[string]*Counter{},
+		gauges: map[string]*Gauge{},
+		hists:  map[string]*Histogram{},
+	}
 }
 
 // Counter returns the counter registered under name, creating it if
@@ -163,6 +183,18 @@ func (r *Registry) Counter(name string) *Counter {
 		r.ctrs[name] = c
 	}
 	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the histogram registered under name, creating it
@@ -183,6 +215,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 // names sorted for stable rendering.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
@@ -192,10 +225,14 @@ func (r *Registry) Snapshot() Snapshot {
 	defer r.mu.Unlock()
 	s := Snapshot{
 		Counters:   make(map[string]int64, len(r.ctrs)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
 	}
 	for name, c := range r.ctrs {
 		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Snapshot()

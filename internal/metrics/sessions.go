@@ -1,0 +1,103 @@
+// Session instrumentation: a session.Observer implementation backed by a
+// Registry. Lives here (not in internal/session) so the session manager
+// stays free of any metrics dependency — session defines the Observer
+// interface, this file satisfies it structurally.
+package metrics
+
+import (
+	"strconv"
+	"time"
+)
+
+// SessionReplayBuckets bound the replay-latency histogram: rebuilding a
+// short log is microseconds; replaying thousands of probabilistic
+// decisions can take whole seconds.
+var SessionReplayBuckets = []float64{
+	0.00025, 0.001, 0.0025, 0.01, 0.025, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// SessionCollector implements session.Observer over a Registry. All
+// callbacks are atomic-only, safe to call from the session hot path.
+//
+// Exported names:
+//
+//	sessions_live              gauge: sessions with a materialized engine
+//	sessions_tracked           gauge: sessions with a retained log
+//	sessions_created_total     sessions admitted
+//	sessions_evicted_total     engines dropped to their logs (LRU/admin)
+//	sessions_expired_total     sessions removed by TTL expiry
+//	sessions_rejected_total    admissions refused (503 upstream)
+//	sessions_replayed_total    engines rebuilt by log replay
+//	session_replay_events_total  log events replayed
+//	session_replay_seconds     histogram of per-rebuild replay latency
+//	session_shard_waiters_<i>  gauge: goroutines waiting on shard i's lock
+type SessionCollector struct {
+	live     *Gauge
+	tracked  *Gauge
+	created  *Counter
+	evicted  *Counter
+	expired  *Counter
+	rejected *Counter
+	replayed *Counter
+	events   *Counter
+	latency  *Histogram
+	waiters  []*Gauge
+}
+
+// NewSessionCollector wires a collector for a manager with the given
+// shard count into reg. Shard gauges are pre-registered so the lock path
+// never touches the registry mutex.
+func NewSessionCollector(reg *Registry, shards int) *SessionCollector {
+	c := &SessionCollector{
+		live:     reg.Gauge("sessions_live"),
+		tracked:  reg.Gauge("sessions_tracked"),
+		created:  reg.Counter("sessions_created_total"),
+		evicted:  reg.Counter("sessions_evicted_total"),
+		expired:  reg.Counter("sessions_expired_total"),
+		rejected: reg.Counter("sessions_rejected_total"),
+		replayed: reg.Counter("sessions_replayed_total"),
+		events:   reg.Counter("session_replay_events_total"),
+		latency:  reg.Histogram("session_replay_seconds", SessionReplayBuckets),
+		waiters:  make([]*Gauge, shards),
+	}
+	for i := range c.waiters {
+		c.waiters[i] = reg.Gauge("session_shard_waiters_" + strconv.Itoa(i))
+	}
+	return c
+}
+
+// ObserveSessionCreated implements session.Observer.
+func (c *SessionCollector) ObserveSessionCreated() {
+	c.created.Inc()
+	c.tracked.Add(1)
+}
+
+// ObserveSessionEvicted implements session.Observer.
+func (c *SessionCollector) ObserveSessionEvicted() { c.evicted.Inc() }
+
+// ObserveSessionExpired implements session.Observer.
+func (c *SessionCollector) ObserveSessionExpired() {
+	c.expired.Inc()
+	c.tracked.Add(-1)
+}
+
+// ObserveSessionRejected implements session.Observer.
+func (c *SessionCollector) ObserveSessionRejected() { c.rejected.Inc() }
+
+// ObserveReplay implements session.Observer.
+func (c *SessionCollector) ObserveReplay(events int, d time.Duration) {
+	c.replayed.Inc()
+	c.events.Add(int64(events))
+	c.latency.ObserveDuration(d)
+}
+
+// ObserveLive implements session.Observer.
+func (c *SessionCollector) ObserveLive(delta int) { c.live.Add(int64(delta)) }
+
+// ObserveShardWait implements session.Observer: +1 when a goroutine
+// starts waiting on a contended shard lock, -1 once it acquires it.
+func (c *SessionCollector) ObserveShardWait(shard, delta int) {
+	if shard >= 0 && shard < len(c.waiters) {
+		c.waiters[shard].Add(int64(delta))
+	}
+}

@@ -1,0 +1,73 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"queryaudit/internal/session"
+)
+
+// KindSessionLogs names the multi-analyst session-journal snapshot: the
+// complete set of per-analyst query/decision logs, from which every
+// session's auditor state is rebuilt by replay (simulatable stacks
+// only).
+const KindSessionLogs Kind = "session-logs"
+
+// sessionLogsPayload is the envelope payload for KindSessionLogs.
+type sessionLogsPayload struct {
+	Sessions []session.LogSnapshot `json:"sessions"`
+}
+
+// SaveSessions writes every session journal to w under the standard
+// versioned envelope.
+func SaveSessions(w io.Writer, logs []session.LogSnapshot) error {
+	raw, err := json.Marshal(sessionLogsPayload{Sessions: logs})
+	if err != nil {
+		return fmt.Errorf("persist: encode session logs: %w", err)
+	}
+	return json.NewEncoder(w).Encode(envelope{Version: Version, Kind: KindSessionLogs, Payload: raw})
+}
+
+// LoadSessions reads a session-journal snapshot from r, validating each
+// journal's structural invariants before returning. Replay-time checks
+// (index ranges, auditor agreement with logged outcomes) happen in
+// session.Manager.Restore.
+func LoadSessions(r io.Reader) ([]session.LogSnapshot, error) {
+	var env envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("persist: decode envelope: %w", err)
+	}
+	if err := env.check(KindSessionLogs); err != nil {
+		return nil, err
+	}
+	var p sessionLogsPayload
+	if err := json.Unmarshal(env.Payload, &p); err != nil {
+		return nil, fmt.Errorf("persist: decode %s: %w", env.Kind, err)
+	}
+	seen := make(map[string]bool, len(p.Sessions))
+	for _, snap := range p.Sessions {
+		if snap.Analyst == "" {
+			return nil, fmt.Errorf("persist: session snapshot with empty analyst id")
+		}
+		if seen[snap.Analyst] {
+			return nil, fmt.Errorf("persist: duplicate session snapshot for analyst %q", snap.Analyst)
+		}
+		seen[snap.Analyst] = true
+		if err := snap.Validate(); err != nil {
+			return nil, fmt.Errorf("persist: analyst %q: %w", snap.Analyst, err)
+		}
+	}
+	return p.Sessions, nil
+}
+
+// check validates an envelope's version and kind.
+func (env envelope) check(want Kind) error {
+	if env.Version != Version {
+		return fmt.Errorf("persist: unsupported snapshot version %d", env.Version)
+	}
+	if env.Kind != want {
+		return fmt.Errorf("persist: snapshot kind %q, want %q", env.Kind, want)
+	}
+	return nil
+}

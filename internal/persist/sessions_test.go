@@ -1,0 +1,69 @@
+package persist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"queryaudit/internal/session"
+)
+
+func sampleLogs() []session.LogSnapshot {
+	return []session.LogSnapshot{
+		{Analyst: "alice", Events: []session.EventSnapshot{
+			{Op: "query", Kind: "sum", Indices: []int{0, 1, 2}, Outcome: "answered", Answer: 6},
+			{Op: "query", Kind: "sum", Indices: []int{1, 2}, Outcome: "denied"},
+			{Op: "update", Index: 1},
+			{Op: "query", Kind: "max", Indices: []int{0, 2}, Outcome: "errored"},
+		}},
+		{Analyst: "bob", Events: nil},
+	}
+}
+
+// TestSessionLogsRoundTrip: Save → Load preserves every event field.
+func TestSessionLogsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	logs := sampleLogs()
+	if err := SaveSessions(&buf, logs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSessions(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(logs) {
+		t.Fatalf("got %d sessions, want %d", len(got), len(logs))
+	}
+	for i, snap := range got {
+		if snap.Analyst != logs[i].Analyst || len(snap.Events) != len(logs[i].Events) {
+			t.Fatalf("session %d: %+v vs %+v", i, snap, logs[i])
+		}
+		for j, ev := range snap.Events {
+			want := logs[i].Events[j]
+			if ev.Op != want.Op || ev.Kind != want.Kind || ev.Outcome != want.Outcome ||
+				ev.Answer != want.Answer || ev.Index != want.Index || len(ev.Indices) != len(want.Indices) {
+				t.Fatalf("session %d event %d: %+v vs %+v", i, j, ev, want)
+			}
+		}
+	}
+}
+
+// TestLoadSessionsRejectsInvalid: wrong kinds, versions, duplicate or
+// empty analysts, and structurally invalid events are all refused.
+func TestLoadSessionsRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"wrong kind":    `{"version":1,"kind":"sum-full","payload":{"sessions":[]}}`,
+		"wrong version": `{"version":9,"kind":"session-logs","payload":{"sessions":[]}}`,
+		"empty analyst": `{"version":1,"kind":"session-logs","payload":{"sessions":[{"analyst":"","events":[]}]}}`,
+		"duplicate":     `{"version":1,"kind":"session-logs","payload":{"sessions":[{"analyst":"a"},{"analyst":"a"}]}}`,
+		"bad op":        `{"version":1,"kind":"session-logs","payload":{"sessions":[{"analyst":"a","events":[{"op":"zap"}]}]}}`,
+		"bad kind":      `{"version":1,"kind":"session-logs","payload":{"sessions":[{"analyst":"a","events":[{"op":"query","kind":"mode","indices":[0],"outcome":"answered"}]}]}}`,
+		"bad outcome":   `{"version":1,"kind":"session-logs","payload":{"sessions":[{"analyst":"a","events":[{"op":"query","kind":"sum","indices":[0],"outcome":"maybe"}]}]}}`,
+		"empty set":     `{"version":1,"kind":"session-logs","payload":{"sessions":[{"analyst":"a","events":[{"op":"query","kind":"sum","indices":[],"outcome":"answered"}]}]}}`,
+	}
+	for name, raw := range cases {
+		if _, err := LoadSessions(strings.NewReader(raw)); err == nil {
+			t.Errorf("%s: accepted invalid snapshot", name)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"queryaudit/internal/dataset"
 	"queryaudit/internal/query"
 	"queryaudit/internal/randx"
+	"queryaudit/internal/session"
 )
 
 // TestZeroAnswerNotOmitted: a legitimate answer of exactly 0 must appear
@@ -359,6 +360,96 @@ func TestPerClientThrottle(t *testing.T) {
 	}
 	if throttled.Load() == 0 {
 		t.Fatal("no request was throttled despite cap=1 and 300ms handlers")
+	}
+}
+
+// TestConcurrentAnalystChurn: many analysts hammer a session-mode
+// server whose MaxLive is far below the analyst count, so engines are
+// constantly evicted and rebuilt by journal replay while other requests
+// are in flight. Every analyst runs the same fixed script, so (a) all
+// twelve transcripts must be bit-identical — eviction, replay, and
+// shard contention must never leak one analyst's history into
+// another's decisions — and (b) each analyst's /v1/stats tallies must
+// equal what that analyst's client observed. Run under -race this also
+// exercises the manager's shard/session/dataset lock ordering.
+func TestConcurrentAnalystChurn(t *testing.T) {
+	const n, analysts, steps = 16, 12, 20
+	ds := dataset.UniformDuplicateFree(randx.New(11), n, 1, 100)
+	sp := core.NewEngineSpec(ds)
+	sp.Register(func() (audit.Auditor, error) { return sumfull.New(n), nil }, query.Sum)
+	sp.Register(func() (audit.Auditor, error) { return maxfull.New(n), nil }, query.Max)
+	mgr, err := session.NewManager(sp, session.Config{MaxLive: 2, Shards: 4, NoJanitor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+	hs := httptest.NewServer(NewWithSessions(mgr, "salary"))
+	t.Cleanup(hs.Close)
+
+	// One fixed script, shared by every analyst.
+	type move struct {
+		kind    string
+		indices []int
+	}
+	rng := randx.New(21)
+	var script []move
+	for i := 0; i < steps; i++ {
+		kind := "sum"
+		if i%3 == 2 {
+			kind = "max"
+		}
+		perm := rng.Perm(n)
+		script = append(script, move{kind: kind, indices: perm[:2+rng.Intn(6)]})
+	}
+
+	transcripts := make([][]string, analysts)
+	tallies := make([]struct{ answered, denied int64 }, analysts)
+	var wg sync.WaitGroup
+	for a := 0; a < analysts; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			who := fmt.Sprintf("churn-%02d", a)
+			for _, mv := range script {
+				code, out := askAs(t, hs.URL, who, mv.kind, mv.indices)
+				if code != http.StatusOK {
+					t.Errorf("%s: status %d: %v", who, code, out)
+					return
+				}
+				transcripts[a] = append(transcripts[a], fmt.Sprintf("denied=%v answer=%v", out["denied"], out["answer"]))
+				if out["denied"] == true {
+					tallies[a].denied++
+				} else {
+					tallies[a].answered++
+				}
+			}
+		}(a)
+	}
+	wg.Wait()
+
+	for a := 1; a < analysts; a++ {
+		for i := range transcripts[0] {
+			if transcripts[a][i] != transcripts[0][i] {
+				t.Fatalf("analyst %d step %d diverged under churn: %s vs %s",
+					a, i, transcripts[a][i], transcripts[0][i])
+			}
+		}
+	}
+	if tallies[0].answered == 0 || tallies[0].denied == 0 {
+		t.Fatalf("degenerate script (answered=%d denied=%d)", tallies[0].answered, tallies[0].denied)
+	}
+	for a := 0; a < analysts; a++ {
+		resp, err := http.Get(hs.URL + fmt.Sprintf("/v1/stats?analyst=churn-%02d", a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st StatsResponse
+		json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if int64(st.Answered) != tallies[a].answered || int64(st.Denied) != tallies[a].denied {
+			t.Fatalf("analyst %d stats %+v, client saw answered=%d denied=%d",
+				a, st, tallies[a].answered, tallies[a].denied)
+		}
 	}
 }
 

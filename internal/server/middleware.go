@@ -82,6 +82,12 @@ func WithMetrics(reg *metrics.Registry) Option { return func(s *Server) { s.reg 
 // WithAccessLog enables structured access logging.
 func WithAccessLog(l *log.Logger) Option { return func(s *Server) { s.opts.AccessLog = l } }
 
+// WithReadinessGate starts the server not-ready: /readyz and every
+// session-scoped endpoint answer 503 until MarkReady is called. Use it
+// when boot-time restoration (auditor snapshot, session-log replay)
+// runs after the listener is already accepting.
+func WithReadinessGate() Option { return func(s *Server) { s.gated = true } }
+
 // httpMetrics holds the per-route HTTP counters and the request-latency
 // histogram, pre-registered so handlers never take the registry mutex.
 //
@@ -106,7 +112,8 @@ type httpMetrics struct {
 // routes lists the served path patterns for per-route counters.
 var routes = []string{
 	"/v1/query", "/v1/queryset", "/v1/update", "/v1/stats", "/v1/schema",
-	"/v1/knowledge", "/v1/prime", "/v1/metrics", "/healthz",
+	"/v1/knowledge", "/v1/prime", "/v1/sessions", "/v1/metrics",
+	"/healthz", "/readyz",
 }
 
 func routeCounterName(path string) string {

@@ -10,20 +10,34 @@
 //	GET  /v1/stats
 //	GET  /v1/schema
 //	GET  /v1/knowledge
+//	GET  /v1/sessions
 //	GET  /v1/metrics
 //	GET  /healthz
+//	GET  /readyz
 //
 // Denials are HTTP 200 with {"denied": true} — a denial is a normal
 // protocol outcome, not a transport error. Malformed requests are 400;
 // unsupported aggregates are 422; oversized bodies or index lists are
-// 413; a throttled client is 429.
+// 413; a throttled client is 429; a refused session admission is 503
+// with Retry-After.
+//
+// # Analyst identity
+//
+// The paper's compromise definitions are per-adversary: each analyst's
+// history is what can breach privacy, so the server keys audit state by
+// analyst. Requests name their analyst with the X-Analyst-ID header (or
+// the ?analyst= query parameter); requests carrying neither run in the
+// shared "default" session, which keeps single-analyst clients working
+// unchanged. Every session-scoped endpoint (query, queryset, prime,
+// stats, knowledge) honors the identity; /v1/update mutates the shared
+// dataset and is visible to every session.
 //
 // # Production hygiene
 //
 // Every POST body is capped by http.MaxBytesReader (Options.MaxBodyBytes,
 // default 1 MiB), and /v1/queryset and /v1/prime additionally bound the
 // number of indices / queries they accept (Options.MaxIndices,
-// Options.MaxPrimeQueries), so a single request cannot hold the engine
+// Options.MaxPrimeQueries), so a single request cannot hold an engine
 // lock arbitrarily long. Run (and ListenAndServe) install read/write/
 // idle timeouts on the http.Server and drain in-flight requests on
 // context cancellation. All handlers run behind middleware that records
@@ -33,10 +47,21 @@
 // concurrency limiter (Options.PerClientConcurrency) bounds how many
 // requests one client may have in flight.
 //
-// Concurrency correctness is delegated to core.Engine's locking
-// discipline: handlers only touch engine state through locked methods
-// (Ask, Update, Prime, Stats, KnowledgeSnapshot) and never reach around
-// the engine to an auditor.
+// Concurrency correctness is delegated to the session manager's locking
+// discipline (dataset lock → shard lock → session lock) and, below it,
+// core.Engine's: handlers only touch audit state through the manager's
+// locked methods and never reach around it to an engine or auditor.
+//
+// # Readiness
+//
+// GET /healthz is pure liveness: the process is up and the mux serves.
+// GET /readyz additionally reflects boot-time state restoration: a
+// server constructed with WithReadinessGate answers 503 on /readyz and
+// on every session-scoped endpoint until MarkReady is called (after
+// snapshot and session-log replay finish), so a load balancer never
+// routes an analyst to a server that has not finished reconstructing
+// audit state — answering before replay completes would let an attacker
+// rerun complementary queries against an amnesiac auditor.
 package server
 
 import (
@@ -44,37 +69,49 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 
 	"queryaudit/internal/audit"
 	"queryaudit/internal/core"
 	"queryaudit/internal/metrics"
 	"queryaudit/internal/query"
+	"queryaudit/internal/session"
 )
 
-// Server wraps an SDB with HTTP handlers. The engine's own mutex makes
-// concurrent requests safe.
+// retryAfterSeconds is the Retry-After hint attached to 503 responses
+// (session admission refused, or server not yet ready).
+const retryAfterSeconds = 10
+
+// maxAnalystIDLen bounds the analyst identity accepted from headers.
+const maxAnalystIDLen = 128
+
+// Server routes HTTP requests to per-analyst audit sessions. All
+// concurrency safety is delegated to the session.Manager.
 type Server struct {
-	sdb     *core.SDB
-	mux     *http.ServeMux
-	handler http.Handler // mux behind the middleware chain
-	opts    Options
-	reg     *metrics.Registry
-	httpM   *httpMetrics
-	limiter *clientLimiter
+	mgr       *session.Manager
+	sensitive string
+	mux       *http.ServeMux
+	handler   http.Handler // mux behind the middleware chain
+	opts      Options
+	reg       *metrics.Registry
+	httpM     *httpMetrics
+	limiter   *clientLimiter
+	// ready gates the session-scoped endpoints; it starts true unless
+	// WithReadinessGate is given, and flips once via MarkReady.
+	ready atomic.Bool
+	gated bool
 }
 
-// New builds a server over an SDB. With no options it uses Defaults()
-// and an internal metrics registry; pass WithOptions / WithMetrics to
-// customize. The engine is instrumented with a metrics.EngineCollector
-// unless it already has an observer installed by the caller.
+// New builds a single-analyst server over a pre-built SDB — the legacy
+// constructor, kept for deployments that wire one engine by hand (e.g.
+// restoring a persisted auditor that no factory can rebuild). Requests
+// carrying a non-default analyst identity fail with 403: multi-analyst
+// serving requires NewWithSessions. The engine is instrumented with a
+// metrics.EngineCollector unless Options disable it; instrumentation is
+// installed here, before the handler is exposed, so no request can race
+// an observer swap.
 func New(sdb *core.SDB, opts ...Option) *Server {
-	s := &Server{sdb: sdb, mux: http.NewServeMux(), opts: Defaults()}
-	for _, o := range opts {
-		o(s)
-	}
-	if s.reg == nil {
-		s.reg = metrics.NewRegistry()
-	}
+	s := newServer(session.Single(sdb.Engine(), session.Config{}), sdb.Sensitive(), opts)
 	if s.opts.InstrumentEngine {
 		sdb.Engine().SetObserver(metrics.NewEngineCollector(s.reg))
 	}
@@ -84,19 +121,44 @@ func New(sdb *core.SDB, opts ...Option) *Server {
 	if s.opts.MCWorkers != 0 {
 		sdb.Engine().SetMCWorkers(s.opts.MCWorkers)
 	}
+	return s
+}
+
+// NewWithSessions builds a multi-analyst server over a session manager.
+// Engine observers are NOT installed here: session engines are built on
+// demand, so observers must come from the manager's core.EngineSpec
+// (spec.SetObserver / SetMCObserver / SetMCWorkers), which installs them
+// at construction time — before the engine serves a single query —
+// rather than racing a SetObserver call against in-flight requests.
+// Options.InstrumentEngine / InstrumentMC / MCWorkers are ignored.
+func NewWithSessions(mgr *session.Manager, sensitive string, opts ...Option) *Server {
+	return newServer(mgr, sensitive, opts)
+}
+
+func newServer(mgr *session.Manager, sensitive string, opts []Option) *Server {
+	s := &Server{mgr: mgr, sensitive: sensitive, mux: http.NewServeMux(), opts: Defaults()}
+	for _, o := range opts {
+		o(s)
+	}
+	s.ready.Store(!s.gated)
+	if s.reg == nil {
+		s.reg = metrics.NewRegistry()
+	}
 	s.httpM = newHTTPMetrics(s.reg)
 	if s.opts.PerClientConcurrency > 0 {
 		s.limiter = newClientLimiter(s.opts.PerClientConcurrency)
 	}
-	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
-	s.mux.HandleFunc("POST /v1/queryset", s.handleQuerySet)
-	s.mux.HandleFunc("POST /v1/update", s.handleUpdate)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/query", s.whenReady(s.handleQuery))
+	s.mux.HandleFunc("POST /v1/queryset", s.whenReady(s.handleQuerySet))
+	s.mux.HandleFunc("POST /v1/update", s.whenReady(s.handleUpdate))
+	s.mux.HandleFunc("GET /v1/stats", s.whenReady(s.handleStats))
 	s.mux.HandleFunc("GET /v1/schema", s.handleSchema)
-	s.mux.HandleFunc("GET /v1/knowledge", s.handleKnowledge)
-	s.mux.HandleFunc("POST /v1/prime", s.handlePrime)
+	s.mux.HandleFunc("GET /v1/knowledge", s.whenReady(s.handleKnowledge))
+	s.mux.HandleFunc("POST /v1/prime", s.whenReady(s.handlePrime))
+	s.mux.HandleFunc("GET /v1/sessions", s.whenReady(s.handleSessions))
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.handler = s.middleware(s.mux)
 	return s
 }
@@ -104,9 +166,78 @@ func New(sdb *core.SDB, opts ...Option) *Server {
 // Metrics returns the registry the server records into.
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
+// Sessions returns the session manager the server routes through.
+func (s *Server) Sessions() *session.Manager { return s.mgr }
+
+// MarkReady opens the session-scoped endpoints on a readiness-gated
+// server. Call it once boot-time state restoration (auditor snapshot,
+// session-log replay) has finished.
+func (s *Server) MarkReady() { s.ready.Store(true) }
+
+// whenReady wraps a session-scoped handler with the readiness gate.
+func (s *Server) whenReady(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is restoring audit state"})
+			return
+		}
+		h(w, r)
+	}
+}
+
 // ServeHTTP implements http.Handler (middleware included).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
+}
+
+// analystID extracts the analyst identity: X-Analyst-ID header first,
+// then the ?analyst= query parameter, else the shared default session.
+// IDs are capped at 128 bytes of printable ASCII so arbitrary header
+// bytes never become map keys or log lines.
+func analystID(r *http.Request) (string, error) {
+	a := r.Header.Get("X-Analyst-ID")
+	if a == "" {
+		a = r.URL.Query().Get("analyst")
+	}
+	if a == "" {
+		return session.DefaultAnalyst, nil
+	}
+	if len(a) > maxAnalystIDLen {
+		return "", errors.New("analyst id longer than " + strconv.Itoa(maxAnalystIDLen) + " bytes")
+	}
+	for i := 0; i < len(a); i++ {
+		if a[i] < 0x21 || a[i] > 0x7e {
+			return "", errors.New("analyst id must be printable ASCII without spaces")
+		}
+	}
+	return a, nil
+}
+
+// analyst resolves the request identity, writing the 400 itself on a
+// malformed ID; ok reports whether the handler should proceed.
+func (s *Server) analyst(w http.ResponseWriter, r *http.Request) (string, bool) {
+	a, err := analystID(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return "", false
+	}
+	return a, true
+}
+
+// writeSessionErr maps session-layer failures; reports whether err was
+// one.
+func writeSessionErr(w http.ResponseWriter, err error) bool {
+	switch {
+	case errors.Is(err, session.ErrTooManySessions):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return true
+	case errors.Is(err, session.ErrMultiAnalystDisabled):
+		writeJSON(w, http.StatusForbidden, errorResponse{Error: err.Error()})
+		return true
+	}
+	return false
 }
 
 // QueryRequest is the body of POST /v1/query.
@@ -136,14 +267,17 @@ type UpdateRequest struct {
 	Value float64 `json:"value"`
 }
 
-// StatsResponse is the body of GET /v1/stats. All four fields are read
-// in one engine lock acquisition (core.Engine.Stats), so answered+denied
-// is never a torn snapshot.
+// StatsResponse is the body of GET /v1/stats, scoped to the requesting
+// analyst's session. Answered+denied come from the session journal's
+// running tallies in one lock acquisition, never a torn snapshot.
 type StatsResponse struct {
-	Answered      int `json:"answered"`
-	Denied        int `json:"denied"`
-	Records       int `json:"records"`
-	Modifications int `json:"modifications"`
+	Analyst       string `json:"analyst"`
+	Answered      int    `json:"answered"`
+	Denied        int    `json:"denied"`
+	Records       int    `json:"records"`
+	Modifications int    `json:"modifications"`
+	Live          bool   `json:"live"`
+	LogEvents     int    `json:"log_events"`
 }
 
 // errorResponse carries machine-readable failures.
@@ -170,6 +304,10 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) (ok, 
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	analyst, ok := s.analyst(w, r)
+	if !ok {
+		return
+	}
 	var req QueryRequest
 	ok, tooLarge := s.decodeBody(w, r, &req)
 	if tooLarge {
@@ -180,11 +318,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be {\"sql\": \"SELECT ...\"}"})
 		return
 	}
-	resp, err := s.sdb.Query(req.SQL)
+	q, err := core.ResolveSQL(s.mgr.Dataset(), s.sensitive, req.SQL)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	resp, err := s.mgr.Ask(analyst, q)
 	s.writeQueryResult(w, resp, err)
 }
 
 func (s *Server) handleQuerySet(w http.ResponseWriter, r *http.Request) {
+	analyst, ok := s.analyst(w, r)
+	if !ok {
+		return
+	}
 	var req QuerySetRequest
 	ok, tooLarge := s.decodeBody(w, r, &req)
 	if tooLarge {
@@ -205,12 +352,13 @@ func (s *Server) handleQuerySet(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	resp, err := s.sdb.Engine().Ask(query.New(kind, req.Indices...))
+	resp, err := s.mgr.Ask(analyst, query.New(kind, req.Indices...))
 	s.writeQueryResult(w, resp, err)
 }
 
 func (s *Server) writeQueryResult(w http.ResponseWriter, resp core.Response, err error) {
 	switch {
+	case err != nil && writeSessionErr(w, err):
 	case errors.Is(err, core.ErrNoAuditor) || errors.Is(err, audit.ErrUnsupportedKind):
 		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
 	case err != nil:
@@ -234,25 +382,32 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be {\"index\": i, \"value\": v}"})
 		return
 	}
-	if err := s.sdb.Engine().Update(req.Index, req.Value); err != nil {
+	if err := s.mgr.Update(req.Index, req.Value); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st := s.sdb.Engine().Stats()
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	analyst, ok := s.analyst(w, r)
+	if !ok {
+		return
+	}
+	st := s.mgr.Stats(analyst)
 	writeJSON(w, http.StatusOK, StatsResponse{
+		Analyst:       st.Analyst,
 		Answered:      st.Answered,
 		Denied:        st.Denied,
 		Records:       st.Records,
 		Modifications: st.Modifications,
+		Live:          st.Live,
+		LogEvents:     st.LogEvents,
 	})
 }
 
 func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
-	ds := s.sdb.Engine().Dataset()
+	ds := s.mgr.Dataset()
 	type attr struct {
 		Name string `json:"name"`
 		Kind string `json:"kind"`
@@ -281,6 +436,10 @@ type PrimeRequest struct {
 }
 
 func (s *Server) handlePrime(w http.ResponseWriter, r *http.Request) {
+	analyst, ok := s.analyst(w, r)
+	if !ok {
+		return
+	}
 	var req PrimeRequest
 	ok, tooLarge := s.decodeBody(w, r, &req)
 	if tooLarge {
@@ -310,41 +469,84 @@ func (s *Server) handlePrime(w http.ResponseWriter, r *http.Request) {
 		}
 		qs = append(qs, query.New(kind, q.Indices...))
 	}
-	if err := s.sdb.Engine().Prime(qs); err != nil {
+	if err := s.mgr.Prime(analyst, qs); err != nil {
+		if writeSessionErr(w, err) {
+			return
+		}
 		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "primed": len(qs)})
 }
 
-// KnowledgeResponse is the body of GET /v1/knowledge: what the answered
-// history exposes about each record, per reporting auditor.
+// KnowledgeResponse is the body of GET /v1/knowledge: what the
+// requesting analyst's answered history exposes about each record, per
+// reporting auditor.
 type KnowledgeResponse struct {
+	Analyst  string                              `json:"analyst"`
 	Auditors map[string][]audit.ElementKnowledge `json:"auditors"`
 }
 
-func (s *Server) handleKnowledge(w http.ResponseWriter, _ *http.Request) {
-	// KnowledgeSnapshot reads every auditor under the engine lock — the
-	// previous implementation called Auditor()/Knowledge() unlocked and
-	// raced with concurrent Ask/Record.
-	snap := s.sdb.Engine().KnowledgeSnapshot()
-	out := KnowledgeResponse{Auditors: make(map[string][]audit.ElementKnowledge, len(snap))}
+func (s *Server) handleKnowledge(w http.ResponseWriter, r *http.Request) {
+	analyst, ok := s.analyst(w, r)
+	if !ok {
+		return
+	}
+	snap, err := s.mgr.Knowledge(analyst)
+	if err != nil {
+		if writeSessionErr(w, err) {
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	out := KnowledgeResponse{Analyst: analyst, Auditors: make(map[string][]audit.ElementKnowledge, len(snap))}
 	for name, ks := range snap {
 		out.Auditors[name] = sanitizeKnowledge(ks)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
+// SessionsResponse is the body of GET /v1/sessions: the admin view of
+// every tracked session.
+type SessionsResponse struct {
+	Sessions []session.Info `json:"sessions"`
+	Live     int            `json:"live"`
+	Tracked  int            `json:"tracked"`
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, SessionsResponse{
+		Sessions: s.mgr.Sessions(),
+		Live:     s.mgr.Live(),
+		Tracked:  s.mgr.Tracked(),
+	})
+}
+
 // handleHealthz is a liveness probe: the process is up and the mux is
-// serving. It deliberately avoids the engine lock so a long-running
-// decide cannot fail the probe.
+// serving. It deliberately avoids every lock so a long-running decide
+// cannot fail the probe.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReadyz is the readiness probe: 200 only once boot-time state
+// restoration has finished (see the package comment). Liveness and
+// readiness are deliberately distinct endpoints so an orchestrator can
+// keep a slow-restoring process alive while routing no traffic to it.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "restoring"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
 // handleMetrics exports the registry as JSON: HTTP counters/latency
-// per route, engine decision counters per aggregate kind, and the
-// decide-latency histogram.
+// per route, engine decision counters per aggregate kind, session
+// lifecycle counters and gauges, and the decide/replay latency
+// histograms.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.reg.Snapshot())
 }

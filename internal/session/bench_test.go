@@ -1,0 +1,89 @@
+package session
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/core"
+	"queryaudit/internal/dataset"
+	"queryaudit/internal/query"
+	"queryaudit/internal/randx"
+)
+
+// openAuditor answers everything — a stub that reduces Ask to pure
+// session-layer cost (shard lookup, session lock, journal append), so
+// BenchmarkSessionLookup measures the manager, not the auditors.
+type openAuditor struct{}
+
+func (openAuditor) Name() string                               { return "open" }
+func (openAuditor) Decide(query.Query) (audit.Decision, error) { return audit.Answer, nil }
+func (openAuditor) Record(query.Query, float64)                {}
+
+func benchValues(n int) []float64 {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i + 1)
+	}
+	return vals
+}
+
+// BenchmarkSessionLookup: hot-path routing cost (shard lookup, session
+// lock, journal append) with many live sessions under parallel load,
+// auditor cost stubbed out.
+func BenchmarkSessionLookup(b *testing.B) {
+	const analysts = 256
+	sp := core.NewEngineSpec(dataset.FromValues(benchValues(64)))
+	sp.Register(func() (audit.Auditor, error) { return openAuditor{}, nil }, query.Sum)
+	m, err := NewManager(sp, Config{Shards: 16, NoJanitor: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	names := make([]string, analysts)
+	q := query.New(query.Sum, 1, 2, 3)
+	for i := range names {
+		names[i] = fmt.Sprintf("analyst-%03d", i)
+		if _, err := m.Ask(names[i], q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var rr atomic.Int64
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			a := names[int(rr.Add(1))%analysts]
+			if _, err := m.Ask(a, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSessionChurn: 1000 analysts cycling through a MaxLive=64
+// manager with the real full-disclosure auditors — every miss pays an
+// engine build plus a full journal replay, the worst-case steady state
+// of an over-subscribed deployment.
+func BenchmarkSessionChurn(b *testing.B) {
+	const analysts = 1000
+	rng := randx.New(3)
+	m, err := NewManager(fullSpec(dataset.FromValues(benchValues(32))), Config{
+		MaxLive: 64, Shards: 16, NoJanitor: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := fmt.Sprintf("analyst-%04d", i%analysts)
+		perm := rng.Perm(32)
+		q := query.New(query.Sum, perm[:4+rng.Intn(8)]...)
+		if _, err := m.Ask(a, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package session gives each analyst an isolated auditor stack over one
+// shared dataset — the multi-analyst deployment shape the paper's
+// per-analyst compromise definitions assume. The Manager keys sessions
+// by analyst ID across N lock shards, bounds live memory with TTL expiry
+// and LRU engine eviction, and applies admission control beyond a hard
+// session cap.
+//
+// The subsystem leans on the paper's simulatability property (§2.2): a
+// simulatable auditor's state is a pure function of its query/decision
+// history and never of the data, so the compact per-session Log — just
+// the ordered (query, outcome, released answer) sequence plus update
+// markers — is a complete, replayable representation of a session. An
+// evicted or restarted session is rebuilt bit-identically by replaying
+// its log into a fresh engine from the deployment's core.EngineSpec.
+// Non-simulatable (answer-dependent) auditors cannot be replayed, and
+// core.Engine.Replay refuses them; only simulatable stacks belong behind
+// this manager.
+package session
+
+import (
+	"fmt"
+	"sync"
+
+	"queryaudit/internal/core"
+	"queryaudit/internal/query"
+)
+
+// Event is one session-log entry: either a committed protocol decision
+// (exactly as journaled by the engine's Recorder hook) or a marker that
+// the shared dataset was updated at this point in the session's
+// timeline. Update markers matter for replay order: an answer recorded
+// before an update is retired by it, so the interleaving must be
+// preserved.
+type Event struct {
+	// Update distinguishes the two arms.
+	Update bool
+	// Decision is set when Update is false.
+	Decision core.DecisionEvent
+	// Index is the updated record when Update is true.
+	Index int
+}
+
+// Log is a session's append-only journal. It implements core.Recorder,
+// so installing it on an engine (core.Engine.SetRecorder) journals every
+// state-changing protocol step automatically. Appends are O(1) and keep
+// running answered/denied tallies so session stats never require a
+// materialized engine.
+type Log struct {
+	mu       sync.Mutex
+	events   []Event
+	answered int
+	denied   int
+}
+
+// NewLog returns an empty journal.
+func NewLog() *Log { return &Log{} }
+
+// RecordDecision implements core.Recorder. It runs under the engine
+// lock; the append is a few pointer writes.
+func (l *Log) RecordDecision(ev core.DecisionEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Decision: ev})
+	switch ev.Outcome {
+	case core.OutcomeAnswered:
+		l.answered++
+	case core.OutcomeDenied:
+		l.denied++
+	}
+}
+
+// AppendUpdate journals a dataset update marker.
+func (l *Log) AppendUpdate(i int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Update: true, Index: i})
+}
+
+// Len returns the number of journaled events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Tallies returns the running answered/denied counts.
+func (l *Log) Tallies() (answered, denied int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.answered, l.denied
+}
+
+// Events returns a copy of the journal for replay.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// LogSnapshot is the serializable form of one session's journal, used
+// by internal/persist to carry sessions across restarts.
+type LogSnapshot struct {
+	Analyst string          `json:"analyst"`
+	Events  []EventSnapshot `json:"events"`
+}
+
+// EventSnapshot is the serializable form of one Event.
+type EventSnapshot struct {
+	// Op is "query" or "update".
+	Op string `json:"op"`
+	// Query fields (Op == "query").
+	Kind    string  `json:"kind,omitempty"`
+	Indices []int   `json:"indices,omitempty"`
+	Outcome string  `json:"outcome,omitempty"`
+	Answer  float64 `json:"answer,omitempty"`
+	// Index is the updated record (Op == "update").
+	Index int `json:"index,omitempty"`
+}
+
+// Snapshot exports the journal under the given analyst name.
+func (l *Log) Snapshot(analyst string) LogSnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	es := make([]EventSnapshot, len(l.events))
+	for i, ev := range l.events {
+		if ev.Update {
+			es[i] = EventSnapshot{Op: "update", Index: ev.Index}
+			continue
+		}
+		es[i] = EventSnapshot{
+			Op:      "query",
+			Kind:    ev.Decision.Query.Kind.String(),
+			Indices: append([]int(nil), ev.Decision.Query.Set...),
+			Outcome: ev.Decision.Outcome.String(),
+			Answer:  ev.Decision.Answer,
+		}
+	}
+	return LogSnapshot{Analyst: analyst, Events: es}
+}
+
+// Validate checks the structural invariants of a snapshot (snapshots may
+// come from untrusted storage): known ops, parsable kinds and outcomes,
+// non-empty index sets for queries, non-negative indices. Range checks
+// against the dataset happen during replay.
+func (s LogSnapshot) Validate() error {
+	for i, ev := range s.Events {
+		switch ev.Op {
+		case "update":
+			if ev.Index < 0 {
+				return fmt.Errorf("session: event %d: negative update index %d", i, ev.Index)
+			}
+		case "query":
+			if _, err := query.ParseKind(ev.Kind); err != nil {
+				return fmt.Errorf("session: event %d: %w", i, err)
+			}
+			if _, err := core.ParseOutcome(ev.Outcome); err != nil {
+				return fmt.Errorf("session: event %d: %w", i, err)
+			}
+			if len(ev.Indices) == 0 {
+				return fmt.Errorf("session: event %d: query with empty index set", i)
+			}
+			for _, idx := range ev.Indices {
+				if idx < 0 {
+					return fmt.Errorf("session: event %d: negative index %d", i, idx)
+				}
+			}
+		default:
+			return fmt.Errorf("session: event %d: unknown op %q", i, ev.Op)
+		}
+	}
+	return nil
+}
+
+// logFromSnapshot rebuilds a Log (with recomputed tallies) from a
+// validated snapshot.
+func logFromSnapshot(s LogSnapshot) (*Log, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	l := NewLog()
+	l.events = make([]Event, 0, len(s.Events))
+	for _, ev := range s.Events {
+		if ev.Op == "update" {
+			l.events = append(l.events, Event{Update: true, Index: ev.Index})
+			continue
+		}
+		kind, _ := query.ParseKind(ev.Kind)
+		outcome, _ := core.ParseOutcome(ev.Outcome)
+		l.events = append(l.events, Event{Decision: core.DecisionEvent{
+			Query:   query.New(kind, ev.Indices...),
+			Outcome: outcome,
+			Answer:  ev.Answer,
+		}})
+		switch outcome {
+		case core.OutcomeAnswered:
+			l.answered++
+		case core.OutcomeDenied:
+			l.denied++
+		}
+	}
+	return l, nil
+}

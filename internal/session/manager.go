@@ -1,0 +1,691 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/core"
+	"queryaudit/internal/dataset"
+	"queryaudit/internal/query"
+)
+
+// DefaultAnalyst is the session used when a request carries no analyst
+// identity — the back-compat path for single-analyst clients.
+const DefaultAnalyst = "default"
+
+var (
+	// ErrTooManySessions reports admission-control refusal; HTTP callers
+	// map it to 503 with Retry-After.
+	ErrTooManySessions = errors.New("session: session limit reached")
+	// ErrMultiAnalystDisabled reports that this deployment wraps a single
+	// pre-built engine and cannot construct per-analyst sessions.
+	ErrMultiAnalystDisabled = errors.New("session: multi-analyst sessions are disabled (single-engine deployment)")
+)
+
+// Observer receives session lifecycle events for instrumentation.
+// Callbacks run on session hot paths (some under shard locks), so
+// implementations must be fast and lock-free; metrics.SessionCollector
+// qualifies.
+type Observer interface {
+	ObserveSessionCreated()
+	ObserveSessionEvicted()
+	ObserveSessionExpired()
+	ObserveSessionRejected()
+	// ObserveReplay reports one engine rebuild: how many log events were
+	// replayed and how long the rebuild took.
+	ObserveReplay(events int, d time.Duration)
+	// ObserveLive reports live-engine count changes (+1/-1).
+	ObserveLive(delta int)
+	// ObserveShardWait reports shard-lock contention: +1 when a goroutine
+	// starts waiting on shard's lock, -1 once it acquires it.
+	ObserveShardWait(shard, delta int)
+}
+
+type nopObserver struct{}
+
+func (nopObserver) ObserveSessionCreated()           {}
+func (nopObserver) ObserveSessionEvicted()           {}
+func (nopObserver) ObserveSessionExpired()           {}
+func (nopObserver) ObserveSessionRejected()          {}
+func (nopObserver) ObserveReplay(int, time.Duration) {}
+func (nopObserver) ObserveLive(int)                  {}
+func (nopObserver) ObserveShardWait(int, int)        {}
+
+// Config are the manager's memory-bounding knobs.
+type Config struct {
+	// MaxSessions caps tracked sessions (live engines + evicted logs).
+	// Admission beyond the cap fails with ErrTooManySessions. 0 means
+	// unlimited.
+	MaxSessions int
+	// MaxLive caps materialized engines: materializing one more evicts
+	// the least-recently-used idle engine down to its log. Sessions whose
+	// engines are all busy are skipped, so the bound is soft under
+	// extreme concurrency (it can overshoot by the number of in-flight
+	// requests, never more). 0 means unlimited.
+	MaxLive int
+	// TTL removes sessions idle longer than this — log included, so a
+	// returning analyst starts a fresh privacy budget; size it to the
+	// analyst credential lifetime (see docs/DEPLOYMENT.md §11). 0 means
+	// never expire.
+	TTL time.Duration
+	// Shards is the lock-shard count for the session table (0 → 16).
+	Shards int
+	// Observer receives lifecycle events (nil → none).
+	Observer Observer
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+	// NoJanitor disables the background TTL sweeper; tests drive Sweep
+	// directly.
+	NoJanitor bool
+}
+
+// Session is one analyst's isolated audit state: a replayable journal
+// plus, while materialized, an engine whose auditors have replayed it.
+type Session struct {
+	analyst string
+	// mu serializes this session's protocol steps and engine lifecycle
+	// (materialize/evict). Lock order: Manager.dsMu → shard.mu → mu.
+	mu  sync.Mutex
+	log *Log
+	eng *core.Engine // nil when evicted to the log
+	// pinned sessions (an adopted single-engine default) are never
+	// evicted or expired — their engine is not rebuildable from the log.
+	pinned bool
+	// gone marks a session removed from its shard; holders of a stale
+	// pointer must retry the lookup.
+	gone bool
+	// liveFlag mirrors eng != nil for lock-free eviction scans.
+	liveFlag  atomic.Bool
+	lastTouch atomic.Int64 // unix nanos of last access
+}
+
+func (s *Session) touch(t time.Time) { s.lastTouch.Store(t.UnixNano()) }
+
+type shard struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+// Manager is the session layer between transport and engine: it routes
+// each analyst to an isolated engine built from one shared EngineSpec,
+// bounds memory by evicting idle engines down to their logs, and
+// reconstructs evicted sessions bit-identically by replay.
+type Manager struct {
+	spec  *core.EngineSpec // nil in single-engine (adopted) mode
+	ds    *dataset.Dataset
+	cfg   Config
+	obs   Observer
+	clock func() time.Time
+
+	shards []*shard
+	// dsMu guards the shared dataset's mutable half (sensitive values):
+	// queries hold it shared, updates exclusively — an update is a global
+	// barrier across every session. Lock order: dsMu before shard.mu
+	// before Session.mu.
+	dsMu  sync.RWMutex
+	total atomic.Int64 // tracked sessions
+	live  atomic.Int64 // materialized engines
+
+	supportsUpdates bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewManager builds a sharded session manager over spec. The default
+// session is materialized eagerly, so the deployment fails fast if the
+// spec cannot build and the common single-analyst path never pays a
+// first-request build.
+func NewManager(spec *core.EngineSpec, cfg Config) (*Manager, error) {
+	if spec == nil {
+		return nil, errors.New("session: nil EngineSpec")
+	}
+	m := newManager(spec.Dataset(), spec, cfg)
+	// Eager default: also determines once whether the stack supports
+	// updates (factories are homogeneous across sessions).
+	m.dsMu.RLock()
+	s, err := m.acquire(DefaultAnalyst)
+	m.dsMu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	m.supportsUpdates = s.eng.SupportsUpdates()
+	s.mu.Unlock()
+	if cfg.TTL > 0 && !m.cfg.NoJanitor {
+		go m.janitor()
+	}
+	return m, nil
+}
+
+// Single wraps one pre-built engine as a manager serving only the
+// default session (pinned: never evicted, never expired, not replayable
+// — the engine was not built from a spec). Requests for any other
+// analyst fail with ErrMultiAnalystDisabled. The engine's journal is
+// installed here, so install Single before the engine serves traffic.
+func Single(eng *core.Engine, cfg Config) *Manager {
+	m := newManager(eng.Dataset(), nil, cfg)
+	s := &Session{analyst: DefaultAnalyst, log: NewLog(), pinned: true}
+	s.touch(m.clock())
+	eng.SetRecorder(s.log)
+	s.eng = eng
+	s.liveFlag.Store(true)
+	sh, _ := m.shardOf(DefaultAnalyst)
+	sh.sessions[DefaultAnalyst] = s
+	m.total.Store(1)
+	m.live.Store(1)
+	m.obs.ObserveSessionCreated()
+	m.obs.ObserveLive(1)
+	m.supportsUpdates = eng.SupportsUpdates()
+	return m
+}
+
+func newManager(ds *dataset.Dataset, spec *core.EngineSpec, cfg Config) *Manager {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	obs := cfg.Observer
+	if obs == nil {
+		obs = nopObserver{}
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	m := &Manager{
+		spec:   spec,
+		ds:     ds,
+		cfg:    cfg,
+		obs:    obs,
+		clock:  clock,
+		shards: make([]*shard, cfg.Shards),
+		stop:   make(chan struct{}),
+	}
+	for i := range m.shards {
+		m.shards[i] = &shard{sessions: map[string]*Session{}}
+	}
+	return m
+}
+
+// Close stops the background TTL sweeper (idempotent).
+func (m *Manager) Close() { m.stopOnce.Do(func() { close(m.stop) }) }
+
+// Dataset returns the shared dataset.
+func (m *Manager) Dataset() *dataset.Dataset { return m.ds }
+
+// Live returns the number of materialized engines.
+func (m *Manager) Live() int { return int(m.live.Load()) }
+
+// Tracked returns the number of tracked sessions (live + evicted logs).
+func (m *Manager) Tracked() int { return int(m.total.Load()) }
+
+// AdoptDefault replaces the default session's engine with a pre-built,
+// pinned one — the legacy path for a deployment restoring a persisted
+// single-analyst audit trail that a factory cannot reproduce. Call
+// before serving traffic; a pinned session is never evicted, so the
+// adopted auditor instances stay addressable for shutdown snapshots.
+func (m *Manager) AdoptDefault(eng *core.Engine) {
+	sh, idx := m.shardOf(DefaultAnalyst)
+	m.lockShard(sh, idx)
+	s := sh.sessions[DefaultAnalyst]
+	if s == nil {
+		s = &Session{analyst: DefaultAnalyst, log: NewLog()}
+		sh.sessions[DefaultAnalyst] = s
+		m.total.Add(1)
+		m.obs.ObserveSessionCreated()
+	}
+	sh.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng == nil {
+		m.live.Add(1)
+		m.obs.ObserveLive(1)
+	}
+	eng.SetRecorder(s.log)
+	s.eng = eng
+	s.liveFlag.Store(true)
+	s.pinned = true
+	s.touch(m.clock())
+	m.supportsUpdates = eng.SupportsUpdates()
+}
+
+func (m *Manager) shardOf(analyst string) (*shard, int) {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(analyst))
+	i := int(h.Sum32() % uint32(len(m.shards)))
+	return m.shards[i], i
+}
+
+// lockShard acquires a shard lock, reporting contention to the observer.
+func (m *Manager) lockShard(sh *shard, idx int) {
+	if sh.mu.TryLock() {
+		return
+	}
+	m.obs.ObserveShardWait(idx, 1)
+	sh.mu.Lock()
+	m.obs.ObserveShardWait(idx, -1)
+}
+
+// acquire returns the analyst's session with its mutex HELD and its
+// engine materialized; the caller must Unlock. Callers hold dsMu (any
+// mode).
+func (m *Manager) acquire(analyst string) (*Session, error) {
+	for {
+		sh, idx := m.shardOf(analyst)
+		m.lockShard(sh, idx)
+		s := sh.sessions[analyst]
+		created := false
+		if s == nil {
+			if m.spec == nil {
+				sh.mu.Unlock()
+				return nil, ErrMultiAnalystDisabled
+			}
+			if m.cfg.MaxSessions > 0 && int(m.total.Load()) >= m.cfg.MaxSessions {
+				sh.mu.Unlock()
+				m.obs.ObserveSessionRejected()
+				return nil, fmt.Errorf("%w (max %d analysts)", ErrTooManySessions, m.cfg.MaxSessions)
+			}
+			s = &Session{analyst: analyst, log: NewLog()}
+			s.touch(m.clock())
+			sh.sessions[analyst] = s
+			m.total.Add(1)
+			created = true
+		}
+		sh.mu.Unlock()
+		if created {
+			m.obs.ObserveSessionCreated()
+		}
+		s.mu.Lock()
+		if s.gone {
+			// Expired between lookup and lock; retry with a fresh entry.
+			s.mu.Unlock()
+			continue
+		}
+		s.touch(m.clock())
+		if s.eng == nil {
+			if err := m.materializeLocked(s); err != nil {
+				s.mu.Unlock()
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+}
+
+// materializeLocked rebuilds s's engine from its journal; s.mu is held.
+func (m *Manager) materializeLocked(s *Session) error {
+	if m.spec == nil {
+		return ErrMultiAnalystDisabled
+	}
+	m.evictForCapacity()
+	start := time.Now()
+	eng, err := m.spec.Build()
+	if err != nil {
+		return err
+	}
+	events := s.log.Events()
+	for i, ev := range events {
+		if ev.Update {
+			if err := eng.NoteUpdate(ev.Index); err != nil {
+				return fmt.Errorf("session: %q event %d: %w", s.analyst, i, err)
+			}
+			continue
+		}
+		if err := eng.Replay(ev.Decision); err != nil {
+			return fmt.Errorf("session: %q event %d: %w", s.analyst, i, err)
+		}
+	}
+	// Journal only after the journal has been drained, or replay would
+	// re-append every event.
+	eng.SetRecorder(s.log)
+	s.eng = eng
+	s.liveFlag.Store(true)
+	m.live.Add(1)
+	m.obs.ObserveLive(1)
+	if len(events) > 0 {
+		m.obs.ObserveReplay(len(events), time.Since(start))
+	}
+	return nil
+}
+
+// evictForCapacity drops least-recently-used idle engines until the
+// MaxLive bound has room for one more build.
+func (m *Manager) evictForCapacity() {
+	if m.cfg.MaxLive <= 0 {
+		return
+	}
+	for int(m.live.Load()) >= m.cfg.MaxLive {
+		if !m.evictOldest() {
+			return // every candidate busy or pinned: soft bound
+		}
+	}
+}
+
+// evictOldest finds the least-recently-touched live, unpinned, idle
+// session and evicts its engine down to the log. Busy sessions (mutex
+// held by an in-flight request) are skipped via TryLock, which also
+// rules out deadlock with concurrent materializations.
+func (m *Manager) evictOldest() bool {
+	type cand struct {
+		s     *Session
+		touch int64
+	}
+	var cands []cand
+	for idx, sh := range m.shards {
+		m.lockShard(sh, idx)
+		for _, s := range sh.sessions {
+			if s.liveFlag.Load() && !s.pinned {
+				cands = append(cands, cand{s, s.lastTouch.Load()})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].touch < cands[j].touch })
+	for _, c := range cands {
+		if !c.s.mu.TryLock() {
+			continue
+		}
+		if c.s.eng == nil || c.s.pinned || c.s.gone {
+			c.s.mu.Unlock()
+			continue
+		}
+		m.dropEngineLocked(c.s)
+		m.obs.ObserveSessionEvicted()
+		c.s.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// dropEngineLocked discards s's engine (the log remains); s.mu is held.
+func (m *Manager) dropEngineLocked(s *Session) {
+	s.eng = nil
+	s.liveFlag.Store(false)
+	m.live.Add(-1)
+	m.obs.ObserveLive(-1)
+}
+
+// EvictEngine forcibly evicts one session's engine down to its log
+// (admin/testing hook). Reports whether an engine was dropped; pinned
+// sessions and unknown analysts are left alone.
+func (m *Manager) EvictEngine(analyst string) bool {
+	sh, idx := m.shardOf(analyst)
+	m.lockShard(sh, idx)
+	s := sh.sessions[analyst]
+	sh.mu.Unlock()
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng == nil || s.pinned || s.gone {
+		return false
+	}
+	m.dropEngineLocked(s)
+	m.obs.ObserveSessionEvicted()
+	return true
+}
+
+// Ask routes one query to the analyst's session, creating or
+// rematerializing it as needed.
+func (m *Manager) Ask(analyst string, q query.Query) (core.Response, error) {
+	m.dsMu.RLock()
+	defer m.dsMu.RUnlock()
+	s, err := m.acquire(analyst)
+	if err != nil {
+		return core.Response{Denied: true}, err
+	}
+	defer s.mu.Unlock()
+	return s.eng.Ask(q)
+}
+
+// Prime answers the analyst's must-have queries up front (the paper's §7
+// remedy), scoped to that analyst's session.
+func (m *Manager) Prime(analyst string, qs []query.Query) error {
+	m.dsMu.RLock()
+	defer m.dsMu.RUnlock()
+	s, err := m.acquire(analyst)
+	if err != nil {
+		return err
+	}
+	defer s.mu.Unlock()
+	return s.eng.Prime(qs)
+}
+
+// Knowledge reports the analyst's per-record exposure (materializing the
+// session if needed — the report requires auditor state).
+func (m *Manager) Knowledge(analyst string) (map[string][]audit.ElementKnowledge, error) {
+	m.dsMu.RLock()
+	defer m.dsMu.RUnlock()
+	s, err := m.acquire(analyst)
+	if err != nil {
+		return nil, err
+	}
+	defer s.mu.Unlock()
+	return s.eng.KnowledgeSnapshot(), nil
+}
+
+// Update modifies record i's sensitive value GLOBALLY: the dataset is
+// shared, so the mutation is applied once, and every session — live or
+// evicted — journals the update at the current position of its timeline
+// (live engines additionally retire stale constraints immediately).
+// Updates exclude all queries for their duration (dsMu held
+// exclusively), making the cross-session ordering well-defined.
+func (m *Manager) Update(i int, v float64) error {
+	m.dsMu.Lock()
+	defer m.dsMu.Unlock()
+	if i < 0 || i >= m.ds.N() {
+		return fmt.Errorf("session: index %d out of range", i)
+	}
+	if !m.supportsUpdates {
+		return errors.New("session: auditor stack does not support updates")
+	}
+	m.ds.SetSensitive(i, v)
+	var sessions []*Session
+	for idx, sh := range m.shards {
+		m.lockShard(sh, idx)
+		for _, s := range sh.sessions {
+			sessions = append(sessions, s)
+		}
+		sh.mu.Unlock()
+	}
+	for _, s := range sessions {
+		s.mu.Lock()
+		if !s.gone {
+			s.log.AppendUpdate(i)
+			if s.eng != nil {
+				if err := s.eng.NoteUpdate(i); err != nil {
+					s.mu.Unlock()
+					return err
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// Stats is a session-scoped view of the protocol counters plus the
+// global dataset tallies. It never creates or materializes a session:
+// counters come from the journal's running tallies, so polling stats for
+// an evicted (or unknown) analyst stays O(1).
+type Stats struct {
+	Analyst       string
+	Answered      int
+	Denied        int
+	Live          bool
+	LogEvents     int
+	Records       int
+	Modifications int
+}
+
+// Stats returns the analyst's session stats (zeros for an unknown one).
+func (m *Manager) Stats(analyst string) Stats {
+	st := Stats{Analyst: analyst}
+	m.dsMu.RLock()
+	st.Records = m.ds.N()
+	st.Modifications = m.ds.Modifications()
+	m.dsMu.RUnlock()
+	sh, idx := m.shardOf(analyst)
+	m.lockShard(sh, idx)
+	s := sh.sessions[analyst]
+	sh.mu.Unlock()
+	if s != nil {
+		st.Answered, st.Denied = s.log.Tallies()
+		st.LogEvents = s.log.Len()
+		st.Live = s.liveFlag.Load()
+	}
+	return st
+}
+
+// Info is one row of the admin session listing.
+type Info struct {
+	Analyst   string  `json:"analyst"`
+	Live      bool    `json:"live"`
+	Pinned    bool    `json:"pinned"`
+	LogEvents int     `json:"log_events"`
+	Answered  int     `json:"answered"`
+	Denied    int     `json:"denied"`
+	IdleSecs  float64 `json:"idle_seconds"`
+}
+
+// Sessions lists every tracked session, sorted by analyst ID. The
+// slice is non-nil so an empty table serializes as [], not null.
+func (m *Manager) Sessions() []Info {
+	now := m.clock()
+	out := []Info{}
+	for idx, sh := range m.shards {
+		m.lockShard(sh, idx)
+		for _, s := range sh.sessions {
+			a, d := s.log.Tallies()
+			out = append(out, Info{
+				Analyst:   s.analyst,
+				Live:      s.liveFlag.Load(),
+				Pinned:    s.pinned,
+				LogEvents: s.log.Len(),
+				Answered:  a,
+				Denied:    d,
+				IdleSecs:  now.Sub(time.Unix(0, s.lastTouch.Load())).Seconds(),
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Analyst < out[j].Analyst })
+	return out
+}
+
+// LogSnapshots exports every session's journal (sorted by analyst) for
+// persistence. Pinned adopted sessions are included: their journal is
+// valid even though this process adopted their engine, and a restoring
+// process WITH a spec can replay it.
+func (m *Manager) LogSnapshots() []LogSnapshot {
+	var out []LogSnapshot
+	for idx, sh := range m.shards {
+		m.lockShard(sh, idx)
+		for _, s := range sh.sessions {
+			out = append(out, s.log.Snapshot(s.analyst))
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Analyst < out[j].Analyst })
+	return out
+}
+
+// Restore loads persisted session journals and replays each into a
+// fresh engine, eagerly, so a ready-gated server only starts answering
+// once every analyst's privacy state is reconstructed. Call before
+// serving traffic. Restoring the default session replaces its eager
+// empty journal.
+func (m *Manager) Restore(snaps []LogSnapshot) error {
+	if m.spec == nil {
+		return ErrMultiAnalystDisabled
+	}
+	for _, snap := range snaps {
+		if snap.Analyst == "" {
+			return errors.New("session: snapshot with empty analyst id")
+		}
+		lg, err := logFromSnapshot(snap)
+		if err != nil {
+			return fmt.Errorf("session: restoring %q: %w", snap.Analyst, err)
+		}
+		m.dsMu.RLock()
+		s, err := m.acquire(snap.Analyst)
+		if err != nil {
+			m.dsMu.RUnlock()
+			return fmt.Errorf("session: restoring %q: %w", snap.Analyst, err)
+		}
+		// Swap in the restored journal and rebuild from it.
+		m.dropEngineLocked(s)
+		s.log = lg
+		err = m.materializeLocked(s)
+		s.mu.Unlock()
+		m.dsMu.RUnlock()
+		if err != nil {
+			return fmt.Errorf("session: restoring %q: %w", snap.Analyst, err)
+		}
+	}
+	return nil
+}
+
+// Sweep removes sessions idle longer than the TTL (log included — see
+// Config.TTL for the privacy implications) and reports how many were
+// expired. Busy sessions are skipped and caught by a later sweep.
+func (m *Manager) Sweep(now time.Time) int {
+	if m.cfg.TTL <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-m.cfg.TTL).UnixNano()
+	expired := 0
+	for idx, sh := range m.shards {
+		m.lockShard(sh, idx)
+		for name, s := range sh.sessions {
+			if s.pinned || s.lastTouch.Load() > cutoff {
+				continue
+			}
+			if !s.mu.TryLock() {
+				continue
+			}
+			if s.gone || s.lastTouch.Load() > cutoff {
+				s.mu.Unlock()
+				continue
+			}
+			if s.eng != nil {
+				m.dropEngineLocked(s)
+			}
+			s.gone = true
+			delete(sh.sessions, name)
+			m.total.Add(-1)
+			expired++
+			m.obs.ObserveSessionExpired()
+			s.mu.Unlock()
+		}
+		sh.mu.Unlock()
+	}
+	return expired
+}
+
+// janitor periodically sweeps expired sessions until Close.
+func (m *Manager) janitor() {
+	interval := m.cfg.TTL / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.Sweep(m.clock())
+		}
+	}
+}

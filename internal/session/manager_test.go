@@ -1,0 +1,344 @@
+package session
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/audit/maxminfull"
+	"queryaudit/internal/audit/sumfull"
+	"queryaudit/internal/core"
+	"queryaudit/internal/dataset"
+	"queryaudit/internal/query"
+)
+
+// fullSpec builds the exact-disclosure stack (sumfull + joint maxmin)
+// over ds.
+func fullSpec(ds *dataset.Dataset) *core.EngineSpec {
+	sp := core.NewEngineSpec(ds)
+	n := ds.N()
+	sp.Register(func() (audit.Auditor, error) { return sumfull.New(n), nil }, query.Sum)
+	sp.Register(func() (audit.Auditor, error) { return maxminfull.New(n), nil }, query.Max, query.Min)
+	return sp
+}
+
+// countingObserver tallies lifecycle events for assertions.
+type countingObserver struct {
+	mu                                   sync.Mutex
+	created, evicted, expired, rejected  int
+	replays, replayEvents, live, waiters int
+}
+
+func (o *countingObserver) ObserveSessionCreated() {
+	o.mu.Lock()
+	o.created++
+	o.mu.Unlock()
+}
+func (o *countingObserver) ObserveSessionEvicted() {
+	o.mu.Lock()
+	o.evicted++
+	o.mu.Unlock()
+}
+func (o *countingObserver) ObserveSessionExpired() {
+	o.mu.Lock()
+	o.expired++
+	o.mu.Unlock()
+}
+func (o *countingObserver) ObserveSessionRejected() {
+	o.mu.Lock()
+	o.rejected++
+	o.mu.Unlock()
+}
+func (o *countingObserver) ObserveReplay(events int, _ time.Duration) {
+	o.mu.Lock()
+	o.replays++
+	o.replayEvents += events
+	o.mu.Unlock()
+}
+func (o *countingObserver) ObserveLive(delta int) {
+	o.mu.Lock()
+	o.live += delta
+	o.mu.Unlock()
+}
+func (o *countingObserver) ObserveShardWait(_, delta int) {
+	o.mu.Lock()
+	o.waiters += delta
+	o.mu.Unlock()
+}
+
+func newTestManager(t *testing.T, cfg Config, vals []float64) *Manager {
+	t.Helper()
+	cfg.NoJanitor = true
+	m, err := NewManager(fullSpec(dataset.FromValues(vals)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+// TestSessionIsolationBasic: one analyst's pinned total never restricts
+// another analyst's identical complement.
+func TestSessionIsolationBasic(t *testing.T) {
+	m := newTestManager(t, Config{}, []float64{1, 2, 3, 4, 5})
+	total := query.New(query.Sum, 0, 1, 2, 3, 4)
+	rest := query.New(query.Sum, 1, 2, 3, 4)
+	if resp, err := m.Ask("alice", total); err != nil || resp.Denied {
+		t.Fatalf("alice total: %+v %v", resp, err)
+	}
+	if resp, err := m.Ask("alice", rest); err != nil || !resp.Denied {
+		t.Fatalf("alice complement should be denied: %+v %v", resp, err)
+	}
+	if resp, err := m.Ask("bob", rest); err != nil || resp.Denied {
+		t.Fatalf("bob's first query should be answered: %+v %v", resp, err)
+	}
+	if st := m.Stats("alice"); st.Answered != 1 || st.Denied != 1 {
+		t.Fatalf("alice stats: %+v", st)
+	}
+	if st := m.Stats("bob"); st.Answered != 1 || st.Denied != 0 {
+		t.Fatalf("bob stats: %+v", st)
+	}
+}
+
+// TestAdmissionControl: beyond MaxSessions new analysts are refused with
+// ErrTooManySessions; existing analysts keep working.
+func TestAdmissionControl(t *testing.T) {
+	obs := &countingObserver{}
+	m := newTestManager(t, Config{MaxSessions: 2, Observer: obs}, []float64{1, 2, 3})
+	q := query.New(query.Count, 0)
+	if _, err := m.Ask("alice", q); err != nil { // session 2 of 2 (default is 1)
+		t.Fatal(err)
+	}
+	if _, err := m.Ask("mallory", q); !errors.Is(err, ErrTooManySessions) {
+		t.Fatalf("third analyst: got %v, want ErrTooManySessions", err)
+	}
+	if _, err := m.Ask("alice", q); err != nil {
+		t.Fatalf("admitted analyst must keep working: %v", err)
+	}
+	if obs.rejected != 1 {
+		t.Fatalf("rejected=%d, want 1", obs.rejected)
+	}
+	if m.Tracked() != 2 {
+		t.Fatalf("tracked=%d, want 2", m.Tracked())
+	}
+}
+
+// TestLRUEviction: MaxLive bounds materialized engines; the LRU victim
+// is evicted to its log and rebuilt by replay when it returns, with its
+// history intact.
+func TestLRUEviction(t *testing.T) {
+	obs := &countingObserver{}
+	m := newTestManager(t, Config{MaxLive: 2, Observer: obs}, []float64{1, 2, 3, 4, 5})
+	total := query.New(query.Sum, 0, 1, 2, 3, 4)
+	rest := query.New(query.Sum, 1, 2, 3, 4)
+
+	if _, err := m.Ask("alice", total); err != nil { // default evicted or alice builds
+		t.Fatal(err)
+	}
+	if _, err := m.Ask("bob", query.New(query.Count, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Live() > 2 {
+		t.Fatalf("live=%d exceeds MaxLive=2", m.Live())
+	}
+	// Alice was evicted at some point or not; force it, then her denial
+	// decision must be identical post-replay.
+	m.EvictEngine("alice")
+	if resp, err := m.Ask("alice", rest); err != nil || !resp.Denied {
+		t.Fatalf("post-replay complement should be denied: %+v %v", resp, err)
+	}
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if obs.evicted == 0 || obs.replays == 0 || obs.replayEvents == 0 {
+		t.Fatalf("expected evictions and replays, got %+v", obs)
+	}
+}
+
+// TestTTLSweep: sessions idle past the TTL are removed, log included —
+// the analyst restarts with a fresh (empty) history.
+func TestTTLSweep(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	obs := &countingObserver{}
+	m := newTestManager(t, Config{TTL: time.Minute, Clock: clock, Observer: obs}, []float64{1, 2, 3})
+	if _, err := m.Ask("alice", query.New(query.Sum, 0, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.Sweep(now); n != 0 {
+		t.Fatalf("nothing should expire yet, swept %d", n)
+	}
+	now = now.Add(2 * time.Minute)
+	// The default session is pinned only in single mode; here it is spec
+	// built and expires alongside alice.
+	if n := m.Sweep(now); n != 2 {
+		t.Fatalf("swept %d, want 2 (alice + default)", n)
+	}
+	if m.Tracked() != 0 || m.Live() != 0 {
+		t.Fatalf("tracked=%d live=%d after sweep", m.Tracked(), m.Live())
+	}
+	if st := m.Stats("alice"); st.Answered != 0 || st.LogEvents != 0 {
+		t.Fatalf("expired session should be forgotten: %+v", st)
+	}
+	// Returning after expiry starts a fresh session (and budget).
+	if resp, err := m.Ask("alice", query.New(query.Sum, 1, 2)); err != nil || resp.Denied {
+		t.Fatalf("fresh session should answer: %+v %v", resp, err)
+	}
+	if obs.expired != 2 {
+		t.Fatalf("expired=%d, want 2", obs.expired)
+	}
+}
+
+// TestSingleMode: a wrapped pre-built engine serves only the default
+// analyst; it is pinned (never evicted/expired) and other analysts are
+// refused.
+func TestSingleMode(t *testing.T) {
+	ds := dataset.FromValues([]float64{1, 2, 3})
+	eng, err := fullSpec(ds).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Single(eng, Config{})
+	defer m.Close()
+	if resp, err := m.Ask(DefaultAnalyst, query.New(query.Sum, 0, 1, 2)); err != nil || resp.Denied {
+		t.Fatalf("default analyst: %+v %v", resp, err)
+	}
+	if _, err := m.Ask("alice", query.New(query.Count, 0)); !errors.Is(err, ErrMultiAnalystDisabled) {
+		t.Fatalf("non-default analyst: got %v, want ErrMultiAnalystDisabled", err)
+	}
+	if m.EvictEngine(DefaultAnalyst) {
+		t.Fatal("pinned default must not be evictable")
+	}
+	if n := m.Sweep(time.Now().Add(24 * time.Hour)); n != 0 {
+		t.Fatalf("pinned default must not expire, swept %d", n)
+	}
+	if st := m.Stats(DefaultAnalyst); st.Answered != 1 || !st.Live {
+		t.Fatalf("default stats: %+v", st)
+	}
+}
+
+// TestUpdateBroadcast: an update mutates the shared dataset once and is
+// journaled into every session's timeline; a session evicted after the
+// update replays to the same post-update state.
+func TestUpdateBroadcast(t *testing.T) {
+	m := newTestManager(t, Config{}, []float64{1, 2, 3, 4})
+	total := query.New(query.Sum, 0, 1, 2, 3)
+	past := query.New(query.Sum, 1, 2, 3)
+	fresh := query.New(query.Sum, 0, 1)
+	if resp, err := m.Ask("alice", total); err != nil || resp.Denied {
+		t.Fatalf("total: %+v %v", resp, err)
+	}
+	if err := m.Update(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if m.Dataset().Sensitive(0) != 42 {
+		t.Fatal("dataset not updated")
+	}
+	check := func(label string) {
+		t.Helper()
+		if resp, err := m.Ask("alice", past); err != nil || !resp.Denied {
+			t.Fatalf("%s: past-value reveal must stay denied: %+v %v", label, resp, err)
+		}
+		if resp, err := m.Ask("alice", fresh); err != nil || resp.Denied {
+			t.Fatalf("%s: fresh-version query should pass: %+v %v", label, resp, err)
+		}
+	}
+	check("live")
+	if !m.EvictEngine("alice") {
+		t.Fatal("evict failed")
+	}
+	check("replayed")
+	// Bob's session — created after the update — is unaffected but his
+	// journal still carries the marker via Update's broadcast only if he
+	// existed; a new session simply starts clean.
+	if resp, err := m.Ask("bob", past); err != nil || resp.Denied {
+		t.Fatalf("bob: %+v %v", resp, err)
+	}
+	if err := m.Update(99, 1); err == nil {
+		t.Fatal("out-of-range update should fail")
+	}
+}
+
+// TestStatsDoesNotCreateSessions: polling stats for an unknown analyst
+// must not admit a session (that would let an unauthenticated monitor
+// exhaust the session budget).
+func TestStatsDoesNotCreateSessions(t *testing.T) {
+	m := newTestManager(t, Config{}, []float64{1, 2})
+	before := m.Tracked()
+	st := m.Stats("nobody")
+	if st.Answered != 0 || st.Live || st.LogEvents != 0 {
+		t.Fatalf("unknown analyst stats: %+v", st)
+	}
+	if m.Tracked() != before {
+		t.Fatalf("Stats created a session: %d -> %d", before, m.Tracked())
+	}
+	if st.Records != 2 {
+		t.Fatalf("records=%d, want 2", st.Records)
+	}
+}
+
+// TestSessionsListing: the admin view reports every tracked session with
+// tallies, sorted by analyst.
+func TestSessionsListing(t *testing.T) {
+	m := newTestManager(t, Config{}, []float64{1, 2, 3})
+	if _, err := m.Ask("zoe", query.New(query.Count, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Ask("abe", query.New(query.Sum, 0, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	infos := m.Sessions()
+	if len(infos) != 3 { // abe, default, zoe
+		t.Fatalf("listed %d sessions, want 3", len(infos))
+	}
+	if infos[0].Analyst != "abe" || infos[1].Analyst != DefaultAnalyst || infos[2].Analyst != "zoe" {
+		t.Fatalf("not sorted: %+v", infos)
+	}
+	if infos[0].Answered != 1 || infos[0].LogEvents != 1 {
+		t.Fatalf("abe info: %+v", infos[0])
+	}
+}
+
+// TestRestoreRoundTrip: LogSnapshots → Restore on a fresh manager over
+// an identical dataset reproduces every session's decision state.
+func TestRestoreRoundTrip(t *testing.T) {
+	vals := []float64{2, 4, 6, 8}
+	m1 := newTestManager(t, Config{}, vals)
+	total := query.New(query.Sum, 0, 1, 2, 3)
+	rest := query.New(query.Sum, 1, 2, 3)
+	if _, err := m1.Ask("alice", total); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Ask("alice", rest); err != nil { // denied, journaled
+		t.Fatal(err)
+	}
+	if _, err := m1.Ask("bob", query.New(query.Max, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	snaps := m1.LogSnapshots()
+	if len(snaps) != 3 {
+		t.Fatalf("snapshots: %d, want 3", len(snaps))
+	}
+
+	m2 := newTestManager(t, Config{}, vals)
+	if err := m2.Restore(snaps); err != nil {
+		t.Fatal(err)
+	}
+	// Alice's budget is restored: the complement stays denied and her
+	// tallies survive.
+	if resp, err := m2.Ask("alice", rest); err != nil || !resp.Denied {
+		t.Fatalf("restored alice complement: %+v %v", resp, err)
+	}
+	st := m2.Stats("alice")
+	if st.Answered != 1 || st.Denied != 2 { // 1 restored denial + the probe
+		t.Fatalf("restored alice stats: %+v", st)
+	}
+	// A corrupt snapshot is rejected wholesale.
+	bad := m1.LogSnapshots()
+	bad[0].Events = append(bad[0].Events, EventSnapshot{Op: "nonsense"})
+	m3 := newTestManager(t, Config{}, vals)
+	if err := m3.Restore(bad); err == nil {
+		t.Fatal("corrupt snapshot should be rejected")
+	}
+}
