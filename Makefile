@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet ci bench cover
+.PHONY: build test race vet ci bench cover replication-smoke
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,15 @@ race:
 	$(GO) test -race ./...
 
 ci: build vet race
+
+# End-to-end failover drill across real OS processes: build the binary,
+# run a primary and a streaming replica, push 50 queries, diff the
+# per-session transcript digests, SIGKILL the primary, promote the
+# replica over HTTP, and keep serving writes. Exercises the paper's
+# simulatability argument (§2.2: auditor state is a pure function of the
+# decision history) as an operational failover guarantee.
+replication-smoke:
+	$(GO) test -run TestReplicationSmoke -count=1 -v ./cmd/auditserver
 
 # Monte Carlo engine benchmarks (per-worker Decide sweeps + coloring
 # chain) plus the session-manager benchmarks (hot-path lookup and the

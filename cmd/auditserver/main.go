@@ -56,6 +56,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"io"
 	"io/fs"
 	"log"
 	"net"
@@ -76,6 +77,7 @@ import (
 	"queryaudit/internal/persist"
 	"queryaudit/internal/query"
 	"queryaudit/internal/randx"
+	"queryaudit/internal/replica"
 	"queryaudit/internal/server"
 	"queryaudit/internal/session"
 )
@@ -103,11 +105,33 @@ func main() {
 		probDelta   = flag.Float64("prob-delta", 0.2, "prob auditors: attacker winning-probability bound δ")
 		probT       = flag.Int("prob-t", 12, "prob auditors: game rounds T")
 		probSeed    = flag.Int64("prob-seed", 1, "prob auditors: Monte Carlo seed (decisions are reproducible per seed)")
+
+		role          = flag.String("role", "standalone", "replication role: standalone (no replication), primary (ships its journal), or replica (read-only follower)")
+		primaryURL    = flag.String("primary-url", "", "replica: base URL of the primary to stream from (e.g. http://127.0.0.1:8080)")
+		replicaListen = flag.String("replica-listen", "", "replica: listen address override (defaults to -addr)")
+		replRetention = flag.Int("replication-retention", 4096, "records retained in the replication journal tail (followers further behind resync from a snapshot)")
+		replPollWait  = flag.Duration("replication-poll-wait", 10*time.Second, "how long a stream long-poll is held open (heartbeat interval when idle)")
+		replMaxBatch  = flag.Int("replication-max-batch", 256, "maximum records per stream response")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "auditserver ", log.LstdFlags|log.Lmsgprefix)
 	if *snapshot != "" && *sessSnap != "" {
 		logger.Fatalf("-snapshot and -session-snapshot are mutually exclusive (the session snapshot already carries the default session)")
+	}
+	switch *role {
+	case "standalone", "primary":
+	case "replica":
+		if *primaryURL == "" {
+			logger.Fatalf("-role=replica requires -primary-url")
+		}
+		if *replicaListen != "" {
+			*addr = *replicaListen
+		}
+	default:
+		logger.Fatalf("unknown -role %q (want standalone, primary or replica)", *role)
+	}
+	if *role != "replica" && (*primaryURL != "" || *replicaListen != "") {
+		logger.Fatalf("-primary-url and -replica-listen only apply to -role=replica")
 	}
 
 	cfg := dataset.DefaultCompanyConfig(*n)
@@ -183,6 +207,25 @@ func main() {
 		mgr.AdoptDefault(eng)
 	}
 
+	// Replication node: wired before the server so role gating and the
+	// /v1/replication endpoints are in place for the first request. The
+	// epoch is adopted from the session snapshot during restore (below),
+	// so a restarted node rejoins with the fence it last held.
+	var node *replica.Node
+	if *role != "standalone" {
+		r := replica.RolePrimary
+		if *role == "replica" {
+			r = replica.RoleReplica
+		}
+		node = replica.NewNode(mgr, r, 0, *primaryURL, replica.Config{
+			Retention: *replRetention,
+			PollWait:  *replPollWait,
+			MaxBatch:  *replMaxBatch,
+			Logger:    logger,
+			Observer:  metrics.NewReplicaCollector(reg),
+		})
+	}
+
 	opts := server.Defaults()
 	opts.MaxBodyBytes = *maxBody
 	opts.MaxIndices = *maxIndices
@@ -191,8 +234,13 @@ func main() {
 	if !*quietAccess {
 		opts.AccessLog = logger
 	}
-	srv := server.NewWithSessions(mgr, "salary",
-		server.WithOptions(opts), server.WithMetrics(reg), server.WithReadinessGate())
+	srvOpts := []server.Option{
+		server.WithOptions(opts), server.WithMetrics(reg), server.WithReadinessGate(),
+	}
+	if node != nil {
+		srvOpts = append(srvOpts, server.WithReplication(node))
+	}
+	srv := server.NewWithSessions(mgr, "salary", srvOpts...)
 
 	// First SIGINT/SIGTERM cancels ctx (graceful drain); a second signal
 	// restores default handling, so it kills the process outright. A
@@ -215,13 +263,32 @@ func main() {
 		// line is the external go-signal (scripts and the e2e test key
 		// on it), so it is only printed once the server is ready.
 		if *sessSnap != "" {
-			if err := restoreSessions(logger, mgr, *sessSnap); err != nil {
+			epoch, err := restoreSessions(logger, mgr, *sessSnap)
+			if err != nil {
 				logger.Printf("session restore failed: %v", err)
+				cancel()
+				return
+			}
+			if node != nil && epoch > 0 {
+				node.AdoptEpoch(epoch)
+				logger.Printf("replication: rejoined at persisted epoch %d", epoch)
+			}
+		}
+		// A replica starts streaming before it reports ready: the follower
+		// loop's first act is a full snapshot resync from the primary, so
+		// by the time reads land the node serves current (or quarantined)
+		// state, not whatever a stale local snapshot held.
+		if node != nil && node.Role() == replica.RoleReplica {
+			if err := node.StartFollower(ctx); err != nil {
+				logger.Printf("replication: %v", err)
 				cancel()
 				return
 			}
 		}
 		srv.MarkReady()
+		if node != nil {
+			logger.Printf("replication: role=%s epoch=%d primary=%q", node.Role(), node.Epoch(), node.PrimaryURL())
+		}
 		logger.Printf("listening on %s", a)
 		logger.Printf("ready (sessions live=%d tracked=%d)", mgr.Live(), mgr.Tracked())
 	}()
@@ -231,7 +298,11 @@ func main() {
 		logger.Printf("serve: %v", err)
 	}
 
-	// Post-drain: flush the audit trails, then report final counters.
+	// Post-drain: stop replication first so no shipped record lands
+	// mid-snapshot, then flush the audit trails and report counters.
+	if node != nil {
+		node.StopFollower()
+	}
 	exit := 0
 	if *snapshot != "" {
 		if err := saveSnapshot(*snapshot, sumAud); err != nil {
@@ -243,11 +314,15 @@ func main() {
 	}
 	if *sessSnap != "" {
 		logs := mgr.LogSnapshots()
-		if err := saveSessions(*sessSnap, logs); err != nil {
+		var epoch uint64
+		if node != nil {
+			epoch = node.Epoch()
+		}
+		if err := saveSessions(*sessSnap, logs, epoch); err != nil {
 			logger.Printf("session snapshot save failed: %v", err)
 			exit = 1
 		} else {
-			logger.Printf("session logs saved to %s (%d sessions)", *sessSnap, len(logs))
+			logger.Printf("session logs saved to %s (%d sessions, epoch %d)", *sessSnap, len(logs), epoch)
 		}
 	}
 	st := mgr.Stats(session.DefaultAnalyst)
@@ -271,46 +346,36 @@ func main() {
 	os.Exit(exit)
 }
 
-// restoreSessions replays persisted session logs into the manager; a
-// missing file is a clean first boot.
-func restoreSessions(logger *log.Logger, mgr *session.Manager, path string) error {
+// restoreSessions replays persisted session logs into the manager and
+// returns the persisted replication epoch; a missing file is a clean
+// first boot.
+func restoreSessions(logger *log.Logger, mgr *session.Manager, path string) (uint64, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, fs.ErrNotExist) {
-		return nil
+		return 0, nil
 	}
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer f.Close()
-	snaps, err := persist.LoadSessions(f)
+	snaps, epoch, err := persist.LoadSessionState(f)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	start := time.Now()
 	if err := mgr.Restore(snaps); err != nil {
-		return err
+		return 0, err
 	}
 	logger.Printf("restored %d session logs from %s in %s", len(snaps), path, time.Since(start).Round(time.Millisecond))
-	return nil
+	return epoch, nil
 }
 
-// saveSessions writes the session logs atomically (temp file + rename).
-func saveSessions(path string, logs []session.LogSnapshot) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := persist.SaveSessions(f, logs); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+// saveSessions writes the session logs durably (temp file + fsync +
+// atomic rename), tagged with the replication epoch the node last held.
+func saveSessions(path string, logs []session.LogSnapshot, epoch uint64) error {
+	return persist.WriteAtomic(path, func(w io.Writer) error {
+		return persist.SaveSessionState(w, logs, epoch)
+	})
 }
 
 // loadSnapshot restores the sum auditor from path when present and
@@ -339,22 +404,11 @@ func loadSnapshot(logger *log.Logger, path string, n int) (*sumfull.Auditor[fiel
 	return a, true
 }
 
-// saveSnapshot writes the trail atomically (temp file + rename), so a
-// crash mid-write cannot truncate a previously good snapshot.
+// saveSnapshot writes the trail durably (temp file + fsync + atomic
+// rename), so a crash mid-write cannot truncate a previously good
+// snapshot and a crash just after cannot lose the rename.
 func saveSnapshot(path string, a *sumfull.Auditor[field.Elem61, field.GF61]) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := persist.Save(f, a); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return persist.WriteAtomic(path, func(w io.Writer) error {
+		return persist.Save(w, a)
+	})
 }

@@ -145,6 +145,52 @@ func (d *Dataset) SetSensitive(i int, v float64) {
 	d.mods++
 }
 
+// SensitiveState is a transportable snapshot of the dataset's mutable
+// half: the current sensitive values, per-record versions, and the total
+// modification count. Replication ships it with the session snapshot so
+// a follower seeded mid-history starts from the same post-update values
+// the primary serves, not from the generated originals.
+type SensitiveState struct {
+	Values   []float64 `json:"values"`
+	Versions []int     `json:"versions,omitempty"`
+	Mods     int       `json:"mods"`
+}
+
+// SensitiveState captures the mutable half of the dataset.
+func (d *Dataset) SensitiveState() SensitiveState {
+	st := SensitiveState{
+		Values:   d.Values(),
+		Versions: make([]int, len(d.rows)),
+		Mods:     d.mods,
+	}
+	for i := range d.rows {
+		st.Versions[i] = d.rows[i].Version
+	}
+	return st
+}
+
+// RestoreSensitive overwrites the mutable half of the dataset from a
+// captured state. The record count must match; versions are optional
+// (absent versions are left untouched, which is only correct for a
+// fresh dataset with zero versions — the replication path always ships
+// them).
+func (d *Dataset) RestoreSensitive(st SensitiveState) error {
+	if len(st.Values) != len(d.rows) {
+		return fmt.Errorf("dataset: sensitive state has %d values, dataset has %d records", len(st.Values), len(d.rows))
+	}
+	if st.Versions != nil && len(st.Versions) != len(d.rows) {
+		return fmt.Errorf("dataset: sensitive state has %d versions, dataset has %d records", len(st.Versions), len(d.rows))
+	}
+	for i := range d.rows {
+		d.rows[i].Sensitive = st.Values[i]
+		if st.Versions != nil {
+			d.rows[i].Version = st.Versions[i]
+		}
+	}
+	d.mods = st.Mods
+	return nil
+}
+
 // Eval answers q truthfully against the current values.
 func (d *Dataset) Eval(q query.Query) float64 {
 	return q.Eval(d.valuesRef())

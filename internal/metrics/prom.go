@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the content type of the text exposition
+// format, for servers doing Accept-header negotiation.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative le-bucketed series with _sum and _count.
+// Metric names are sanitized to the Prometheus grammar (anything outside
+// [a-zA-Z0-9_:] becomes '_'), matching how scrapers would mangle them
+// anyway; names are emitted sorted so the output is diffable.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := writePromHistogram(w, promName(name), s.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram. Buckets are cumulative per
+// the exposition format, unlike the snapshot's per-bucket counts.
+func writePromHistogram(w io.Writer, name string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum int64
+	for i, bound := range h.Bounds {
+		cum += h.Buckets[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	if len(h.Buckets) > len(h.Bounds) {
+		cum += h.Buckets[len(h.Bounds)]
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		name, cum, name, promFloat(h.Sum), name, h.Count)
+	return err
+}
+
+// promFloat renders a float the way Prometheus clients conventionally do.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promName maps a registry name onto the Prometheus metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

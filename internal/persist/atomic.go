@@ -1,0 +1,50 @@
+package persist
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteAtomic writes a snapshot file durably: the payload goes to a
+// temporary file in the target's directory, is fsynced, and is renamed
+// over the target in one atomic step, after which the directory entry is
+// fsynced too. A crash at any point leaves either the old complete file
+// or the new complete file — never a truncated half-write, which for an
+// audit trail would mean restarting with an amnesiac auditor that has
+// forgotten answered queries.
+func WriteAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("persist: create temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	// Clean up the temp file on any failure path.
+	fail := func(step string, err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("persist: %s %s: %w", step, tmpName, err)
+	}
+	if err := write(tmp); err != nil {
+		return fail("write", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail("fsync", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail("close", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("persist: rename %s -> %s: %w", tmpName, path, err)
+	}
+	// Sync the directory so the rename itself survives a crash. Some
+	// platforms cannot fsync a directory; treat that as best-effort.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}

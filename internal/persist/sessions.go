@@ -14,51 +14,72 @@ import (
 // only).
 const KindSessionLogs Kind = "session-logs"
 
-// sessionLogsPayload is the envelope payload for KindSessionLogs.
+// sessionLogsPayload is the envelope payload for KindSessionLogs. Epoch
+// is the replication cluster epoch at save time (0 for standalone
+// deployments and snapshots from before replication existed — the JSON
+// field is simply absent there, so old snapshots load unchanged).
 type sessionLogsPayload struct {
 	Sessions []session.LogSnapshot `json:"sessions"`
+	Epoch    uint64                `json:"epoch,omitempty"`
 }
 
 // SaveSessions writes every session journal to w under the standard
-// versioned envelope.
+// versioned envelope (standalone form; epoch 0).
 func SaveSessions(w io.Writer, logs []session.LogSnapshot) error {
-	raw, err := json.Marshal(sessionLogsPayload{Sessions: logs})
+	return SaveSessionState(w, logs, 0)
+}
+
+// SaveSessionState writes every session journal plus the replication
+// cluster epoch, so a restarted node rejoins the cluster with the fence
+// it last held instead of epoch 0 (which any promoted peer would
+// immediately override).
+func SaveSessionState(w io.Writer, logs []session.LogSnapshot, epoch uint64) error {
+	raw, err := json.Marshal(sessionLogsPayload{Sessions: logs, Epoch: epoch})
 	if err != nil {
 		return fmt.Errorf("persist: encode session logs: %w", err)
 	}
 	return json.NewEncoder(w).Encode(envelope{Version: Version, Kind: KindSessionLogs, Payload: raw})
 }
 
-// LoadSessions reads a session-journal snapshot from r, validating each
-// journal's structural invariants before returning. Replay-time checks
-// (index ranges, auditor agreement with logged outcomes) happen in
-// session.Manager.Restore.
+// LoadSessions reads a session-journal snapshot from r (discarding any
+// stored epoch), validating each journal's structural invariants before
+// returning.
 func LoadSessions(r io.Reader) ([]session.LogSnapshot, error) {
+	logs, _, err := LoadSessionState(r)
+	return logs, err
+}
+
+// LoadSessionState reads a session-journal snapshot plus the stored
+// replication epoch. Each journal's structural invariants — including
+// its transcript digest chain, when the snapshot carries digests — are
+// validated before returning; replay-time checks (index ranges, auditor
+// agreement with logged outcomes) happen in session.Manager.Restore.
+func LoadSessionState(r io.Reader) ([]session.LogSnapshot, uint64, error) {
 	var env envelope
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
-		return nil, fmt.Errorf("persist: decode envelope: %w", err)
+		return nil, 0, fmt.Errorf("persist: decode envelope: %w", err)
 	}
 	if err := env.check(KindSessionLogs); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var p sessionLogsPayload
 	if err := json.Unmarshal(env.Payload, &p); err != nil {
-		return nil, fmt.Errorf("persist: decode %s: %w", env.Kind, err)
+		return nil, 0, fmt.Errorf("persist: decode %s: %w", env.Kind, err)
 	}
 	seen := make(map[string]bool, len(p.Sessions))
 	for _, snap := range p.Sessions {
 		if snap.Analyst == "" {
-			return nil, fmt.Errorf("persist: session snapshot with empty analyst id")
+			return nil, 0, fmt.Errorf("persist: session snapshot with empty analyst id")
 		}
 		if seen[snap.Analyst] {
-			return nil, fmt.Errorf("persist: duplicate session snapshot for analyst %q", snap.Analyst)
+			return nil, 0, fmt.Errorf("persist: duplicate session snapshot for analyst %q", snap.Analyst)
 		}
 		seen[snap.Analyst] = true
 		if err := snap.Validate(); err != nil {
-			return nil, fmt.Errorf("persist: analyst %q: %w", snap.Analyst, err)
+			return nil, 0, fmt.Errorf("persist: analyst %q: %w", snap.Analyst, err)
 		}
 	}
-	return p.Sessions, nil
+	return p.Sessions, p.Epoch, nil
 }
 
 // check validates an envelope's version and kind.

@@ -1,0 +1,135 @@
+package replica
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Handler returns the node's replication HTTP surface, with full `/v1/
+// replication/...` paths so the server can mount it next to the serving
+// API. The endpoints are operator/peer-facing: status, snapshot, stream,
+// promote, demote.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/replication/status", n.handleStatus)
+	mux.HandleFunc("GET /v1/replication/snapshot", n.handleSnapshot)
+	mux.HandleFunc("POST /v1/replication/stream", n.handleStream)
+	mux.HandleFunc("POST /v1/replication/promote", n.handlePromote)
+	mux.HandleFunc("POST /v1/replication/demote", n.handleDemote)
+	return mux
+}
+
+// writeJSON mirrors the server package's envelope discipline.
+func (n *Node) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		n.logger.Printf("replica: encoding response: %v", err)
+	}
+}
+
+// misdirected answers 421 with enough context for the caller to find the
+// real primary.
+func (n *Node) misdirected(w http.ResponseWriter, msg string) {
+	n.writeJSON(w, http.StatusMisdirectedRequest, errorBody{
+		Error:      msg,
+		Role:       n.Role().String(),
+		Epoch:      n.Epoch(),
+		PrimaryURL: n.PrimaryURL(),
+	})
+}
+
+func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
+	n.writeJSON(w, http.StatusOK, n.Status())
+}
+
+// handleSnapshot serves the follower-seed snapshot. The stream cursor is
+// captured BEFORE the state cut, so any record journaled between the two
+// is both inside the snapshot and re-delivered by the stream — the
+// follower skips the overlap as stale, and nothing can fall into a gap.
+func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if n.Role() != RolePrimary {
+		n.misdirected(w, "snapshot requires the primary")
+		return
+	}
+	cursor := n.journal.Head()
+	logs, sensitive := n.mgr.ReplicaSnapshot()
+	n.writeJSON(w, http.StatusOK, SnapshotResponse{
+		Epoch:     n.Epoch(),
+		Cursor:    cursor,
+		Sessions:  logs,
+		Sensitive: sensitive,
+	})
+}
+
+// handleStream serves one long-poll of the replication journal. A
+// request carrying a higher epoch than ours is the fencing signal: some
+// follower was promoted while we thought we were primary, so we demote
+// before answering. A 410 tells the follower its cursor fell behind the
+// retained tail and it must resync from a snapshot.
+func (n *Node) handleStream(w http.ResponseWriter, r *http.Request) {
+	var req StreamRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		n.writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed stream request: " + err.Error()})
+		return
+	}
+	if req.Epoch > n.Epoch() {
+		n.Demote(req.Epoch)
+		n.misdirected(w, "fenced: a node with a higher epoch is primary")
+		return
+	}
+	if n.Role() != RolePrimary {
+		n.misdirected(w, "stream requires the primary")
+		return
+	}
+	for _, ack := range req.Acks {
+		n.checkAck(ack)
+	}
+	wait := n.cfg.PollWait
+	if req.WaitMS > 0 && time.Duration(req.WaitMS)*time.Millisecond < wait {
+		wait = time.Duration(req.WaitMS) * time.Millisecond
+	}
+	max := n.cfg.MaxBatch
+	if req.Max > 0 && req.Max < max {
+		max = req.Max
+	}
+	recs, head, trimmed := n.journal.ReadAfter(r.Context(), req.After, max, wait)
+	if trimmed {
+		n.writeJSON(w, http.StatusGone, errorBody{
+			Error: "cursor precedes the retained journal tail; resync from snapshot",
+			Role:  n.Role().String(),
+			Epoch: n.Epoch(),
+		})
+		return
+	}
+	n.obs.ObserveStreamPoll()
+	if len(recs) > 0 {
+		n.obs.ObserveShipped(len(recs))
+	}
+	n.writeJSON(w, http.StatusOK, StreamResponse{Epoch: n.Epoch(), Records: recs, Head: head})
+}
+
+// handlePromote executes the operator-driven failover step on a replica.
+// Idempotent: promoting a primary reports its current epoch.
+func (n *Node) handlePromote(w http.ResponseWriter, r *http.Request) {
+	epoch, err := n.Promote()
+	if err != nil {
+		n.writeJSON(w, http.StatusConflict, errorBody{Error: err.Error(), Role: n.Role().String(), Epoch: n.Epoch()})
+		return
+	}
+	n.writeJSON(w, http.StatusOK, PromoteResponse{Role: n.Role().String(), Epoch: epoch})
+}
+
+// handleDemote is the push side of fencing: the freshly promoted node
+// tells the old primary (best effort) that a higher epoch exists.
+func (n *Node) handleDemote(w http.ResponseWriter, r *http.Request) {
+	var req DemoteRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		n.writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed demote request: " + err.Error()})
+		return
+	}
+	n.Demote(req.Epoch)
+	n.writeJSON(w, http.StatusOK, PromoteResponse{Role: n.Role().String(), Epoch: n.Epoch()})
+}

@@ -1,0 +1,139 @@
+package replica
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Journal is the node-local, totally-ordered replication log: every
+// decision and update the node has journaled (as primary) or mirrored
+// (as follower), tagged with a dense global sequence number. It retains
+// a bounded tail — followers further behind than the tail resync from a
+// snapshot — and supports long-poll reads, which is what turns the
+// stream endpoint into a push-shaped feed over plain HTTP.
+//
+// A follower mirrors the primary's records verbatim, keeping the
+// primary's sequence numbers, so after a promote the new primary's
+// journal continues the same numbering and surviving followers keep
+// their cursors.
+type Journal struct {
+	mu sync.Mutex
+	// recs holds sequences base+1 .. base+len(recs).
+	recs []Record
+	// base is the highest trimmed-away sequence (0 if nothing trimmed).
+	base uint64
+	// next is the sequence the next Append will assign.
+	next uint64
+	// retain bounds len(recs); older records are trimmed.
+	retain int
+	// changed is closed and replaced on every append (broadcast).
+	changed chan struct{}
+}
+
+// NewJournal returns an empty journal retaining at most retain records.
+func NewJournal(retain int) *Journal {
+	if retain < 1 {
+		retain = 1
+	}
+	return &Journal{next: 1, retain: retain, changed: make(chan struct{})}
+}
+
+// Append assigns the next sequence number to r, appends it, and returns
+// the assigned sequence. Primary-side use.
+func (j *Journal) Append(r Record) uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r.Seq = j.next
+	j.appendLocked(r)
+	return r.Seq
+}
+
+// Mirror appends a record keeping its existing sequence number —
+// follower-side use, replaying the primary's journal verbatim. Records
+// at or below the current head are ignored (re-delivery after a
+// snapshot handoff).
+func (j *Journal) Mirror(r Record) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if r.Seq < j.next {
+		return
+	}
+	// A gap would mean the stream skipped records; the follower loop
+	// never lets that happen (it resyncs instead), so keep the journal
+	// dense by trusting the caller's ordering.
+	j.next = r.Seq
+	j.appendLocked(r)
+}
+
+// appendLocked does the shared append + trim + broadcast; j.mu held,
+// r.Seq must equal j.next.
+func (j *Journal) appendLocked(r Record) {
+	j.recs = append(j.recs, r)
+	j.next = r.Seq + 1
+	if over := len(j.recs) - j.retain; over > 0 {
+		j.base += uint64(over)
+		j.recs = append(j.recs[:0], j.recs[over:]...)
+	}
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// Head returns the highest appended sequence (0 if empty).
+func (j *Journal) Head() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.next - 1
+}
+
+// Reset empties the journal and restarts numbering after cursor, as if
+// everything up to cursor had been trimmed. Used when a follower seeds
+// itself from a snapshot taken at cursor.
+func (j *Journal) Reset(cursor uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.recs = j.recs[:0]
+	j.base = cursor
+	j.next = cursor + 1
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// ReadAfter returns up to max records with sequence > after, long-polling
+// up to wait if none are available yet. trimmed reports that `after`
+// precedes the retained tail — the caller must resync from a snapshot
+// because the journal can no longer serve a contiguous continuation.
+func (j *Journal) ReadAfter(ctx context.Context, after uint64, max int, wait time.Duration) (recs []Record, head uint64, trimmed bool) {
+	if max < 1 {
+		max = 1
+	}
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for {
+		j.mu.Lock()
+		if after < j.base {
+			j.mu.Unlock()
+			return nil, 0, true
+		}
+		head = j.next - 1
+		if after < head {
+			lo := after - j.base
+			hi := uint64(len(j.recs))
+			if hi-lo > uint64(max) {
+				hi = lo + uint64(max)
+			}
+			recs = append([]Record(nil), j.recs[lo:hi]...)
+			j.mu.Unlock()
+			return recs, head, false
+		}
+		changed := j.changed
+		j.mu.Unlock()
+		select {
+		case <-changed:
+		case <-deadline.C:
+			return nil, head, false
+		case <-ctx.Done():
+			return nil, head, false
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"queryaudit/internal/metrics"
+	"queryaudit/internal/replica"
 )
 
 // Options are the serving-path knobs. Zero values mean "use Defaults()";
@@ -88,6 +89,13 @@ func WithAccessLog(l *log.Logger) Option { return func(s *Server) { s.opts.Acces
 // runs after the listener is already accepting.
 func WithReadinessGate() Option { return func(s *Server) { s.gated = true } }
 
+// WithReplication attaches a replication node: the /v1/replication/*
+// endpoints mount, state-mutating endpoints answer 421 whenever the node
+// is not the cluster primary, and sessions the node has quarantined
+// after divergence detection answer 503 instead of serving state the
+// primary never produced.
+func WithReplication(n *replica.Node) Option { return func(s *Server) { s.repl = n } }
+
 // httpMetrics holds the per-route HTTP counters and the request-latency
 // histogram, pre-registered so handlers never take the registry mutex.
 //
@@ -113,6 +121,9 @@ type httpMetrics struct {
 var routes = []string{
 	"/v1/query", "/v1/queryset", "/v1/update", "/v1/stats", "/v1/schema",
 	"/v1/knowledge", "/v1/prime", "/v1/sessions", "/v1/metrics",
+	"/v1/replication/status", "/v1/replication/snapshot",
+	"/v1/replication/stream", "/v1/replication/promote",
+	"/v1/replication/demote",
 	"/healthz", "/readyz",
 }
 

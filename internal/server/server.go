@@ -69,12 +69,14 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 
 	"queryaudit/internal/audit"
 	"queryaudit/internal/core"
 	"queryaudit/internal/metrics"
 	"queryaudit/internal/query"
+	"queryaudit/internal/replica"
 	"queryaudit/internal/session"
 )
 
@@ -96,6 +98,9 @@ type Server struct {
 	reg       *metrics.Registry
 	httpM     *httpMetrics
 	limiter   *clientLimiter
+	// repl, when set, makes role and quarantine part of request routing:
+	// writes are fenced to the primary, divergent sessions answer 503.
+	repl *replica.Node
 	// ready gates the session-scoped endpoints; it starts true unless
 	// WithReadinessGate is given, and flips once via MarkReady.
 	ready atomic.Bool
@@ -148,19 +153,47 @@ func newServer(mgr *session.Manager, sensitive string, opts []Option) *Server {
 	if s.opts.PerClientConcurrency > 0 {
 		s.limiter = newClientLimiter(s.opts.PerClientConcurrency)
 	}
-	s.mux.HandleFunc("POST /v1/query", s.whenReady(s.handleQuery))
-	s.mux.HandleFunc("POST /v1/queryset", s.whenReady(s.handleQuerySet))
-	s.mux.HandleFunc("POST /v1/update", s.whenReady(s.handleUpdate))
+	s.mux.HandleFunc("POST /v1/query", s.whenReady(s.writable(s.handleQuery)))
+	s.mux.HandleFunc("POST /v1/queryset", s.whenReady(s.writable(s.handleQuerySet)))
+	s.mux.HandleFunc("POST /v1/update", s.whenReady(s.writable(s.handleUpdate)))
 	s.mux.HandleFunc("GET /v1/stats", s.whenReady(s.handleStats))
 	s.mux.HandleFunc("GET /v1/schema", s.handleSchema)
 	s.mux.HandleFunc("GET /v1/knowledge", s.whenReady(s.handleKnowledge))
-	s.mux.HandleFunc("POST /v1/prime", s.whenReady(s.handlePrime))
+	s.mux.HandleFunc("POST /v1/prime", s.whenReady(s.writable(s.handlePrime)))
 	s.mux.HandleFunc("GET /v1/sessions", s.whenReady(s.handleSessions))
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.repl != nil {
+		s.mux.Handle("/v1/replication/", s.repl.Handler())
+	}
 	s.handler = s.middleware(s.mux)
 	return s
+}
+
+// writable wraps a state-mutating handler with the replication role
+// gate: on a node that is not the cluster primary the request is
+// misdirected (421) and the response names the primary, so a client (or
+// proxy) can follow. Non-replicated servers pass through untouched.
+//
+// The gate exists because a replica answering a query would FORK the
+// audit timeline: its auditor would commit a decision the primary never
+// journaled, and every digest after that point would diverge. Reads
+// (stats, knowledge, sessions) stay open — serving them from replayed
+// state is the whole point of a read replica.
+func (s *Server) writable(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.repl != nil && !s.repl.Writable() {
+			writeJSON(w, http.StatusMisdirectedRequest, replicaErrorResponse{
+				Error:      "this node is a read-only replica; direct writes to the primary",
+				Role:       s.repl.Role().String(),
+				Epoch:      s.repl.Epoch(),
+				PrimaryURL: s.repl.PrimaryURL(),
+			})
+			return
+		}
+		h(w, r)
+	}
 }
 
 // Metrics returns the registry the server records into.
@@ -215,12 +248,23 @@ func analystID(r *http.Request) (string, error) {
 }
 
 // analyst resolves the request identity, writing the 400 itself on a
-// malformed ID; ok reports whether the handler should proceed.
+// malformed ID; ok reports whether the handler should proceed. On a
+// replicated node a quarantined session (replication divergence was
+// detected for it) answers 503: its replayed state provably differs from
+// the primary's, so any answer would come from a forged timeline.
 func (s *Server) analyst(w http.ResponseWriter, r *http.Request) (string, bool) {
 	a, err := analystID(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return "", false
+	}
+	if s.repl != nil {
+		if reason, bad := s.repl.Quarantined(a); bad {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+				Error: "session quarantined after replication divergence: " + reason})
+			return "", false
+		}
 	}
 	return a, true
 }
@@ -283,6 +327,15 @@ type StatsResponse struct {
 // errorResponse carries machine-readable failures.
 type errorResponse struct {
 	Error string `json:"error"`
+}
+
+// replicaErrorResponse carries a role-aware refusal (421) with enough
+// context for the caller to find the primary.
+type replicaErrorResponse struct {
+	Error      string `json:"error"`
+	Role       string `json:"role"`
+	Epoch      uint64 `json:"epoch"`
+	PrimaryURL string `json:"primary_url,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -543,12 +596,36 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
-// handleMetrics exports the registry as JSON: HTTP counters/latency
-// per route, engine decision counters per aggregate kind, session
-// lifecycle counters and gauges, and the decide/replay latency
-// histograms.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics exports the registry: HTTP counters/latency per route,
+// engine decision counters per aggregate kind, session lifecycle
+// counters and gauges, replication series, and the decide/replay latency
+// histograms. JSON by default; an Accept header naming text/plain (what
+// a Prometheus scrape sends) selects the text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if acceptsPromText(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", metrics.PrometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		_ = metrics.WritePrometheus(w, s.reg.Snapshot())
+		return
+	}
 	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+}
+
+// acceptsPromText reports whether the Accept header asks for the
+// Prometheus text format: any text/plain or openmetrics media range,
+// unless application/json appears first. An absent or wildcard header
+// keeps the JSON default, so browsers and curl stay human-readable.
+func acceptsPromText(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch mt {
+		case "application/json":
+			return false
+		case "text/plain", "application/openmetrics-text":
+			return true
+		}
+	}
+	return false
 }
 
 // sanitizeKnowledge replaces ±Inf bounds (not expressible in JSON) with

@@ -1,0 +1,123 @@
+package session
+
+import (
+	"testing"
+)
+
+// digestOf returns the analyst's (seq, digest) as exposed by the
+// public surfaces — LogSnapshot and Sessions() — after asserting the
+// two agree with each other.
+func digestOf(t *testing.T, m *Manager, analyst string) (uint64, string) {
+	t.Helper()
+	var fromSnap *LogSnapshot
+	for _, snap := range m.LogSnapshots() {
+		if snap.Analyst == analyst {
+			s := snap
+			fromSnap = &s
+			break
+		}
+	}
+	if fromSnap == nil {
+		t.Fatalf("no log snapshot for analyst %q", analyst)
+	}
+	var fromInfo *Info
+	for _, info := range m.Sessions() {
+		if info.Analyst == analyst {
+			i := info
+			fromInfo = &i
+			break
+		}
+	}
+	if fromInfo == nil {
+		t.Fatalf("no session info for analyst %q", analyst)
+	}
+	if fromInfo.Seq != fromSnap.Seq || fromInfo.Digest != fromSnap.Digest {
+		t.Fatalf("Sessions() reports %d/%s but LogSnapshot holds %d/%s",
+			fromInfo.Seq, fromInfo.Digest, fromSnap.Seq, fromSnap.Digest)
+	}
+	return fromSnap.Seq, fromSnap.Digest
+}
+
+// TestDigestStability is the satellite table test for the transcript
+// digest: the same scripted workload must land on the exact same
+// (seq, digest) pair whether the engine lives through the whole game,
+// is evicted and replayed after every step, or is carried through a
+// snapshot/restore — and, for the Monte Carlo stacks, regardless of the
+// worker-pool width. The digest is the replication subsystem's
+// divergence oracle, so any instability here silently breaks failover.
+func TestDigestStability(t *testing.T) {
+	type variant struct {
+		name string
+		run  func(t *testing.T, f family, steps []step) (uint64, string)
+	}
+	variants := []variant{
+		{"uninterrupted", func(t *testing.T, f family, steps []step) (uint64, string) {
+			m := f.newManager(t)
+			play(t, m, "alice", steps, false)
+			return digestOf(t, m, "alice")
+		}},
+		{"evict-each-step", func(t *testing.T, f family, steps []step) (uint64, string) {
+			m := f.newManager(t)
+			play(t, m, "alice", steps, true)
+			return digestOf(t, m, "alice")
+		}},
+		{"snapshot-restore", func(t *testing.T, f family, steps []step) (uint64, string) {
+			m := f.newManager(t)
+			play(t, m, "alice", steps, false)
+			m2 := f.newManager(t)
+			// A restarting process reloads the dataset with its mutations
+			// already applied; simulate directly on the dataset so no new
+			// journal events are minted.
+			for _, st := range steps {
+				if st.update {
+					m2.Dataset().SetSensitive(st.idx, st.val)
+				}
+			}
+			if err := m2.Restore(m.LogSnapshots()); err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			return digestOf(t, m2, "alice")
+		}},
+	}
+
+	for _, f := range determinismFamilies() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			steps := script(42, f.n, f.rounds, f.kinds, f.withUpdates)
+			wantSeq, wantDigest := variants[0].run(t, f, steps)
+			if wantSeq == 0 || wantDigest == "" {
+				t.Fatalf("degenerate reference transcript: seq=%d digest=%q", wantSeq, wantDigest)
+			}
+			for _, v := range variants[1:] {
+				gotSeq, gotDigest := v.run(t, f, steps)
+				if gotSeq != wantSeq || gotDigest != wantDigest {
+					t.Errorf("%s: (seq, digest) = (%d, %s), want (%d, %s)",
+						v.name, gotSeq, gotDigest, wantSeq, wantDigest)
+				}
+			}
+		})
+	}
+
+	// Worker-pool width must not leak into the digest: the prob families
+	// share one workload, so their digests must agree across widths.
+	t.Run("workers-invariant", func(t *testing.T) {
+		fams := determinismFamilies()
+		seen := map[string]string{} // workload signature -> digest
+		for _, f := range fams {
+			if f.name == "full" {
+				continue
+			}
+			steps := script(42, f.n, f.rounds, f.kinds, f.withUpdates)
+			m := f.newManager(t)
+			play(t, m, "alice", steps, false)
+			_, digest := digestOf(t, m, "alice")
+			if prev, ok := seen["prob"]; ok && prev != digest {
+				t.Fatalf("%s: digest %s differs from other worker count's %s", f.name, digest, prev)
+			}
+			seen["prob"] = digest
+		}
+		if len(seen) == 0 {
+			t.Fatal("no prob families exercised")
+		}
+	})
+}

@@ -15,6 +15,13 @@
 // Non-simulatable (answer-dependent) auditors cannot be replayed, and
 // core.Engine.Replay refuses them; only simulatable stacks belong behind
 // this manager.
+//
+// Every log additionally maintains a monotonic per-session sequence
+// number and a transcript digest (a hash chain over its events, see
+// core.ChainDecision). The pair (seq, digest) names a unique point of
+// the session's timeline and commits the full auditor state at that
+// point, which is what the replication subsystem (internal/replica)
+// ships, acks and compares for divergence.
 package session
 
 import (
@@ -40,40 +47,86 @@ type Event struct {
 	Index int
 }
 
+// chain extends a transcript digest with this event.
+func (ev Event) chain(prev core.Digest) core.Digest {
+	if ev.Update {
+		return core.ChainUpdate(prev, ev.Index)
+	}
+	return core.ChainDecision(prev, ev.Decision)
+}
+
 // Log is a session's append-only journal. It implements core.Recorder,
 // so installing it on an engine (core.Engine.SetRecorder) journals every
 // state-changing protocol step automatically. Appends are O(1) and keep
 // running answered/denied tallies so session stats never require a
-// materialized engine.
+// materialized engine, plus the running (seq, digest) position used by
+// replication.
 type Log struct {
 	mu       sync.Mutex
 	events   []Event
 	answered int
 	denied   int
+	// seq is the 1-based sequence number of the last appended event
+	// (== len(events); logs are never truncated).
+	seq uint64
+	// digest is the transcript hash chain after the last event.
+	digest core.Digest
+	// notify, when set, receives every decision appended through the
+	// engine Recorder path (live traffic), under l.mu so per-session
+	// sequence order is preserved. Replicated applies (appendApplied) and
+	// update markers do NOT notify: the Manager taps those itself.
+	notify func(seq uint64, ev core.DecisionEvent, digest core.Digest)
 }
 
 // NewLog returns an empty journal.
 func NewLog() *Log { return &Log{} }
 
+// append adds ev, advancing tallies, seq and digest; callers hold l.mu.
+func (l *Log) append(ev Event) (uint64, core.Digest) {
+	l.events = append(l.events, ev)
+	l.seq++
+	l.digest = ev.chain(l.digest)
+	if !ev.Update {
+		switch ev.Decision.Outcome {
+		case core.OutcomeAnswered:
+			l.answered++
+		case core.OutcomeDenied:
+			l.denied++
+		}
+	}
+	return l.seq, l.digest
+}
+
 // RecordDecision implements core.Recorder. It runs under the engine
-// lock; the append is a few pointer writes.
+// lock; the append is a few pointer writes plus one SHA-256 block for
+// the digest chain. The notify hook (replication tap) fires under l.mu
+// so taps observe each session's events in sequence order.
 func (l *Log) RecordDecision(ev core.DecisionEvent) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.events = append(l.events, Event{Decision: ev})
-	switch ev.Outcome {
-	case core.OutcomeAnswered:
-		l.answered++
-	case core.OutcomeDenied:
-		l.denied++
+	seq, d := l.append(Event{Decision: ev})
+	if l.notify != nil {
+		l.notify(seq, ev, d)
 	}
 }
 
-// AppendUpdate journals a dataset update marker.
-func (l *Log) AppendUpdate(i int) {
+// appendApplied journals a decision replicated from a primary — same
+// append as RecordDecision but without the notify hook, so a follower
+// applying shipped events does not re-tap them into its own feed (the
+// replica layer mirrors the primary's records verbatim instead).
+func (l *Log) appendApplied(ev core.DecisionEvent) (uint64, core.Digest) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.events = append(l.events, Event{Update: true, Index: i})
+	return l.append(Event{Decision: ev})
+}
+
+// AppendUpdate journals a dataset update marker and returns the log
+// position after it. Updates are tapped once globally by the Manager
+// (they touch every session), so no per-log notify fires here.
+func (l *Log) AppendUpdate(i int) (uint64, core.Digest) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.append(Event{Update: true, Index: i})
 }
 
 // Len returns the number of journaled events.
@@ -90,6 +143,29 @@ func (l *Log) Tallies() (answered, denied int) {
 	return l.answered, l.denied
 }
 
+// Position returns the log's current (seq, digest) pair: the sequence
+// number of the last event and the transcript digest after it.
+func (l *Log) Position() (uint64, core.Digest) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq, l.digest
+}
+
+// Seq returns the sequence number of the last appended event (0 for an
+// empty journal).
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Digest returns the transcript digest after the last event.
+func (l *Log) Digest() core.Digest {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.digest
+}
+
 // Events returns a copy of the journal for replay.
 func (l *Log) Events() []Event {
 	l.mu.Lock()
@@ -98,10 +174,17 @@ func (l *Log) Events() []Event {
 }
 
 // LogSnapshot is the serializable form of one session's journal, used
-// by internal/persist to carry sessions across restarts.
+// by internal/persist to carry sessions across restarts and by the
+// replication snapshot RPC to seed followers.
 type LogSnapshot struct {
-	Analyst string          `json:"analyst"`
-	Events  []EventSnapshot `json:"events"`
+	Analyst string `json:"analyst"`
+	// Seq is the sequence number of the last event (== len(Events)).
+	Seq uint64 `json:"seq,omitempty"`
+	// Digest is the hex transcript digest after the last event; loaders
+	// recompute the chain and refuse a snapshot whose digest mismatches
+	// (journal corruption surfaces at restore time, not replay time).
+	Digest string          `json:"digest,omitempty"`
+	Events []EventSnapshot `json:"events"`
 }
 
 // EventSnapshot is the serializable form of one Event.
@@ -117,86 +200,114 @@ type EventSnapshot struct {
 	Index int `json:"index,omitempty"`
 }
 
-// Snapshot exports the journal under the given analyst name.
+// EncodeEvent converts an Event to its serializable snapshot form.
+func EncodeEvent(ev Event) EventSnapshot {
+	if ev.Update {
+		return EventSnapshot{Op: "update", Index: ev.Index}
+	}
+	return EventSnapshot{
+		Op:      "query",
+		Kind:    ev.Decision.Query.Kind.String(),
+		Indices: append([]int(nil), ev.Decision.Query.Set...),
+		Outcome: ev.Decision.Outcome.String(),
+		Answer:  ev.Decision.Answer,
+	}
+}
+
+// DecodeEvent inverts EncodeEvent, validating the structural invariants
+// (snapshots and replication records may come from untrusted storage or
+// a wire): known ops, parsable kinds and outcomes, non-empty index sets,
+// non-negative indices. Range checks against the dataset happen during
+// replay.
+func DecodeEvent(es EventSnapshot) (Event, error) {
+	switch es.Op {
+	case "update":
+		if es.Index < 0 {
+			return Event{}, fmt.Errorf("session: negative update index %d", es.Index)
+		}
+		return Event{Update: true, Index: es.Index}, nil
+	case "query":
+		kind, err := query.ParseKind(es.Kind)
+		if err != nil {
+			return Event{}, err
+		}
+		outcome, err := core.ParseOutcome(es.Outcome)
+		if err != nil {
+			return Event{}, err
+		}
+		if len(es.Indices) == 0 {
+			return Event{}, fmt.Errorf("session: query with empty index set")
+		}
+		for _, idx := range es.Indices {
+			if idx < 0 {
+				return Event{}, fmt.Errorf("session: negative index %d", idx)
+			}
+		}
+		return Event{Decision: core.DecisionEvent{
+			Query:   query.New(kind, es.Indices...),
+			Outcome: outcome,
+			Answer:  es.Answer,
+		}}, nil
+	default:
+		return Event{}, fmt.Errorf("session: unknown op %q", es.Op)
+	}
+}
+
+// Snapshot exports the journal under the given analyst name, including
+// its current sequence number and transcript digest.
 func (l *Log) Snapshot(analyst string) LogSnapshot {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	es := make([]EventSnapshot, len(l.events))
 	for i, ev := range l.events {
-		if ev.Update {
-			es[i] = EventSnapshot{Op: "update", Index: ev.Index}
-			continue
-		}
-		es[i] = EventSnapshot{
-			Op:      "query",
-			Kind:    ev.Decision.Query.Kind.String(),
-			Indices: append([]int(nil), ev.Decision.Query.Set...),
-			Outcome: ev.Decision.Outcome.String(),
-			Answer:  ev.Decision.Answer,
-		}
+		es[i] = EncodeEvent(ev)
 	}
-	return LogSnapshot{Analyst: analyst, Events: es}
+	return LogSnapshot{Analyst: analyst, Seq: l.seq, Digest: l.digest.Hex(), Events: es}
 }
 
 // Validate checks the structural invariants of a snapshot (snapshots may
-// come from untrusted storage): known ops, parsable kinds and outcomes,
-// non-empty index sets for queries, non-negative indices. Range checks
-// against the dataset happen during replay.
+// come from untrusted storage) and, when the snapshot carries a seq or
+// digest, that they agree with the recomputed hash chain — a truncated
+// or bit-flipped journal is rejected here instead of replaying into a
+// silently different auditor.
 func (s LogSnapshot) Validate() error {
-	for i, ev := range s.Events {
-		switch ev.Op {
-		case "update":
-			if ev.Index < 0 {
-				return fmt.Errorf("session: event %d: negative update index %d", i, ev.Index)
-			}
-		case "query":
-			if _, err := query.ParseKind(ev.Kind); err != nil {
-				return fmt.Errorf("session: event %d: %w", i, err)
-			}
-			if _, err := core.ParseOutcome(ev.Outcome); err != nil {
-				return fmt.Errorf("session: event %d: %w", i, err)
-			}
-			if len(ev.Indices) == 0 {
-				return fmt.Errorf("session: event %d: query with empty index set", i)
-			}
-			for _, idx := range ev.Indices {
-				if idx < 0 {
-					return fmt.Errorf("session: event %d: negative index %d", i, idx)
-				}
-			}
-		default:
-			return fmt.Errorf("session: event %d: unknown op %q", i, ev.Op)
+	var d core.Digest
+	for i, es := range s.Events {
+		ev, err := DecodeEvent(es)
+		if err != nil {
+			return fmt.Errorf("session: event %d: %w", i, err)
+		}
+		d = ev.chain(d)
+	}
+	if s.Seq != 0 && s.Seq != uint64(len(s.Events)) {
+		return fmt.Errorf("session: snapshot seq %d does not match %d events", s.Seq, len(s.Events))
+	}
+	if s.Digest != "" {
+		want, err := core.ParseDigest(s.Digest)
+		if err != nil {
+			return fmt.Errorf("session: %w", err)
+		}
+		if want != d {
+			return fmt.Errorf("session: snapshot digest %s does not match journal (recomputed %s) — corrupt or tampered journal", s.Digest, d.Hex())
 		}
 	}
 	return nil
 }
 
-// logFromSnapshot rebuilds a Log (with recomputed tallies) from a
-// validated snapshot.
+// logFromSnapshot rebuilds a Log (with recomputed tallies, seq and
+// digest) from a validated snapshot.
 func logFromSnapshot(s LogSnapshot) (*Log, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	l := NewLog()
 	l.events = make([]Event, 0, len(s.Events))
-	for _, ev := range s.Events {
-		if ev.Op == "update" {
-			l.events = append(l.events, Event{Update: true, Index: ev.Index})
-			continue
+	for _, es := range s.Events {
+		ev, err := DecodeEvent(es)
+		if err != nil {
+			return nil, err // unreachable after Validate; defensive
 		}
-		kind, _ := query.ParseKind(ev.Kind)
-		outcome, _ := core.ParseOutcome(ev.Outcome)
-		l.events = append(l.events, Event{Decision: core.DecisionEvent{
-			Query:   query.New(kind, ev.Indices...),
-			Outcome: outcome,
-			Answer:  ev.Answer,
-		}})
-		switch outcome {
-		case core.OutcomeAnswered:
-			l.answered++
-		case core.OutcomeDenied:
-			l.denied++
-		}
+		l.append(ev)
 	}
 	return l, nil
 }

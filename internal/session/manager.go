@@ -26,7 +26,39 @@ var (
 	// ErrMultiAnalystDisabled reports that this deployment wraps a single
 	// pre-built engine and cannot construct per-analyst sessions.
 	ErrMultiAnalystDisabled = errors.New("session: multi-analyst sessions are disabled (single-engine deployment)")
+	// ErrApplyStale reports a replicated event whose sequence number the
+	// session has already applied (harmless re-delivery after a snapshot
+	// resync; the caller skips it).
+	ErrApplyStale = errors.New("session: replicated event already applied")
+	// ErrApplyGap reports a replicated event that skips ahead of the
+	// session's journal — events were lost and the follower must resync
+	// from a fresh primary snapshot.
+	ErrApplyGap = errors.New("session: replicated event leaves a sequence gap")
 )
+
+// Mark names a position in one session's journal: the sequence number of
+// an event and the transcript digest after it. Replication ships a Mark
+// with every record so the receiving side can verify, event by event,
+// that its rebuilt timeline is bit-identical to the sender's.
+type Mark struct {
+	Analyst string
+	Seq     uint64
+	Digest  core.Digest
+}
+
+// Tap receives every journal append committed by live traffic, for the
+// replication feed. TapDecision fires once per committed protocol
+// decision, under the session's log lock, in per-session sequence order.
+// TapUpdate fires once per global dataset update (which appends one
+// marker to EVERY session's journal), with the per-session marks, while
+// the dataset lock is still held exclusively — so the feed observes the
+// update at the same point of every session's timeline as the journals
+// do. Implementations must be fast and must not call back into the
+// manager.
+type Tap interface {
+	TapDecision(analyst string, seq uint64, ev core.DecisionEvent, digest core.Digest)
+	TapUpdate(index int, value float64, marks []Mark)
+}
 
 // Observer receives session lifecycle events for instrumentation.
 // Callbacks run on session hot paths (some under shard locks), so
@@ -132,6 +164,10 @@ type Manager struct {
 	total atomic.Int64 // tracked sessions
 	live  atomic.Int64 // materialized engines
 
+	// tap is the replication feed (a Tap), installed once before the
+	// manager serves traffic; nil Value means no feed.
+	tap atomic.Value
+
 	supportsUpdates bool
 
 	stop     chan struct{}
@@ -171,6 +207,7 @@ func NewManager(spec *core.EngineSpec, cfg Config) (*Manager, error) {
 func Single(eng *core.Engine, cfg Config) *Manager {
 	m := newManager(eng.Dataset(), nil, cfg)
 	s := &Session{analyst: DefaultAnalyst, log: NewLog(), pinned: true}
+	m.wireLog(DefaultAnalyst, s.log)
 	s.touch(m.clock())
 	eng.SetRecorder(s.log)
 	s.eng = eng
@@ -215,6 +252,30 @@ func newManager(ds *dataset.Dataset, spec *core.EngineSpec, cfg Config) *Manager
 // Close stops the background TTL sweeper (idempotent).
 func (m *Manager) Close() { m.stopOnce.Do(func() { close(m.stop) }) }
 
+// SetTap installs the replication feed. Install it before the manager
+// serves traffic; events committed while no tap is installed are not
+// replayable from the feed (a follower recovers them via a snapshot
+// resync instead).
+func (m *Manager) SetTap(t Tap) { m.tap.Store(t) }
+
+// loadTap returns the installed tap, if any.
+func (m *Manager) loadTap() Tap {
+	t, _ := m.tap.Load().(Tap)
+	return t
+}
+
+// wireLog points a (new, not yet shared) log's notify hook at the
+// manager's replication tap. Every log a session ever owns — created on
+// admission, restored from a snapshot — must pass through here, or its
+// live decisions would be invisible to replication.
+func (m *Manager) wireLog(analyst string, lg *Log) {
+	lg.notify = func(seq uint64, ev core.DecisionEvent, d core.Digest) {
+		if t := m.loadTap(); t != nil {
+			t.TapDecision(analyst, seq, ev, d)
+		}
+	}
+}
+
 // Dataset returns the shared dataset.
 func (m *Manager) Dataset() *dataset.Dataset { return m.ds }
 
@@ -235,6 +296,7 @@ func (m *Manager) AdoptDefault(eng *core.Engine) {
 	s := sh.sessions[DefaultAnalyst]
 	if s == nil {
 		s = &Session{analyst: DefaultAnalyst, log: NewLog()}
+		m.wireLog(DefaultAnalyst, s.log)
 		sh.sessions[DefaultAnalyst] = s
 		m.total.Add(1)
 		m.obs.ObserveSessionCreated()
@@ -275,6 +337,24 @@ func (m *Manager) lockShard(sh *shard, idx int) {
 // engine materialized; the caller must Unlock. Callers hold dsMu (any
 // mode).
 func (m *Manager) acquire(analyst string) (*Session, error) {
+	s, err := m.lookupOrCreate(analyst)
+	if err != nil {
+		return nil, err
+	}
+	if s.eng == nil {
+		if err := m.materializeLocked(s); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// lookupOrCreate returns the analyst's session with its mutex HELD but
+// possibly no engine (evicted sessions stay evicted — journal-only
+// operations like replicated update markers don't pay a rebuild).
+// Callers hold dsMu (any mode).
+func (m *Manager) lookupOrCreate(analyst string) (*Session, error) {
 	for {
 		sh, idx := m.shardOf(analyst)
 		m.lockShard(sh, idx)
@@ -291,6 +371,7 @@ func (m *Manager) acquire(analyst string) (*Session, error) {
 				return nil, fmt.Errorf("%w (max %d analysts)", ErrTooManySessions, m.cfg.MaxSessions)
 			}
 			s = &Session{analyst: analyst, log: NewLog()}
+			m.wireLog(analyst, s.log)
 			s.touch(m.clock())
 			sh.sessions[analyst] = s
 			m.total.Add(1)
@@ -307,12 +388,6 @@ func (m *Manager) acquire(analyst string) (*Session, error) {
 			continue
 		}
 		s.touch(m.clock())
-		if s.eng == nil {
-			if err := m.materializeLocked(s); err != nil {
-				s.mu.Unlock()
-				return nil, err
-			}
-		}
 		return s, nil
 	}
 }
@@ -494,10 +569,12 @@ func (m *Manager) Update(i int, v float64) error {
 		}
 		sh.mu.Unlock()
 	}
+	marks := make([]Mark, 0, len(sessions))
 	for _, s := range sessions {
 		s.mu.Lock()
 		if !s.gone {
-			s.log.AppendUpdate(i)
+			seq, d := s.log.AppendUpdate(i)
+			marks = append(marks, Mark{Analyst: s.analyst, Seq: seq, Digest: d})
 			if s.eng != nil {
 				if err := s.eng.NoteUpdate(i); err != nil {
 					s.mu.Unlock()
@@ -507,7 +584,188 @@ func (m *Manager) Update(i int, v float64) error {
 		}
 		s.mu.Unlock()
 	}
+	// Tap the update ONCE, globally, while dsMu is still held exclusively:
+	// the feed sees it at exactly the journal position every session
+	// recorded, and no decision can interleave (decisions hold dsMu
+	// shared).
+	if t := m.loadTap(); t != nil {
+		t.TapUpdate(i, v, marks)
+	}
 	return nil
+}
+
+// ApplyDecision applies one replicated protocol decision to the
+// analyst's session: the engine retraces the decision exactly as the
+// primary took it (core.Engine.Replay — simulatability makes that a
+// deterministic function of journal history) and the journal appends it
+// WITHOUT re-tapping it into this node's feed. seq is the primary's
+// per-session sequence number for the event; out-of-order delivery is
+// rejected (ErrApplyStale / ErrApplyGap) so a follower can detect lost
+// records and fall back to a snapshot resync. The returned digest is the
+// local transcript digest after the event — the caller compares it with
+// the primary's to detect divergence.
+func (m *Manager) ApplyDecision(analyst string, seq uint64, ev core.DecisionEvent) (core.Digest, error) {
+	m.dsMu.RLock()
+	defer m.dsMu.RUnlock()
+	s, err := m.acquire(analyst)
+	if err != nil {
+		return core.Digest{}, err
+	}
+	defer s.mu.Unlock()
+	cur := s.log.Seq()
+	if seq <= cur {
+		return core.Digest{}, fmt.Errorf("%w: have %d, got %d", ErrApplyStale, cur, seq)
+	}
+	if seq != cur+1 {
+		return core.Digest{}, fmt.Errorf("%w: have %d, got %d", ErrApplyGap, cur, seq)
+	}
+	if err := s.eng.Replay(ev); err != nil {
+		return core.Digest{}, err
+	}
+	_, d := s.log.appendApplied(ev)
+	return d, nil
+}
+
+// ApplyOutcome reports one session's result of ApplyUpdate: the local
+// journal position after the marker, or the error that prevented it.
+type ApplyOutcome struct {
+	Analyst string
+	Seq     uint64
+	Digest  core.Digest
+	Err     error
+}
+
+// ApplyUpdate applies one replicated global dataset update: the
+// sensitive-value mutation exactly once, plus a journal marker for
+// precisely the sessions the primary listed (its session set at the time
+// of the update; a session unknown here is created, so an update can be
+// the first event of a session's timeline). Marks whose sequence number
+// is already applied are skipped as re-delivery; if EVERY mark is stale
+// the mutation itself is skipped too, keeping the modification counter
+// aligned with the primary's. Per-session failures (sequence gaps,
+// admission refusal) are reported in the outcomes, not fatal to the
+// other sessions.
+func (m *Manager) ApplyUpdate(index int, value float64, marks []Mark) ([]ApplyOutcome, error) {
+	m.dsMu.Lock()
+	defer m.dsMu.Unlock()
+	if index < 0 || index >= m.ds.N() {
+		return nil, fmt.Errorf("session: update index %d out of range", index)
+	}
+	if !m.supportsUpdates {
+		return nil, errors.New("session: auditor stack does not support updates")
+	}
+	stale := 0
+	for _, mk := range marks {
+		if s := m.peek(mk.Analyst); s != nil && s.log.Seq() >= mk.Seq {
+			stale++
+		}
+	}
+	if len(marks) > 0 && stale == len(marks) {
+		return nil, fmt.Errorf("%w: update already applied to all %d sessions", ErrApplyStale, stale)
+	}
+	m.ds.SetSensitive(index, value)
+	out := make([]ApplyOutcome, 0, len(marks))
+	for _, mk := range marks {
+		out = append(out, m.applyUpdateMark(index, mk))
+	}
+	return out, nil
+}
+
+// applyUpdateMark appends one session's update marker; dsMu is held
+// exclusively. The session's engine is NOT materialized for this — an
+// evicted journal takes the marker directly and any later rebuild
+// replays it in order — but a live engine is notified immediately, like
+// Update does.
+func (m *Manager) applyUpdateMark(index int, mk Mark) ApplyOutcome {
+	o := ApplyOutcome{Analyst: mk.Analyst}
+	s, err := m.lookupOrCreate(mk.Analyst)
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	defer s.mu.Unlock()
+	cur := s.log.Seq()
+	if mk.Seq <= cur {
+		o.Seq, o.Digest = s.log.Position()
+		o.Err = fmt.Errorf("%w: have %d, got %d", ErrApplyStale, cur, mk.Seq)
+		return o
+	}
+	if mk.Seq != cur+1 {
+		o.Err = fmt.Errorf("%w: have %d, got %d", ErrApplyGap, cur, mk.Seq)
+		return o
+	}
+	if s.eng != nil {
+		if err := s.eng.NoteUpdate(index); err != nil {
+			o.Err = err
+			return o
+		}
+	}
+	o.Seq, o.Digest = s.log.AppendUpdate(index)
+	return o
+}
+
+// peek returns the analyst's session without creating, materializing or
+// touching it (nil if unknown).
+func (m *Manager) peek(analyst string) *Session {
+	sh, idx := m.shardOf(analyst)
+	m.lockShard(sh, idx)
+	defer sh.mu.Unlock()
+	return sh.sessions[analyst]
+}
+
+// SeqOf returns the analyst's current journal sequence number and
+// whether the session exists, without creating or materializing it.
+func (m *Manager) SeqOf(analyst string) (uint64, bool) {
+	s := m.peek(analyst)
+	if s == nil {
+		return 0, false
+	}
+	return s.log.Seq(), true
+}
+
+// PositionOf returns the analyst's current journal position (seq and
+// transcript digest) and whether the session exists, without creating or
+// materializing it.
+func (m *Manager) PositionOf(analyst string) (uint64, core.Digest, bool) {
+	s := m.peek(analyst)
+	if s == nil {
+		return 0, core.Digest{}, false
+	}
+	seq, d := s.log.Position()
+	return seq, d, true
+}
+
+// Drop removes one session outright — engine AND journal — regardless of
+// TTL (pinned sessions are refused). Replication uses it when a primary
+// restarts an analyst's timeline (a shipped event with sequence number 1
+// for a session this node knows at a higher sequence) and when an
+// operator clears a quarantined session. Reports whether a session was
+// removed.
+func (m *Manager) Drop(analyst string) bool {
+	sh, idx := m.shardOf(analyst)
+	m.lockShard(sh, idx)
+	s := sh.sessions[analyst]
+	sh.mu.Unlock()
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pinned || s.gone {
+		return false
+	}
+	if s.eng != nil {
+		m.dropEngineLocked(s)
+	}
+	s.gone = true
+	m.lockShard(sh, idx)
+	if sh.sessions[analyst] == s {
+		delete(sh.sessions, analyst)
+	}
+	sh.mu.Unlock()
+	m.total.Add(-1)
+	m.obs.ObserveSessionExpired()
+	return true
 }
 
 // Stats is a session-scoped view of the protocol counters plus the
@@ -543,12 +801,17 @@ func (m *Manager) Stats(analyst string) Stats {
 	return st
 }
 
-// Info is one row of the admin session listing.
+// Info is one row of the admin session listing. Seq and Digest name the
+// session's journal position: the last applied sequence number and the
+// transcript digest after it — comparable across primary and replicas to
+// spot lag or divergence at a glance.
 type Info struct {
 	Analyst   string  `json:"analyst"`
 	Live      bool    `json:"live"`
 	Pinned    bool    `json:"pinned"`
 	LogEvents int     `json:"log_events"`
+	Seq       uint64  `json:"seq"`
+	Digest    string  `json:"digest,omitempty"`
 	Answered  int     `json:"answered"`
 	Denied    int     `json:"denied"`
 	IdleSecs  float64 `json:"idle_seconds"`
@@ -563,11 +826,14 @@ func (m *Manager) Sessions() []Info {
 		m.lockShard(sh, idx)
 		for _, s := range sh.sessions {
 			a, d := s.log.Tallies()
+			seq, dig := s.log.Position()
 			out = append(out, Info{
 				Analyst:   s.analyst,
 				Live:      s.liveFlag.Load(),
 				Pinned:    s.pinned,
 				LogEvents: s.log.Len(),
+				Seq:       seq,
+				Digest:    dig.Hex(),
 				Answered:  a,
 				Denied:    d,
 				IdleSecs:  now.Sub(time.Unix(0, s.lastTouch.Load())).Seconds(),
@@ -583,7 +849,21 @@ func (m *Manager) Sessions() []Info {
 // persistence. Pinned adopted sessions are included: their journal is
 // valid even though this process adopted their engine, and a restoring
 // process WITH a spec can replay it.
+//
+// The dataset lock is held shared across the WHOLE export, so a
+// concurrent Update (which appends a marker to every journal under the
+// exclusive lock) can never be captured half-applied — some sessions
+// with the marker, others without. Replication's snapshot-then-stream
+// handoff depends on that atomicity: a torn capture would make the
+// update record partially stale for a restoring follower.
 func (m *Manager) LogSnapshots() []LogSnapshot {
+	m.dsMu.RLock()
+	defer m.dsMu.RUnlock()
+	return m.logSnapshotsLocked()
+}
+
+// logSnapshotsLocked is the body of LogSnapshots; callers hold dsMu.
+func (m *Manager) logSnapshotsLocked() []LogSnapshot {
 	var out []LogSnapshot
 	for idx, sh := range m.shards {
 		m.lockShard(sh, idx)
@@ -594,6 +874,27 @@ func (m *Manager) LogSnapshots() []LogSnapshot {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Analyst < out[j].Analyst })
 	return out
+}
+
+// ReplicaSnapshot captures every session journal AND the dataset's
+// mutable half in one consistent cut under the shared dataset lock: no
+// update can land between the two, so a follower seeded from the pair
+// sees values exactly as of the journals' positions.
+func (m *Manager) ReplicaSnapshot() ([]LogSnapshot, dataset.SensitiveState) {
+	m.dsMu.RLock()
+	defer m.dsMu.RUnlock()
+	return m.logSnapshotsLocked(), m.ds.SensitiveState()
+}
+
+// RestoreSensitiveState overwrites the shared dataset's mutable half
+// under the exclusive dataset lock — the follower-resync counterpart of
+// ReplicaSnapshot. Live engines' auditors are NOT notified: callers
+// restore journals (whose update markers carry the notifications) in the
+// same resync.
+func (m *Manager) RestoreSensitiveState(st dataset.SensitiveState) error {
+	m.dsMu.Lock()
+	defer m.dsMu.Unlock()
+	return m.ds.RestoreSensitive(st)
 }
 
 // Restore loads persisted session journals and replays each into a
@@ -621,6 +922,7 @@ func (m *Manager) Restore(snaps []LogSnapshot) error {
 		}
 		// Swap in the restored journal and rebuild from it.
 		m.dropEngineLocked(s)
+		m.wireLog(snap.Analyst, lg)
 		s.log = lg
 		err = m.materializeLocked(s)
 		s.mu.Unlock()
