@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet ci bench cover replication-smoke
+.PHONY: build test race vet lint ci bench cover replication-smoke
 
 build:
 	$(GO) build ./...
@@ -12,13 +12,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Static analysis: go vet plus auditlint, the repo's custom stdlib-only
+# analyzer suite (cmd/auditlint, docs/LINTING.md) enforcing the
+# determinism, locking and persistence invariants the replay/replication
+# layers depend on.
+lint: vet
+	$(GO) run ./cmd/auditlint ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-ci: build vet race
+ci: build lint race
 
 # End-to-end failover drill across real OS processes: build the binary,
 # run a primary and a streaming replica, push 50 queries, diff the

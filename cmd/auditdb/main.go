@@ -103,6 +103,7 @@ func main() {
 
 	var rec *trace.Recorder
 	if *record != "" {
+		//auditlint:allow atomicwrite append-only live trace stream; whole-file atomic rewrite does not apply
 		f, err := os.OpenFile(*record, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,92 @@
+// Command auditlint runs the repo's custom static-analysis suite (see
+// internal/lint and docs/LINTING.md) over the module:
+//
+//	go run ./cmd/auditlint ./...
+//
+// It prints one diagnostic per finding as file:line:col: [analyzer]
+// message (fix: hint) and exits 1 if anything unsuppressed was found, 2
+// on load/usage errors, 0 on a clean tree. Findings are suppressed only
+// by an explicit //auditlint:allow <analyzer> <reason> comment.
+//
+// The tool is built purely on the Go standard library (go/parser,
+// go/ast, go/types, export data served by `go list -export`).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"queryaudit/internal/lint"
+)
+
+func main() {
+	var (
+		listOnly = flag.Bool("list", false, "list analyzers and exit")
+		jsonOut  = flag.Bool("json", false, "emit findings as JSON")
+		only     = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+		chdir    = flag.String("C", ".", "directory to resolve packages from")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: auditlint [flags] [packages]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.DefaultAnalyzers()
+	if *listOnly {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "auditlint: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := lint.LoadPackages(*chdir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "auditlint:", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(prog, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "auditlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "auditlint: %d finding(s) across %d package(s)\n", len(findings), len(prog.Pkgs))
+		}
+		os.Exit(1)
+	}
+}

@@ -227,7 +227,7 @@ func (a *Auditor) Record(q query.Query, answer float64) {
 		panic(fmt.Sprintf("boolrange: recording invalid query: %v", err))
 	}
 	c := int(answer)
-	if float64(c) != answer || c < 0 || c > j-i+1 {
+	if float64(c) != answer || c < 0 || c > j-i+1 { //auditlint:allow floateq integrality check: boolean range counts are exact small integers
 		panic(fmt.Sprintf("boolrange: impossible count %g for range [%d,%d]", answer, i, j))
 	}
 	a.edges = append(a.edges,

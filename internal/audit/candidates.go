@@ -30,7 +30,7 @@ func CandidateAnswers(values []float64, avoid map[float64]bool) []float64 {
 	// Dedup.
 	uniq := sorted[:0]
 	for i, v := range sorted {
-		if i == 0 || v != sorted[i-1] {
+		if i == 0 || v != sorted[i-1] { //auditlint:allow floateq dedup of sorted copies; only bit-identical values may collapse
 			uniq = append(uniq, v)
 		}
 	}

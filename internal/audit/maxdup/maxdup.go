@@ -97,7 +97,7 @@ func (a *Auditor) Decide(q query.Query) (audit.Decision, error) {
 	overlap := make(map[int]int)
 	for _, j := range q.Set {
 		for _, k := range a.byElem[j] {
-			if a.mu[j] == a.queries[k].ans {
+			if a.mu[j] == a.queries[k].ans { //auditlint:allow floateq answers are copied dataset values; equality-with-mu is exact set membership, not arithmetic
 				overlap[k]++
 			}
 		}
@@ -135,7 +135,7 @@ func (a *Auditor) Record(q query.Query, ans float64) {
 		if a.mu[j] > ans {
 			// j leaves the extreme set of every query it was extreme in.
 			for _, k := range a.byElem[j] {
-				if a.queries[k].ans == a.mu[j] {
+				if a.queries[k].ans == a.mu[j] { //auditlint:allow floateq answers are copied dataset values; equality-with-mu is exact set membership, not arithmetic
 					a.queries[k].extremeCount--
 				}
 			}
@@ -145,7 +145,7 @@ func (a *Auditor) Record(q query.Query, ans float64) {
 	idx := len(a.queries)
 	ext := 0
 	for _, j := range q.Set {
-		if a.mu[j] == ans {
+		if a.mu[j] == ans { //auditlint:allow floateq answers are copied dataset values; equality-with-mu is exact set membership, not arithmetic
 			ext++
 		}
 		a.byElem[j] = append(a.byElem[j], idx)
@@ -172,7 +172,7 @@ func (a *Auditor) CheckInvariants() error {
 	for k, qk := range a.queries {
 		ext := 0
 		for _, j := range qk.set {
-			if a.mu[j] == qk.ans {
+			if a.mu[j] == qk.ans { //auditlint:allow floateq answers are copied dataset values; equality-with-mu is exact set membership, not arithmetic
 				ext++
 			}
 			if a.mu[j] > qk.ans {
@@ -240,7 +240,7 @@ func (a *Auditor) Knowledge() []audit.ElementKnowledge {
 	for _, q := range a.queries {
 		if q.extremeCount == 1 {
 			for _, j := range q.set {
-				if a.mu[j] == q.ans {
+				if a.mu[j] == q.ans { //auditlint:allow floateq answers are copied dataset values; equality-with-mu is exact set membership, not arithmetic
 					lone[j] = true
 				}
 			}

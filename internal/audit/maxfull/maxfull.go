@@ -16,6 +16,7 @@ package maxfull
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"queryaudit/internal/audit"
 	"queryaudit/internal/query"
@@ -51,15 +52,14 @@ func (a *Auditor) Synopsis() *synopsis.Max { return a.syn.Clone() }
 // leave its interval unexamined (see audit.CandidateAnswers). At least
 // one candidate is always returned.
 func (a *Auditor) Candidates(q query.Set) []float64 {
-	vals := make(map[float64]bool)
+	// CandidateAnswers sorts and dedups, so duplicates are fine here —
+	// and collecting into a slice (rather than a dedup map iterated in
+	// random order) keeps the candidate stream deterministic.
+	values := make([]float64, 0, len(q))
 	for _, i := range q {
 		if p, ok := a.syn.PredOf(i); ok {
-			vals[p.Value] = true
+			values = append(values, p.Value)
 		}
-	}
-	values := make([]float64, 0, len(vals))
-	for v := range vals {
-		values = append(values, v)
 	}
 	return audit.CandidateAnswers(values, a.syn.EqValues())
 }
@@ -139,9 +139,11 @@ func (a *Auditor) decideFast(q query.Set) audit.Decision {
 		t.cnt++
 	}
 	touches := make([]*touching, 0, len(byPred))
+	//auditlint:allow detrand sorted by predicate ID below
 	for _, t := range byPred {
 		touches = append(touches, t)
 	}
+	sort.Slice(touches, func(i, j int) bool { return touches[i].pred.ID < touches[j].pred.ID })
 	anyConsistent := false
 	for _, cand := range a.Candidates(q) {
 		consistent, compromised := evalCandidate(a.syn, cand, touches, free)
@@ -191,6 +193,7 @@ func evalCandidate(syn *synopsis.Max, a float64, touches []*touching, free int) 
 				if len(p.Set)-t.cnt == 1 {
 					shrinkSingleton = true
 				}
+			//auditlint:allow floateq candidates are copied predicate values; equality selects the owning predicate exactly
 			case p.Value == a:
 				// merge handled below; members count as witnesses
 			}

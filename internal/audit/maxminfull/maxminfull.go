@@ -53,18 +53,17 @@ func (a *Auditor) Synopsis() *synopsis.MaxMin { return a.syn.Clone() }
 // avoiding every equality value in the synopsis (audit.CandidateAnswers
 // explains why a collision would be a privacy hole).
 func (a *Auditor) Candidates(q query.Set) []float64 {
-	vals := make(map[float64]bool)
+	// CandidateAnswers sorts and dedups, so duplicates are fine here —
+	// and collecting into a slice (rather than a dedup map iterated in
+	// random order) keeps the candidate stream deterministic.
+	values := make([]float64, 0, 2*len(q))
 	for _, i := range q {
 		if p, ok := a.syn.MaxPredOf(i); ok {
-			vals[p.Value] = true
+			values = append(values, p.Value)
 		}
 		if p, ok := a.syn.MinPredOf(i); ok {
-			vals[p.Value] = true
+			values = append(values, p.Value)
 		}
-	}
-	values := make([]float64, 0, len(vals))
-	for v := range vals {
-		values = append(values, v)
 	}
 	return audit.CandidateAnswers(values, a.syn.EqValues())
 }

@@ -169,18 +169,18 @@ func (a *Auditor) Synopsis() *synopsis.MaxMin { return a.syn.Clone() }
 // intervals they delimit (collision-avoiding — see
 // audit.CandidateAnswers), clipped to the data range.
 func (a *Auditor) candidates(q query.Set) []float64 {
-	vals := map[float64]bool{0: true, 1: true}
+	// CandidateAnswers sorts and dedups, so duplicates are fine here —
+	// and collecting into a slice (rather than a dedup map iterated in
+	// random order) keeps the candidate stream deterministic.
+	values := make([]float64, 0, 2*len(q)+2)
+	values = append(values, 0, 1)
 	for _, i := range q {
 		if p, ok := a.syn.MaxPredOf(i); ok {
-			vals[p.Value] = true
+			values = append(values, p.Value)
 		}
 		if p, ok := a.syn.MinPredOf(i); ok {
-			vals[p.Value] = true
+			values = append(values, p.Value)
 		}
-	}
-	values := make([]float64, 0, len(vals))
-	for v := range vals {
-		values = append(values, v)
 	}
 	all := audit.CandidateAnswers(values, a.syn.EqValues())
 	out := all[:0]
@@ -309,6 +309,7 @@ func (a *Auditor) safeState(b *synopsis.MaxMin, rng *rand.Rand) (bool, error) {
 			cell := a.part.Cell(j)
 			post := free * iv.OverlapFraction(cell)
 			for _, m := range witMass[i] {
+				//auditlint:allow floateq final partition cell is closed at beta; the exact-endpoint test mirrors interval.CellIndex
 				if m.value >= cell.Lo && (m.value < cell.Hi || (j == a.params.Gamma && m.value == cell.Hi)) {
 					post += m.p
 				}

@@ -62,7 +62,7 @@ func newPolytope(all [][]float64, b []float64, n int, rng *rand.Rand) (*polytope
 				continue
 			}
 			f := cand[pv] / w[pv]
-			if f != 0 {
+			if f != 0 { //auditlint:allow floateq skip-zero fast path; any nonzero factor must be applied exactly
 				for j := range cand {
 					cand[j] -= f * w[j]
 				}
@@ -125,7 +125,7 @@ func (p *polytope) buildNullBasis(work [][]float64) {
 		row := append([]float64(nil), w...)
 		for _, r := range red {
 			f := row[r.col] / r.row[r.col]
-			if f != 0 {
+			if f != 0 { //auditlint:allow floateq skip-zero fast path; any nonzero factor must be applied exactly
 				for j := range row {
 					row[j] -= f * r.row[j]
 				}
@@ -141,7 +141,7 @@ func (p *polytope) buildNullBasis(work [][]float64) {
 	for i := len(red) - 1; i >= 0; i-- {
 		for k := 0; k < i; k++ {
 			f := red[k].row[red[i].col] / red[i].row[red[i].col]
-			if f != 0 {
+			if f != 0 { //auditlint:allow floateq skip-zero fast path; any nonzero factor must be applied exactly
 				for j := range red[k].row {
 					red[k].row[j] -= f * red[i].row[j]
 				}

@@ -319,7 +319,9 @@ func ExactWitnessProbs(g *Graph, limit int) (probs [][]float64, ok bool) {
 
 // Sampler runs the paper's Markov chain over valid colorings.
 type Sampler struct {
-	g   *Graph
+	g *Graph
+	// rng is bound at construction/Reset time by the owning worker.
+	//auditlint:allow rngshare sampler is per-worker scratch; mcpar derives a fresh stream per worker per decision
 	rng *rand.Rand
 	c   []int
 	// steps counts chain steps taken (diagnostics).

@@ -72,15 +72,15 @@ type Engine struct {
 	// Decide/Record pairs must not interleave across requests.
 	mu       sync.Mutex
 	ds       *dataset.Dataset
-	auditors map[query.Kind]audit.Auditor
-	naive    map[query.Kind]audit.AnswerDependent
-	obs      Observer
+	auditors map[query.Kind]audit.Auditor         // auditlint:guardedby(mu)
+	naive    map[query.Kind]audit.AnswerDependent // auditlint:guardedby(mu)
+	obs      Observer                             // auditlint:guardedby(mu)
 	// rec journals committed protocol steps for session replay (see
 	// replay.go); nil disables journaling.
-	rec Recorder
+	rec Recorder // auditlint:guardedby(mu)
 	// stats
-	answered int
-	denied   int
+	answered int // auditlint:guardedby(mu)
+	denied   int // auditlint:guardedby(mu)
 }
 
 // Observer receives engine protocol events for instrumentation. The
@@ -170,7 +170,7 @@ type MCTunable interface {
 func (e *Engine) SetMCWorkers(n int) int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.forEachMCTunable(func(t MCTunable) { t.SetWorkers(n) })
+	return e.forEachMCTunableLocked(func(t MCTunable) { t.SetWorkers(n) })
 }
 
 // SetMCObserver installs the Monte Carlo accounting observer on every
@@ -178,12 +178,12 @@ func (e *Engine) SetMCWorkers(n int) int {
 func (e *Engine) SetMCObserver(o mcpar.Observer) int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.forEachMCTunable(func(t MCTunable) { t.SetMCObserver(o) })
+	return e.forEachMCTunableLocked(func(t MCTunable) { t.SetMCObserver(o) })
 }
 
-// forEachMCTunable applies f once per distinct MC-tunable auditor;
+// forEachMCTunableLocked applies f once per distinct MC-tunable auditor;
 // callers hold mu.
-func (e *Engine) forEachMCTunable(f func(MCTunable)) int {
+func (e *Engine) forEachMCTunableLocked(f func(MCTunable)) int {
 	seen := map[audit.Auditor]bool{}
 	reached := 0
 	for _, a := range e.auditors {
@@ -270,22 +270,22 @@ func (e *Engine) KnowledgeSnapshot() map[string][]audit.ElementKnowledge {
 func (e *Engine) Ask(q query.Query) (Response, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.askObserved(q)
+	return e.askObservedLocked(q)
 }
 
-// askObserved wraps ask with the instrumentation hook; it reports only
+// askObservedLocked wraps askLocked with the instrumentation hook; it reports only
 // top-level queries (the Avg→Sum recursion inside ask stays one event).
-func (e *Engine) askObserved(q query.Query) (Response, error) {
+func (e *Engine) askObservedLocked(q query.Query) (Response, error) {
 	start := time.Now()
-	resp, err := e.ask(q)
+	resp, err := e.askLocked(q)
 	if e.obs != nil && err == nil {
 		e.obs.ObserveDecision(q.Kind, resp.Denied, time.Since(start))
 	}
 	return resp, err
 }
 
-// ask is the lock-free core of Ask (Avg recursion stays under one lock).
-func (e *Engine) ask(q query.Query) (Response, error) {
+// askLocked is the core of Ask; callers hold mu (Avg recursion stays under one lock).
+func (e *Engine) askLocked(q query.Query) (Response, error) {
 	if len(q.Set) == 0 {
 		return Response{Denied: true}, errors.New("core: empty query set")
 	}
@@ -299,12 +299,12 @@ func (e *Engine) ask(q query.Query) (Response, error) {
 		// Query sets are defined by public attributes; counts carry no
 		// information about the sensitive attribute.
 		e.answered++
-		e.record(q, OutcomeAnswered, float64(len(q.Set)))
+		e.recordLocked(q, OutcomeAnswered, float64(len(q.Set)))
 		return Response{Answer: float64(len(q.Set))}, nil
 	case query.Avg:
 		// avg = sum/|Q| with |Q| public: audit as the equivalent sum.
 		sumQ := query.Query{Set: q.Set, Kind: query.Sum}
-		resp, err := e.ask(sumQ)
+		resp, err := e.askLocked(sumQ)
 		if err != nil || resp.Denied {
 			return resp, err
 		}
@@ -318,35 +318,35 @@ func (e *Engine) ask(q query.Query) (Response, error) {
 			// Decide may still have advanced auditor-internal state (the
 			// probabilistic auditors' per-decision seed counter), and
 			// replay must retrace it.
-			e.record(q, OutcomeErrored, 0)
+			e.recordLocked(q, OutcomeErrored, 0)
 			return Response{Denied: true}, err
 		}
 		if d == audit.Deny {
 			e.denied++
-			e.record(q, OutcomeDenied, 0)
+			e.recordLocked(q, OutcomeDenied, 0)
 			return Response{Denied: true}, nil
 		}
 		ans := e.ds.Eval(q)
 		a.Record(q, ans)
 		e.answered++
-		e.record(q, OutcomeAnswered, ans)
+		e.recordLocked(q, OutcomeAnswered, ans)
 		return Response{Answer: ans}, nil
 	}
 	if a, ok := e.naive[q.Kind]; ok {
 		ans := e.ds.Eval(q) // deliberately unsafe: answer computed first
 		d, err := a.DecideWithAnswer(q, ans)
 		if err != nil {
-			e.record(q, OutcomeErrored, 0)
+			e.recordLocked(q, OutcomeErrored, 0)
 			return Response{Denied: true}, err
 		}
 		if d == audit.Deny {
 			e.denied++
-			e.record(q, OutcomeDenied, 0)
+			e.recordLocked(q, OutcomeDenied, 0)
 			return Response{Denied: true}, nil
 		}
 		a.Record(q, ans)
 		e.answered++
-		e.record(q, OutcomeAnswered, ans)
+		e.recordLocked(q, OutcomeAnswered, ans)
 		return Response{Answer: ans}, nil
 	}
 	return Response{Denied: true}, ErrNoAuditor
@@ -372,7 +372,7 @@ func (e *Engine) Prime(qs []query.Query) error {
 	var err error
 	for _, q := range qs {
 		var resp Response
-		resp, err = e.askObserved(q)
+		resp, err = e.askObservedLocked(q)
 		if err != nil {
 			err = fmt.Errorf("core: priming %v: %w", q, err)
 			break
@@ -412,5 +412,5 @@ func (e *Engine) Update(i int, v float64) error {
 		}
 	}
 	e.ds.SetSensitive(i, v)
-	return e.noteUpdate(i)
+	return e.noteUpdateLocked(i)
 }

@@ -92,8 +92,8 @@ func (e *Engine) SetRecorder(r Recorder) {
 	e.rec = r
 }
 
-// record forwards one committed event to the recorder; callers hold mu.
-func (e *Engine) record(q query.Query, o Outcome, ans float64) {
+// recordLocked forwards one committed event to the recorder; callers hold mu.
+func (e *Engine) recordLocked(q query.Query, o Outcome, ans float64) {
 	if e.rec != nil {
 		e.rec.RecordDecision(DecisionEvent{Query: q, Outcome: o, Answer: ans})
 	}
@@ -200,11 +200,11 @@ func (e *Engine) NoteUpdate(i int) error {
 	if i < 0 || i >= e.ds.N() {
 		return fmt.Errorf("core: index %d out of range", i)
 	}
-	return e.noteUpdate(i)
+	return e.noteUpdateLocked(i)
 }
 
-// noteUpdate is the lock-held core of NoteUpdate, shared with Update.
-func (e *Engine) noteUpdate(i int) error {
+// noteUpdateLocked is the lock-held core of NoteUpdate, shared with Update.
+func (e *Engine) noteUpdateLocked(i int) error {
 	seen := map[audit.Auditor]bool{}
 	for _, a := range e.auditors {
 		if seen[a] {

@@ -46,7 +46,7 @@ func (iv Interval) Intersect(other Interval) Interval {
 // value uniform on iv lands in other. Degenerate iv yields 0.
 func (iv Interval) OverlapFraction(other Interval) float64 {
 	l := iv.Length()
-	if l == 0 {
+	if l == 0 { //auditlint:allow floateq Length returns exact 0 for degenerate intervals; this is a sentinel, not arithmetic
 		return 0
 	}
 	return iv.Intersect(other).Length() / l
@@ -102,7 +102,7 @@ func (p Partition) CellIndex(x float64) int {
 	if x < p.Alpha || x > p.Beta {
 		return 0
 	}
-	if x == p.Beta {
+	if x == p.Beta { //auditlint:allow floateq the closed upper endpoint is clamped by exact comparison per the Section 2.2 partition
 		return p.Gamma
 	}
 	j := int((x-p.Alpha)/p.Width()) + 1
@@ -135,8 +135,8 @@ func (w RatioWindow) Safe(ratio float64) bool {
 // prior, treating a zero prior as safe only when the posterior is also
 // zero (both say "impossible", so the attacker learns nothing).
 func (w RatioWindow) SafePosterior(posterior, prior float64) bool {
-	if prior == 0 {
-		return posterior == 0
+	if prior == 0 { //auditlint:allow floateq zero prior is an exact sentinel: both sides say impossible
+		return posterior == 0 //auditlint:allow floateq zero posterior matches the zero-prior sentinel exactly
 	}
 	return w.Safe(posterior / prior)
 }

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AtomicWrite returns the persistence analyzer: outside the packages in
+// exempt (the persistence layer itself), code may not call the raw file
+// mutation primitives — os.WriteFile, os.Create, os.Rename, or
+// os.OpenFile with a writing flag. Snapshots and journals must go
+// through persist.WriteAtomic (temp file + fsync + rename) so a crash
+// mid-write can never leave a torn snapshot for restore/replay to trip
+// over. A torn snapshot is indistinguishable from divergence to the
+// replication layer, so this invariant protects the digest chain too.
+func AtomicWrite(exempt []string) *Analyzer {
+	return &Analyzer{
+		Name: "atomicwrite",
+		Doc:  "file writes outside the persistence layer must use persist.WriteAtomic",
+		Run: func(prog *Program) []Finding {
+			var out []Finding
+			for _, pkg := range prog.Pkgs {
+				if pathMatches(pkg.Path, exempt) {
+					continue
+				}
+				for _, file := range pkg.Files {
+					ast.Inspect(file, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						name, bad := rawWriteCall(prog, call)
+						if !bad {
+							return true
+						}
+						out = append(out, Finding{
+							Analyzer: "atomicwrite",
+							Pos:      prog.Fset.Position(call.Pos()),
+							Message:  "raw os." + name + " outside internal/persist",
+							Hint:     "route the write through persist.WriteAtomic so a crash cannot leave a torn file",
+						})
+						return true
+					})
+				}
+			}
+			return out
+		},
+	}
+}
+
+// rawWriteCall reports whether call is one of the raw mutation
+// primitives. os.OpenFile only counts when its flag argument's source
+// mentions a writing mode — read-only opens are fine.
+func rawWriteCall(prog *Program, call *ast.CallExpr) (string, bool) {
+	for _, name := range []string{"WriteFile", "Create", "Rename"} {
+		if stdCall(prog.Info, call, "os", name) {
+			return name, true
+		}
+	}
+	if stdCall(prog.Info, call, "os", "OpenFile") && len(call.Args) >= 2 {
+		flags := exprString(call.Args[1])
+		for _, w := range []string{"O_WRONLY", "O_RDWR", "O_CREATE", "O_APPEND", "O_TRUNC"} {
+			if strings.Contains(flags, w) {
+				return "OpenFile", true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Annotation grammar (see docs/LINTING.md):
+//
+//	//auditlint:allow <analyzer> <reason...>   suppress findings on this
+//	                                           line or the next one
+//	// auditlint:guardedby(<mutex>)            on a struct field: accesses
+//	                                           require <mutex> held
+//	// auditlint:acquires(<mutex>)             on a func: calling it locks
+//	                                           <mutex> of its argument or
+//	                                           result
+//
+// The space after // is optional in all three forms.
+
+const directivePrefix = "auditlint:"
+
+// directive strips a comment down to its auditlint payload, e.g.
+// "allow floateq exact sentinel" or "guardedby(mu)". Returns "" for
+// ordinary comments.
+func directive(text string) string {
+	s := strings.TrimPrefix(text, "//")
+	s = strings.TrimPrefix(s, "/*")
+	s = strings.TrimSuffix(s, "*/")
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, directivePrefix) {
+		return ""
+	}
+	return strings.TrimSpace(strings.TrimPrefix(s, directivePrefix))
+}
+
+var parenDirectiveRE = regexp.MustCompile(`^(\w+)\(([A-Za-z_][A-Za-z0-9_]*)\)$`)
+
+// parenDirective matches "name(arg)" directives (guardedby, acquires).
+func parenDirective(text, name string) (arg string, ok bool) {
+	d := directive(text)
+	if d == "" {
+		return "", false
+	}
+	m := parenDirectiveRE.FindStringSubmatch(d)
+	if m == nil || m[1] != name {
+		return "", false
+	}
+	return m[2], true
+}
+
+// allowSet maps file -> line -> analyzer names allowed on that line.
+type allowSet map[string]map[int][]string
+
+// suppressed reports whether an allow for analyzer covers pos: the allow
+// comment may sit on the finding's line (trailing) or the line above.
+func (s allowSet) suppressed(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[l] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectAllows gathers every //auditlint:allow comment in the program.
+// Malformed allows (missing analyzer name or reason) come back as
+// findings so the grammar stays enforced: a suppression must say what it
+// suppresses and why.
+func collectAllows(prog *Program) (allowSet, []Finding) {
+	set := allowSet{}
+	var bad []Finding
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					d := directive(c.Text)
+					if d == "" || !strings.HasPrefix(d, "allow") {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					fields := strings.Fields(d)
+					// fields[0] == "allow" or "allow<garbage>"
+					if fields[0] != "allow" || len(fields) < 3 {
+						bad = append(bad, Finding{
+							Analyzer: "auditlint",
+							Pos:      pos,
+							Message:  "malformed //auditlint:allow comment: " + c.Text,
+							Hint:     "use //auditlint:allow <analyzer> <reason>",
+						})
+						continue
+					}
+					lines := set[pos.Filename]
+					if lines == nil {
+						lines = map[int][]string{}
+						set[pos.Filename] = lines
+					}
+					lines[pos.Line] = append(lines[pos.Line], fields[1])
+				}
+			}
+		}
+	}
+	return set, bad
+}

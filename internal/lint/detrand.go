@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalRandFuncs are the math/rand package-level functions backed by the
+// shared global source. Constructors (New, NewSource, NewZipf) are fine:
+// they produce or consume explicit seeded state.
+var globalRandFuncs = map[string]bool{
+	"Seed": true, "Int": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Intn": true, "Uint32": true,
+	"Uint64": true, "Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true, "Perm": true,
+	"Shuffle": true, "Read": true,
+}
+
+// wallClockFuncs are the time package functions that read the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+// Detrand returns the determinism analyzer for decision-path packages
+// (those whose import path starts with one of paths): auditor decisions
+// must be bit-identical under replay (§2.2), so decision code may not
+// read the wall clock, draw from the global math/rand source, or emit
+// output ordered by map iteration. Seeded *rand.Rand / randx streams
+// threaded through the call are the sanctioned randomness.
+//
+// The map-iteration check is a heuristic: a `range` over a map is
+// flagged only when its body visibly builds ordered output (append, a
+// fmt print, or a channel send). Order-insensitive folds (sums, max,
+// counting) pass.
+func Detrand(paths []string) *Analyzer {
+	return &Analyzer{
+		Name: "detrand",
+		Doc:  "no wall-clock, global math/rand, or map-ordered output in decision paths",
+		Run: func(prog *Program) []Finding {
+			var out []Finding
+			for _, pkg := range prog.Pkgs {
+				if !pathMatches(pkg.Path, paths) {
+					continue
+				}
+				for _, file := range pkg.Files {
+					ast.Inspect(file, func(n ast.Node) bool {
+						switch n := n.(type) {
+						case *ast.CallExpr:
+							out = append(out, checkDetrandCall(prog, n)...)
+						case *ast.RangeStmt:
+							out = append(out, checkMapRange(prog, n)...)
+						}
+						return true
+					})
+				}
+			}
+			return out
+		},
+	}
+}
+
+func checkDetrandCall(prog *Program, call *ast.CallExpr) []Finding {
+	fn := calleeFunc(prog.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	pos := prog.Fset.Position(call.Pos())
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			return []Finding{{
+				Analyzer: "detrand",
+				Pos:      pos,
+				Message:  "wall-clock read time." + fn.Name() + " in a decision path",
+				Hint:     "decision logic must not depend on real time; hoist timing to the caller or metrics layer",
+			}}
+		}
+	case "math/rand":
+		if globalRandFuncs[fn.Name()] {
+			return []Finding{{
+				Analyzer: "detrand",
+				Pos:      pos,
+				Message:  "global math/rand." + fn.Name() + " in a decision path",
+				Hint:     "thread a seeded *rand.Rand (randx.Stream) through the call instead of the process-global source",
+			}}
+		}
+	}
+	return nil
+}
+
+// checkMapRange flags `for k := range m` over a map whose body builds
+// ordered output: the iteration order is randomized per run, so whatever
+// is appended, printed or sent inherits that nondeterminism.
+func checkMapRange(prog *Program, rng *ast.RangeStmt) []Finding {
+	tv, ok := prog.Info.Types[rng.X]
+	if !ok {
+		return nil
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	ordered := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			ordered = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := prog.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					ordered = true
+				}
+			}
+			if fn := calleeFunc(prog.Info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				ordered = true
+			}
+		}
+		return !ordered
+	})
+	if !ordered {
+		return nil
+	}
+	return []Finding{{
+		Analyzer: "detrand",
+		Pos:      prog.Fset.Position(rng.Pos()),
+		Message:  "map iteration feeds ordered output (append/print/send) in a decision path",
+		Hint:     "collect and sort the keys first, or use a slice-backed structure",
+	}}
+}

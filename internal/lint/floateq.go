@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq returns the float-equality analyzer for the probability and
+// bound arithmetic packages (import-path prefixes in paths): `==` / `!=`
+// between floating-point operands is flagged. Probabilities and bounds
+// accumulate rounding error, so exact comparison is almost always a bug;
+// the sanctioned forms are an epsilon comparison, or exact arithmetic
+// via internal/field / math/big.Rat. Comparisons that are exact by
+// construction (values copied, never recomputed — e.g. the max-auditor's
+// μ bookkeeping) document that with //auditlint:allow floateq <reason>.
+//
+// Constant-folded comparisons (both operands untyped constants) are the
+// compiler's business and are skipped.
+func FloatEq(paths []string) *Analyzer {
+	return &Analyzer{
+		Name: "floateq",
+		Doc:  "no ==/!= on floating-point operands in probability/bound packages",
+		Run: func(prog *Program) []Finding {
+			var out []Finding
+			for _, pkg := range prog.Pkgs {
+				if !pathMatches(pkg.Path, paths) {
+					continue
+				}
+				for _, file := range pkg.Files {
+					ast.Inspect(file, func(n ast.Node) bool {
+						bin, ok := n.(*ast.BinaryExpr)
+						if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+							return true
+						}
+						xt, xok := prog.Info.Types[bin.X]
+						yt, yok := prog.Info.Types[bin.Y]
+						if !xok || !yok {
+							return true
+						}
+						if xt.Value != nil && yt.Value != nil {
+							return true // constant-folded
+						}
+						if !isFloat(xt.Type) && !isFloat(yt.Type) {
+							return true
+						}
+						out = append(out, Finding{
+							Analyzer: "floateq",
+							Pos:      prog.Fset.Position(bin.OpPos),
+							Message:  "exact " + bin.Op.String() + " on floating-point operands",
+							Hint:     "compare with an epsilon, or use exact field/big.Rat arithmetic; if exact-by-construction, add //auditlint:allow floateq <reason>",
+						})
+						return true
+					})
+				}
+			}
+			return out
+		},
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

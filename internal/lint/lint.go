@@ -1,0 +1,197 @@
+// Package lint implements auditlint, the repo's custom static-analysis
+// suite. The paper's central requirement — auditor decisions must be a
+// deterministic, simulatable function of the decision history (§2.2) —
+// is enforced operationally by replay, digest chains, and replication
+// (PRs 2–4), but those layers are only sound if the code below them
+// keeps a handful of invariants:
+//
+//   - no wall-clock or global-RNG reads in decision paths (detrand)
+//   - no *rand.Rand shared across goroutines (rngshare)
+//   - mutex-guarded engine state accessed only under its lock (lockcheck)
+//   - snapshot/journal writes only via persist.WriteAtomic (atomicwrite)
+//   - no exact float equality in probability/bound logic (floateq)
+//
+// Each analyzer is a purely syntactic+type-based pass over the module,
+// built on go/parser, go/ast and go/types alone — no x/tools — honoring
+// the module's stdlib-only rule. Findings are suppressible only by an
+// explicit
+//
+//	//auditlint:allow <analyzer> <reason>
+//
+// comment on the offending line or the line above it; a bare allow with
+// no reason is itself reported. See docs/LINTING.md for the annotation
+// grammar and how to add an analyzer.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic: where, which analyzer, what, and how to fix.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	Hint     string
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+	if f.Hint != "" {
+		s += " (fix: " + f.Hint + ")"
+	}
+	return s
+}
+
+// Package is one type-checked package of the program under analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Files []*ast.File
+	Pkg   *types.Package
+}
+
+// Program is the unit analyzers run over: every loaded package sharing
+// one FileSet and one merged types.Info, so objects resolved in one
+// package are identical to the same objects seen from a dependent one.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+	Info *types.Info
+}
+
+// Analyzer is one named pass. Run sees the whole program so passes like
+// lockcheck can collect annotations in one package and check accesses in
+// another.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(prog *Program) []Finding
+}
+
+// Run applies the analyzers, drops findings suppressed by well-formed
+// //auditlint:allow comments, reports malformed allow comments, and
+// returns the remainder sorted by position.
+func Run(prog *Program, analyzers []*Analyzer) []Finding {
+	allows, bad := collectAllows(prog)
+	out := append([]Finding(nil), bad...)
+	for _, a := range analyzers {
+		for _, f := range a.Run(prog) {
+			if allows.suppressed(a.Name, f.Pos) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	// Dedup identical diagnostics (a file shared by two load patterns).
+	dedup := out[:0]
+	for i, f := range out {
+		if i > 0 && f == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, f)
+	}
+	return dedup
+}
+
+// pathMatches reports whether importPath is pkg or a subpackage of any
+// prefix in prefixes. Empty prefixes matches everything.
+func pathMatches(importPath string, prefixes []string) bool {
+	if len(prefixes) == 0 {
+		return true
+	}
+	for _, p := range prefixes {
+		if importPath == p || strings.HasPrefix(importPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// exprString renders a (small) expression for use in diagnostics and for
+// matching lock bases textually: `c.s`, `sh`, `m`.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(…)"
+	case *ast.BinaryExpr:
+		return exprString(e.X) + e.Op.String() + exprString(e.Y)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// calleeFunc resolves a call to the *types.Func it invokes (package-level
+// function or method), or nil for builtins, conversions and fun values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// stdCall reports whether call invokes <pkgPath>.<name> (a package-level
+// function, not a method).
+func stdCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// isRandRand reports whether t is *math/rand.Rand.
+func isRandRand(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "math/rand" && obj.Name() == "Rand"
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RNGShare returns the shared-RNG analyzer. *math/rand.Rand is not safe
+// for concurrent use, and — worse for this codebase — sharing one across
+// goroutines makes the draw sequence depend on the scheduler, which
+// destroys bit-identical replay (the exact hazard class removed in the
+// Monte Carlo engine rewrite). Two patterns are flagged:
+//
+//   - a `go func() { ... }` literal that captures a *rand.Rand declared
+//     outside it: every capture is a share, since the spawner keeps a
+//     reference too. Handing a Rand to a goroutine as a call argument of
+//     the go statement is NOT flagged — that reads as ownership transfer.
+//
+//   - a struct field of type *rand.Rand: structs travel, and a Rand
+//     riding inside one can silently cross a goroutine boundary. Types
+//     that are genuinely confined to one worker (e.g. a per-worker
+//     sampler) document that with //auditlint:allow rngshare <reason>.
+func RNGShare() *Analyzer {
+	return &Analyzer{
+		Name: "rngshare",
+		Doc:  "no *rand.Rand captured by goroutine closures or smuggled in struct fields",
+		Run: func(prog *Program) []Finding {
+			var out []Finding
+			for _, pkg := range prog.Pkgs {
+				for _, file := range pkg.Files {
+					ast.Inspect(file, func(n ast.Node) bool {
+						switch n := n.(type) {
+						case *ast.GoStmt:
+							if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+								out = append(out, checkGoCapture(prog, lit)...)
+							}
+						case *ast.StructType:
+							out = append(out, checkRandField(prog, n)...)
+						}
+						return true
+					})
+				}
+			}
+			return out
+		},
+	}
+}
+
+// checkGoCapture reports free *rand.Rand variables used inside a
+// goroutine func literal: variables whose declaration lies outside the
+// literal's body.
+func checkGoCapture(prog *Program, lit *ast.FuncLit) []Finding {
+	var out []Finding
+	seen := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := prog.Info.Uses[id].(*types.Var)
+		if !ok || seen[v] || !isRandRand(v.Type()) {
+			return true
+		}
+		// Declared inside the literal (params included)? Then it's owned.
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		seen[v] = true
+		out = append(out, Finding{
+			Analyzer: "rngshare",
+			Pos:      prog.Fset.Position(id.Pos()),
+			Message:  "goroutine closure captures *rand.Rand " + id.Name + " shared with its spawner",
+			Hint:     "derive a per-goroutine stream (randx.Stream / randx.Split) and pass it as a go-call argument",
+		})
+		return true
+	})
+	return out
+}
+
+func checkRandField(prog *Program, st *ast.StructType) []Finding {
+	var out []Finding
+	for _, field := range st.Fields.List {
+		tv, ok := prog.Info.Types[field.Type]
+		if !ok || !isRandRand(tv.Type) {
+			continue
+		}
+		name := "(embedded)"
+		if len(field.Names) > 0 {
+			name = field.Names[0].Name
+		}
+		out = append(out, Finding{
+			Analyzer: "rngshare",
+			Pos:      prog.Fset.Position(field.Pos()),
+			Message:  "struct field " + name + " holds a *rand.Rand, which must never cross goroutines",
+			Hint:     "pass the rng per call, or keep the struct worker-confined and add //auditlint:allow rngshare <why it never escapes>",
+		})
+	}
+	return out
+}

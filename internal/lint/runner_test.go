@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden harness. Each testdata/src/<analyzer> fixture package
+// carries
+//
+//	// want `regex`
+//
+// comments on the lines expected to produce findings (analysistest's
+// convention, hand-rolled on the stdlib). Fixtures load through LoadDir
+// under a caller-chosen import path, so one file doubles as the hit case
+// (loaded under a path the analyzer scopes to) and the miss case (a
+// neutral path, zero findings expected). The fixtures also embed
+// well-formed //auditlint:allow comments; if suppression broke, those
+// lines would surface as unexpected findings and fail the golden check.
+
+var wantRE = regexp.MustCompile("// want `([^`]*)`")
+
+type wantSpec struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants scans the fixture directory's Go files for want comments.
+func collectWants(t *testing.T, dir string) []wantSpec {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []wantSpec
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, m[1], err)
+			}
+			wants = append(wants, wantSpec{file: path, line: i + 1, re: re})
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("no want comments found in %s", dir)
+	}
+	return wants
+}
+
+func loadFixture(t *testing.T, name, importPath string) *Program {
+	t.Helper()
+	prog, err := LoadDir(filepath.Join("testdata", "src", name), importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s as %s: %v", name, importPath, err)
+	}
+	return prog
+}
+
+// checkGolden runs the analyzers over the fixture and requires a 1:1
+// match between findings and want comments, by file, line and message.
+func checkGolden(t *testing.T, name, importPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	findings := Run(loadFixture(t, name, importPath), analyzers)
+	wants := collectWants(t, dir)
+	matched := make([]bool, len(wants))
+outer:
+	for _, f := range findings {
+		for i, w := range wants {
+			if !matched[i] && f.Pos.Filename == w.file && f.Pos.Line == w.line && w.re.MatchString(f.Message) {
+				matched[i] = true
+				continue outer
+			}
+		}
+		t.Errorf("unexpected finding: %s", f)
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: want a finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// checkClean runs the analyzers over the fixture under an import path
+// they should not scope to and requires zero findings.
+func checkClean(t *testing.T, name, importPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	for _, f := range Run(loadFixture(t, name, importPath), analyzers) {
+		t.Errorf("expected no findings under %s, got: %s", importPath, f)
+	}
+}
+
+func TestDetrandGolden(t *testing.T) {
+	checkGolden(t, "detrand", "queryaudit/internal/audit/lintfixture", Detrand(DecisionPathPrefixes))
+}
+
+func TestDetrandOffDecisionPath(t *testing.T) {
+	checkClean(t, "detrand", "example.com/offpath", Detrand(DecisionPathPrefixes))
+}
+
+func TestRNGShareGolden(t *testing.T) {
+	// rngshare is path-independent: a neutral import path still fires.
+	checkGolden(t, "rngshare", "example.com/anywhere", RNGShare())
+}
+
+func TestFloatEqGolden(t *testing.T) {
+	checkGolden(t, "floateq", "queryaudit/internal/interval/lintfixture", FloatEq(FloatEqPrefixes))
+}
+
+func TestFloatEqOffBoundsPath(t *testing.T) {
+	checkClean(t, "floateq", "example.com/offpath", FloatEq(FloatEqPrefixes))
+}
+
+func TestAtomicWriteGolden(t *testing.T) {
+	checkGolden(t, "atomicwrite", "example.com/anywhere", AtomicWrite(PersistPaths))
+}
+
+func TestAtomicWriteExemptInPersist(t *testing.T) {
+	checkClean(t, "atomicwrite", "queryaudit/internal/persist/lintfixture", AtomicWrite(PersistPaths))
+}
+
+func TestLockcheckGolden(t *testing.T) {
+	checkGolden(t, "lockcheck", "example.com/anywhere", Lockcheck())
+}
+
+func TestMalformedAllowIsAFinding(t *testing.T) {
+	findings := Run(loadFixture(t, "badallow", "example.com/anywhere"), DefaultAnalyzers())
+	if len(findings) != 1 {
+		t.Fatalf("want exactly 1 finding, got %d: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "auditlint" || !strings.Contains(f.Message, "malformed") {
+		t.Errorf("want a malformed-allow finding, got: %s", f)
+	}
+}

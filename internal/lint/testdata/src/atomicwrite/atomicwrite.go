@@ -1,0 +1,40 @@
+// Package fixture exercises the atomicwrite analyzer. The runner loads
+// it twice: under a neutral import path (every want fires) and under the
+// persistence layer's path (exempt, zero findings).
+package fixture
+
+import "os"
+
+// Dump uses every raw mutation primitive — all flagged off the persist
+// path.
+func Dump(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil { // want `raw os\.WriteFile outside internal/persist`
+		return err
+	}
+	f, err := os.Create(path + ".new") // want `raw os\.Create outside internal/persist`
+	if err != nil {
+		return err
+	}
+	f.Close()
+	g, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644) // want `raw os\.OpenFile outside internal/persist`
+	if err != nil {
+		return err
+	}
+	g.Close()
+	return os.Rename(path+".new", path) // want `raw os\.Rename outside internal/persist`
+}
+
+// ReadBack opens read-only — not flagged.
+func ReadBack(path string) ([]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return os.ReadFile(path)
+}
+
+// Journal documents an append-only stream — suppressed.
+func Journal(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644) //auditlint:allow atomicwrite fixture append-only journal stream
+}

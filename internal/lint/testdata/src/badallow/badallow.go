@@ -1,0 +1,10 @@
+// Package fixture carries a reason-less allow comment; the runner
+// asserts it surfaces as an auditlint finding (a suppression must say
+// what it suppresses and why).
+package fixture
+
+// Answer is fine; its suppression is not.
+func Answer() int {
+	//auditlint:allow floateq
+	return 42
+}

@@ -1,0 +1,45 @@
+// Package fixture exercises the detrand analyzer. The runner loads it
+// twice: under a decision-path import path (every want fires) and under
+// a neutral one (zero findings — detrand is path-scoped).
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Decide stamps and samples — both forbidden on a decision path.
+func Decide(votes []int) int {
+	start := time.Now() // want `wall-clock read time\.Now in a decision path`
+	_ = start
+	pick := rand.Intn(len(votes)) // want `global math/rand\.Intn in a decision path`
+	return votes[pick]
+}
+
+// Sample draws from an explicit seeded stream: sanctioned.
+func Sample(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}
+
+// Keys builds output in map-iteration order — flagged.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration feeds ordered output`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Total folds order-insensitively — not flagged.
+func Total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Stamp carries a justified suppression — no finding.
+func Stamp() time.Time {
+	return time.Now() //auditlint:allow detrand fixture demonstrates an allowed metric stamp
+}

@@ -1,0 +1,36 @@
+// Package fixture exercises the floateq analyzer. The runner loads it
+// twice: under a probability/bounds import path (wants fire) and under a
+// neutral one (zero findings — floateq is path-scoped).
+package fixture
+
+const eps = 1e-9
+
+// Same compares floats exactly — flagged.
+func Same(a, b float64) bool {
+	return a == b // want `exact == on floating-point operands`
+}
+
+// Differs compares floats exactly — flagged.
+func Differs(a, b float64) bool {
+	return a != b // want `exact != on floating-point operands`
+}
+
+// Close compares with an epsilon — sanctioned.
+func Close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}
+
+// IntsEqual has no float operands — not flagged.
+func IntsEqual(a, b int) bool { return a == b }
+
+// ZeroSentinel is exact by construction and says so — suppressed.
+func ZeroSentinel(x float64) bool {
+	return x == 0 //auditlint:allow floateq fixture zero is a stored sentinel, never computed
+}
+
+// folded is compared entirely at compile time — not flagged.
+const folded = 1.0 == 2.0

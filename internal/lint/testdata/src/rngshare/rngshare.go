@@ -1,0 +1,56 @@
+// Package fixture exercises the rngshare analyzer, which runs on every
+// package (no path scoping).
+package fixture
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Launch shares rng between spawner and goroutine — flagged.
+func Launch(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = rng.Intn(10) // want `goroutine closure captures \*rand\.Rand rng shared with its spawner`
+	}()
+	_ = rng.Intn(10)
+	wg.Wait()
+}
+
+// Handoff transfers ownership as a go-call argument — not flagged.
+func Handoff(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	done := make(chan struct{})
+	go func(r *rand.Rand) {
+		_ = r.Intn(10)
+		close(done)
+	}(rng)
+	<-done
+}
+
+// Owned derives its stream inside the goroutine — not flagged.
+func Owned(seed int64) {
+	done := make(chan struct{})
+	go func() {
+		rng := rand.New(rand.NewSource(seed))
+		_ = rng.Intn(10)
+		close(done)
+	}()
+	<-done
+}
+
+// Carrier smuggles a Rand in a struct field — flagged.
+type Carrier struct {
+	rng *rand.Rand // want `struct field rng holds a \*rand\.Rand`
+}
+
+// Sampler documents worker confinement — suppressed.
+type Sampler struct {
+	rng *rand.Rand //auditlint:allow rngshare fixture sampler never leaves its worker
+}
+
+// Draw uses the fields so they are not dead code.
+func Draw(c *Carrier, s *Sampler) int { return c.rng.Intn(10) + s.rng.Intn(10) }

@@ -128,7 +128,7 @@ func DenyBarrier(budget int, threshold float64) int {
 // scratch — shared inputs (the synopsis, the query) are read-only.
 func Vote[S any](cfg Config, budget, barrier int, newScratch func() S, sample func(i int, rng *rand.Rand, scratch S) bool) Outcome {
 	workers := cfg.resolveWorkers(budget)
-	start := time.Now()
+	start := time.Now() //auditlint:allow detrand latency metric stamp, never a decision input
 	var out Outcome
 	if workers <= 1 {
 		out = voteSequential(cfg, budget, barrier, newScratch, sample)
@@ -139,7 +139,7 @@ func Vote[S any](cfg Config, budget, barrier int, newScratch func() S, sample fu
 	out.Workers = workers
 	out.Exceeded = out.Votes > barrier
 	if cfg.Observer != nil {
-		wall := time.Since(start)
+		wall := time.Since(start) //auditlint:allow detrand latency metric stamp, never a decision input
 		busy := out.busy
 		if busy <= 0 {
 			busy = wall
@@ -153,7 +153,7 @@ func voteSequential[S any](cfg Config, budget, barrier int, newScratch func() S,
 	src := randx.NewSplitMix(cfg.Seed, 0)
 	rng := rand.New(src)
 	scratch := newScratch()
-	begin := time.Now()
+	begin := time.Now() //auditlint:allow detrand latency metric stamp, never a decision input
 	votes, evaluated := 0, 0
 	for i := 0; i < budget; i++ {
 		src.Reseed(cfg.Seed, uint64(i))
@@ -165,7 +165,7 @@ func voteSequential[S any](cfg Config, budget, barrier int, newScratch func() S,
 			break
 		}
 	}
-	return Outcome{Evaluated: evaluated, Votes: votes, busy: time.Since(begin)}
+	return Outcome{Evaluated: evaluated, Votes: votes, busy: time.Since(begin)} //auditlint:allow detrand latency metric stamp, never a decision input
 }
 
 func voteParallel[S any](cfg Config, budget, barrier, workers int, newScratch func() S, sample func(i int, rng *rand.Rand, scratch S) bool) Outcome {
@@ -184,7 +184,7 @@ func voteParallel[S any](cfg Config, budget, barrier, workers int, newScratch fu
 			src := randx.NewSplitMix(cfg.Seed, 0)
 			rng := rand.New(src)
 			scratch := newScratch()
-			begin := time.Now()
+			begin := time.Now() //auditlint:allow detrand latency metric stamp, never a decision input
 			for !stop.Load() {
 				i := next.Add(1) - 1
 				if i >= int64(budget) {
@@ -209,7 +209,7 @@ func voteParallel[S any](cfg Config, budget, barrier, workers int, newScratch fu
 					break
 				}
 			}
-			busy.Add(int64(time.Since(begin)))
+			busy.Add(int64(time.Since(begin))) //auditlint:allow detrand latency metric stamp, never a decision input
 		}()
 	}
 	wg.Wait()

@@ -154,16 +154,16 @@ type Node struct {
 
 	// quarMu guards quarantined: analyst -> human-readable reason.
 	quarMu      sync.Mutex
-	quarantined map[string]string
+	quarantined map[string]string // auditlint:guardedby(quarMu)
 
 	// mu serializes role transitions and follower start/stop.
 	mu           sync.Mutex
-	stopFollower func()
-	followerDone chan struct{}
+	stopFollower func() // auditlint:guardedby(mu)
+	followerDone chan struct{} // auditlint:guardedby(mu)
 
 	// ackMu guards pending follower acks, drained into each stream poll.
 	ackMu sync.Mutex
-	acks  map[string]WireMark
+	acks  map[string]WireMark // auditlint:guardedby(ackMu)
 }
 
 // NewNode builds a node in the given role at the given epoch. A replica

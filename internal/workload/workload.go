@@ -25,7 +25,7 @@ type Generator interface {
 type UniformRandom struct {
 	N    int
 	Kind query.Kind
-	Rng  *rand.Rand
+	Rng  *rand.Rand //auditlint:allow rngshare generators are single-stream by construction, seeded once per experiment run
 }
 
 // Next implements Generator.
@@ -41,7 +41,7 @@ type SizedRandom struct {
 	N                int
 	MinSize, MaxSize int
 	Kind             query.Kind
-	Rng              *rand.Rand
+	Rng              *rand.Rand //auditlint:allow rngshare generators are single-stream by construction, seeded once per experiment run
 }
 
 // Next implements Generator.
@@ -60,7 +60,7 @@ type RangeQueries struct {
 	N                  int
 	MinWidth, MaxWidth int
 	Kind               query.Kind
-	Rng                *rand.Rand
+	Rng                *rand.Rand //auditlint:allow rngshare generators are single-stream by construction, seeded once per experiment run
 }
 
 // Next implements Generator.
@@ -81,7 +81,7 @@ type UpdateStream struct {
 	N      int
 	Period int
 	Lo, Hi float64
-	Rng    *rand.Rand
+	Rng    *rand.Rand //auditlint:allow rngshare generators are single-stream by construction, seeded once per experiment run
 	step   int
 }
 
@@ -106,7 +106,7 @@ type Clustered struct {
 	// geometric tail length).
 	Spread int
 	Kind   query.Kind
-	Rng    *rand.Rand
+	Rng    *rand.Rand //auditlint:allow rngshare generators are single-stream by construction, seeded once per experiment run
 }
 
 // Next implements Generator.
