@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint ci bench cover replication-smoke
+.PHONY: build test race vet lint ci bench bench-guard cover replication-smoke
 
 build:
 	$(GO) build ./...
@@ -36,14 +36,24 @@ ci: build lint race
 replication-smoke:
 	$(GO) test -run TestReplicationSmoke -count=1 -v ./cmd/auditserver
 
-# Monte Carlo engine benchmarks (per-worker Decide sweeps + coloring
-# chain) plus the session-manager benchmarks (hot-path lookup and the
-# 1000-analyst eviction/replay churn), archived as a dated JSON stream
-# of test2json events so runs are diffable across machines and commits.
+# Monte Carlo engine benchmarks — the per-worker Decide sweeps
+# {1,2,4,8} with samples-evaluated columns, the deployment-default
+# budget latency, the multi-analyst aggregate-QPS sweep over the shared
+# scheduler, and the coloring chain — plus the session-manager
+# benchmarks (hot-path lookup and the 1000-analyst eviction/replay
+# churn), archived as a dated JSON stream of test2json events so runs
+# are diffable across machines and commits.
 BENCH_OUT ?= BENCH_$(shell date +%Y-%m-%d).json
 bench:
-	$(GO) test -run='^$$' -bench='Decide$$|ColoringChain|^BenchmarkSession' -benchmem -json . ./internal/session > $(BENCH_OUT)
+	$(GO) test -run='^$$' -bench='Decide$$|DecideDefaultBudget$$|AggregateDecideQPS$$|ColoringChain|^BenchmarkSession' -benchmem -json . ./internal/session > $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
+
+# Wall-clock tripwire for the workers>1 regression: a parallel
+# per-decision cap must not cost materially more than the sequential run
+# of the identical decision. Env-gated out of plain `go test` because
+# wall-clock assertions belong on a quiet machine, run deliberately.
+bench-guard:
+	MC_BENCH_GUARD=1 $(GO) test -run TestSumProbWorkerScalingGuard -count=1 -v .
 
 # Coverage with a floor for the session subsystem: the replay/eviction
 # machinery is the correctness core of multi-analyst mode, so its

@@ -32,10 +32,15 @@
 //
 // With -auditors=prob the table is instead guarded by the probabilistic
 // (λ, δ, γ, T) auditors of Section 3 — maxminprob on max/min, sumprob on
-// sum — whose per-decision Monte Carlo fans out across -mc-workers
-// workers (0 = GOMAXPROCS). Decisions are bit-identical at any worker
-// count for a fixed -prob-seed; /v1/metrics exports the mc_* counters
-// (samples per decision, early-exit savings, parallel speedup).
+// sum — whose Monte Carlo decisions run on one shared scheduler: an
+// assist pool sized by -mc-workers (0 = GOMAXPROCS) multiplexed across
+// every session's concurrent decisions, with -mc-workers also capping
+// each single decision's share. -mc-adaptive-alpha arms the adaptive
+// sample budget (early stopping once a decision's outcome is
+// statistically pinned). Decisions are bit-identical at any worker
+// count for a fixed -prob-seed; /v1/metrics exports the mc_* and
+// mcsched_* counters (samples per decision, early-exit savings,
+// parallel speedup, assist-pool split).
 //
 // With -session-snapshot every session's query log is restored at
 // startup (if the file exists) and written back on SIGINT/SIGTERM; the
@@ -73,6 +78,7 @@ import (
 	"queryaudit/internal/core"
 	"queryaudit/internal/dataset"
 	"queryaudit/internal/field"
+	"queryaudit/internal/mcpar"
 	"queryaudit/internal/metrics"
 	"queryaudit/internal/persist"
 	"queryaudit/internal/query"
@@ -99,7 +105,8 @@ func main() {
 		drain       = flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain window on SIGINT/SIGTERM")
 		quietAccess = flag.Bool("quiet", false, "disable per-request access logging")
 		auditors    = flag.String("auditors", "full", "auditor family: full (exact disclosure auditors) or prob (Section 3 probabilistic auditors)")
-		mcWorkers   = flag.Int("mc-workers", 0, "parallel Monte Carlo workers per decision for prob auditors (0 = GOMAXPROCS, 1 = sequential)")
+		mcWorkers   = flag.Int("mc-workers", 0, "per-decision cap on the shared Monte Carlo scheduler for prob auditors (0 = GOMAXPROCS, 1 = sequential); the assist pool itself is sized to this cap and multiplexed across all sessions' decisions")
+		mcAlpha     = flag.Float64("mc-adaptive-alpha", 0, "prob auditors: adaptive sample-budget error bound α (0 disables; e.g. 0.01 stops a decision early once its outcome is pinned with 99% confidence — still deterministic per seed)")
 		probLambda  = flag.Float64("prob-lambda", 0.45, "prob auditors: tolerated posterior/prior drift λ in (0,1)")
 		probGamma   = flag.Int("prob-gamma", 4, "prob auditors: partition intervals γ")
 		probDelta   = flag.Float64("prob-delta", 0.2, "prob auditors: attacker winning-probability bound δ")
@@ -164,16 +171,22 @@ func main() {
 		nn := *n
 		mmP := maxminprob.Params{
 			Lambda: *probLambda, Gamma: *probGamma, Delta: *probDelta, T: *probT,
-			Workers: *mcWorkers, Seed: *probSeed,
+			Workers: *mcWorkers, Seed: *probSeed, AdaptiveAlpha: *mcAlpha,
 		}
 		sP := sumprob.Params{
 			Lambda: *probLambda, Gamma: *probGamma, Delta: *probDelta, T: *probT,
-			Workers: *mcWorkers, Seed: *probSeed + 1,
+			Workers: *mcWorkers, Seed: *probSeed + 1, AdaptiveAlpha: *mcAlpha,
 		}
 		spec.Register(func() (audit.Auditor, error) { return maxminprob.New(nn, mmP) }, query.Max, query.Min)
 		spec.Register(func() (audit.Auditor, error) { return sumprob.New(nn, sP) }, query.Sum)
-		logger.Printf("probabilistic auditors: lambda=%g gamma=%d delta=%g T=%d mc-workers=%d (sensitive values normalized to [0,1])",
-			*probLambda, *probGamma, *probDelta, *probT, *mcWorkers)
+		// One assist pool for the whole process: every session's decisions
+		// multiplex over it, so concurrent analysts share the machine
+		// instead of each fanning out their own goroutines.
+		sched := mcpar.NewScheduler(*mcWorkers)
+		sched.SetObserver(metrics.NewSchedCollector(reg))
+		spec.SetMCScheduler(sched)
+		logger.Printf("probabilistic auditors: lambda=%g gamma=%d delta=%g T=%d mc-workers=%d sched-pool=%d adaptive-alpha=%g (sensitive values normalized to [0,1])",
+			*probLambda, *probGamma, *probDelta, *probT, *mcWorkers, sched.Size(), *mcAlpha)
 	default:
 		logger.Fatalf("unknown -auditors %q (want full or prob)", *auditors)
 	}

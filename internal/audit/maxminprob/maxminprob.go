@@ -70,6 +70,11 @@ type Params struct {
 	Workers int
 	// Seed drives the auditor's randomness.
 	Seed int64
+	// AdaptiveAlpha, when positive, arms mcpar's variance-aware adaptive
+	// sequential test: a decision stops early once its outcome is pinned
+	// with confidence 1-AdaptiveAlpha. Zero (the default) keeps the exact
+	// certificates only, which never change a decision.
+	AdaptiveAlpha float64
 }
 
 // Validate checks parameter sanity.
@@ -130,6 +135,7 @@ type Auditor struct {
 	decisions uint64
 	// mc observes per-decision Monte Carlo accounting (may be nil).
 	mc            mcpar.Observer
+	sched         *mcpar.Scheduler
 	denyThreshold float64
 }
 
@@ -154,6 +160,10 @@ func (a *Auditor) SetWorkers(n int) { a.params.Workers = n }
 // SetMCObserver installs the per-decision Monte Carlo observer (nil
 // disables).
 func (a *Auditor) SetMCObserver(o mcpar.Observer) { a.mc = o }
+
+// SetScheduler points the auditor's decisions at a shared assist pool
+// (nil selects mcpar.Default()).
+func (a *Auditor) SetScheduler(s *mcpar.Scheduler) { a.sched = s }
 
 // Name implements audit.Auditor.
 func (a *Auditor) Name() string { return "maxmin-partial-disclosure" }
@@ -355,7 +365,13 @@ func (a *Auditor) Decide(q query.Query) (audit.Decision, error) {
 	seed := randx.DeriveSeed(a.params.Seed, a.decisions)
 	a.decisions++
 	out := mcpar.Vote(
-		mcpar.Config{Workers: a.params.Workers, Seed: seed, Observer: a.mc},
+		mcpar.Config{
+			Workers:       a.params.Workers,
+			Seed:          seed,
+			Observer:      a.mc,
+			Sched:         a.sched,
+			AdaptiveAlpha: a.params.AdaptiveAlpha,
+		},
 		budget, barrier,
 		func() *decideScratch {
 			return &decideScratch{

@@ -56,6 +56,11 @@ type Params struct {
 	Workers int
 	// Seed drives the auditor's internal randomness.
 	Seed int64
+	// AdaptiveAlpha, when positive, arms mcpar's variance-aware adaptive
+	// sequential test: a decision stops early once its outcome is pinned
+	// with confidence 1-AdaptiveAlpha. Zero (the default) keeps the exact
+	// certificates only, which never change a decision.
+	AdaptiveAlpha float64
 	// Alpha, Beta optionally widen the data range from the default [0,1]
 	// (the paper's footnote: "the algorithm can easily be extended to
 	// other ranges"). Internally everything is affinely normalized to
@@ -117,7 +122,8 @@ type Auditor struct {
 	// decision yet bit-reproducible across runs and worker counts.
 	decisions uint64
 	// mc observes per-decision Monte Carlo accounting (may be nil).
-	mc mcpar.Observer
+	mc    mcpar.Observer
+	sched *mcpar.Scheduler
 	// denyThreshold is δ/(2T).
 	denyThreshold float64
 	samples       int
@@ -150,6 +156,10 @@ func (a *Auditor) SetWorkers(n int) { a.params.Workers = n }
 // SetMCObserver installs the per-decision Monte Carlo observer (nil
 // disables).
 func (a *Auditor) SetMCObserver(o mcpar.Observer) { a.mc = o }
+
+// SetScheduler points the auditor's decisions at a shared assist pool
+// (nil selects mcpar.Default()).
+func (a *Auditor) SetScheduler(s *mcpar.Scheduler) { a.sched = s }
 
 // normalize maps a raw answer into the internal [0,1] coordinates.
 func (a *Auditor) normalize(v float64) float64 { return (v - a.alpha) / a.scale }
@@ -274,24 +284,34 @@ func (a *Auditor) Decide(q query.Query) (audit.Decision, error) {
 	a.decisions++
 	preds := a.syn.Preds() // per-decision snapshot, read-only across workers
 	out := mcpar.Vote(
-		mcpar.Config{Workers: a.params.Workers, Seed: seed, Observer: a.mc},
+		mcpar.Config{
+			Workers:       a.params.Workers,
+			Seed:          seed,
+			Observer:      a.mc,
+			Sched:         a.sched,
+			AdaptiveAlpha: a.params.AdaptiveAlpha,
+		},
 		budget, barrier,
 		func() *decideScratch {
 			return &decideScratch{
 				xs:          make([]float64, a.n),
 				constrained: make([]bool, a.n),
+				trial:       synopsis.NewMax(a.n),
 			}
 		},
 		func(_ int, rng *rand.Rand, sc *decideScratch) bool {
 			samplePreds(preds, sc.xs, sc.constrained, rng)
 			ans := maxOver(sc.xs, q.Set)
-			trial := a.syn.Clone()
-			if err := trial.Add(q.Set, ans); err != nil {
+			// Reset the lane's scratch synopsis to the trail instead of
+			// deep-cloning it: the clone's map and slice churn was the
+			// dominant allocation of the sample loop.
+			a.syn.CopyInto(sc.trial)
+			if err := sc.trial.Add(q.Set, ans); err != nil {
 				// A sampled dataset is consistent by construction; Add can
 				// only fail on float pathologies. Count as unsafe.
 				return true
 			}
-			return !SafeSynopsis(trial, a.part, a.window)
+			return !SafeSynopsis(sc.trial, a.part, a.window)
 		})
 	if out.Exceeded {
 		return audit.Deny, nil
@@ -303,6 +323,7 @@ func (a *Auditor) Decide(q query.Query) (audit.Decision, error) {
 type decideScratch struct {
 	xs          []float64
 	constrained []bool
+	trial       *synopsis.Max
 }
 
 // Record implements audit.Auditor. Raw answers are normalized onto the

@@ -13,10 +13,26 @@ package sumprob
 // that comparison concrete.
 //
 // The sampler is textbook hit-and-run restricted to the affine subspace:
-// parameterize x = x₀ + N z with N an orthonormal basis of null(A), walk
-// in z-space, and intersect each random direction with the box
-// constraints. A feasible starting point comes from alternating
+// draw an isotropic Gaussian direction in R^n, project out the row space
+// of A (leaving an isotropic direction inside null(A)), and intersect it
+// with the box constraints. The projection reuses the Cholesky factor of
+// A·Aᵀ and costs O(rows·n) per step — for the short histories auditing
+// produces, far cheaper than combining the n−rows vectors of an explicit
+// null basis. A feasible starting point comes from alternating
 // projections (POCS) between the affine subspace and the box.
+//
+// # Shape vs instance
+//
+// Everything expensive about a constraint system depends only on its
+// ROWS: the independent-subset selection, the elimination factors of the
+// dependent rows, and the Cholesky factor of A·Aᵀ. None of it touches the answer vector b. The split below —
+// newShape (rows only) vs shape.instantiate (b plus a feasible point) —
+// is what fixed the workers>1 regression: a Decide used to re-run the
+// whole factorization for every Monte Carlo sample because each sampled
+// answer produced a "new" system, even though all those systems share
+// one shape (history rows + the queried row) and differ only in the last
+// entry of b. Now the shape is built once per decision and each sample
+// pays only a consistency check and a near-feasible projection.
 
 import (
 	"errors"
@@ -27,35 +43,44 @@ import (
 // ErrInfeasible reports an empty polytope (inconsistent history).
 var ErrInfeasible = errors.New("sumprob: constraint polytope is empty")
 
-// polytope is the sampling workspace for one constraint system.
-type polytope struct {
-	n int
-	// rows are linearly independent 0/1 query vectors; b their answers.
-	rows [][]float64
-	b    []float64
-	// basis is an orthonormal basis of null(rows) (k vectors of dim n).
-	basis [][]float64
-	// chol is the Cholesky factor of A·Aᵀ for affine projection.
-	chol [][]float64
-	// x0 is a feasible point of P (after newPolytope succeeds).
-	x0 []float64
-}
-
 const (
 	pivotTol = 1e-9
 	boxTol   = 1e-7
+	// depResTol bounds the residual answer of a dependent row before the
+	// system is declared inconsistent (matches the historical check).
+	depResTol = 1e-6
 )
 
-// newPolytope builds the workspace from a full (possibly dependent) set
-// of constraints, keeping an independent subset, and finds a feasible
-// point. rng drives the interior search.
-func newPolytope(all [][]float64, b []float64, n int, rng *rand.Rand) (*polytope, error) {
-	p := &polytope{n: n}
-	// Select independent rows by incremental elimination on copies.
+// depRow records a constraint row that eliminated to zero against the
+// kept independent rows: factors[i] is the multiple of kept row i removed
+// during elimination. Feasibility of an instance requires the same
+// combination of kept answers to reproduce the row's answer.
+type depRow struct {
+	idx     int // position in the original row list
+	factors []float64
+}
+
+// shape is the b-independent factorization of a constraint system: the
+// kept independent rows, the elimination record of the dependent ones,
+// and the Cholesky factor of A·Aᵀ. Shapes are immutable once built and
+// safe to share read-only across workers and across decisions.
+type shape struct {
+	n       int
+	rows    [][]float64 // kept independent original rows
+	keptIdx []int       // original position of each kept row
+	dep     []depRow
+	chol    [][]float64
+}
+
+// newShape eliminates the (possibly dependent) rows, keeping an
+// independent subset and recording the elimination factors of the rest,
+// then factors the Gram matrix. b never enters.
+func newShape(all [][]float64, n int) (*shape, error) {
+	sh := &shape{n: n}
 	work := make([][]float64, 0, len(all))
 	for r, row := range all {
 		cand := append([]float64(nil), row...)
-		candB := b[r]
+		factors := make([]float64, len(work))
 		for i, w := range work {
 			pv := pivotIndex(w)
 			if pv < 0 {
@@ -66,30 +91,114 @@ func newPolytope(all [][]float64, b []float64, n int, rng *rand.Rand) (*polytope
 				for j := range cand {
 					cand[j] -= f * w[j]
 				}
-				candB -= f * p.b[i]
 			}
+			factors[i] = f
 		}
 		if maxAbs(cand) <= pivotTol {
-			// Dependent: consistency requires the residual answer ≈ 0.
-			if math.Abs(candB) > 1e-6 {
-				return nil, ErrInfeasible
-			}
+			// Dependent: instances must satisfy the recorded combination.
+			sh.dep = append(sh.dep, depRow{idx: r, factors: factors})
 			continue
 		}
 		work = append(work, cand)
-		p.rows = append(p.rows, append([]float64(nil), row...))
-		p.b = append(p.b, b[r])
+		sh.rows = append(sh.rows, append([]float64(nil), row...))
+		sh.keptIdx = append(sh.keptIdx, r)
 	}
-	p.buildNullBasis(work)
-	if err := p.buildCholesky(); err != nil {
+	if err := sh.buildCholesky(); err != nil {
 		return nil, err
 	}
-	x, err := p.feasiblePoint(rng)
+	return sh, nil
+}
+
+// keptB fills dst with the answers of the kept rows.
+func (sh *shape) keptB(dst, b []float64) []float64 {
+	dst = dst[:0]
+	for _, r := range sh.keptIdx {
+		dst = append(dst, b[r])
+	}
+	return dst
+}
+
+// checkDependent verifies every dependent row's answer against the
+// recorded elimination factors over the kept answers, reproducing the
+// historical per-row residual arithmetic exactly.
+func (sh *shape) checkDependent(b, bKept []float64) error {
+	for _, d := range sh.dep {
+		res := b[d.idx]
+		for i, f := range d.factors {
+			if f != 0 { //auditlint:allow floateq skip-zero fast path; any nonzero factor must be applied exactly
+				res -= f * bKept[i]
+			}
+		}
+		if math.Abs(res) > depResTol {
+			return ErrInfeasible
+		}
+	}
+	return nil
+}
+
+// instantiate binds the shape to an answer vector: consistency-check the
+// dependent rows and find a feasible point. start, when non-nil, seeds
+// the feasibility search (a point already on or near the instance, e.g.
+// the current position of a walker over a sub-system); nil starts from a
+// random interior guess drawn from rng.
+func (sh *shape) instantiate(b, start []float64, rng *rand.Rand) (*polytope, error) {
+	p := &polytope{}
+	if err := sh.instantiateInto(p, b, start, rng); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// instantiateInto is instantiate reusing p's buffers — the per-sample
+// path of the decision loop, which binds the same extended shape to a
+// fresh simulated answer for every Monte Carlo sample.
+func (sh *shape) instantiateInto(p *polytope, b, start []float64, rng *rand.Rand) error {
+	p.n = sh.n
+	p.rows = sh.rows
+	p.chol = sh.chol
+	p.b = sh.keptB(p.b, b)
+	if err := sh.checkDependent(b, p.b); err != nil {
+		return err
+	}
+	if cap(p.x0) < sh.n {
+		p.x0 = make([]float64, sh.n)
+	}
+	p.x0 = p.x0[:sh.n]
+	if start != nil {
+		copy(p.x0, start)
+	} else {
+		for i := range p.x0 {
+			p.x0[i] = 0.45 + 0.1*rng.Float64()
+		}
+	}
+	return p.feasibleInPlace()
+}
+
+// newPolytope builds the workspace from a full (possibly dependent) set
+// of constraints, keeping an independent subset, and finds a feasible
+// point. rng drives the interior search. (Shape + instance in one step —
+// the cold path; decisions hoist the shape and instantiate per sample.)
+func newPolytope(all [][]float64, b []float64, n int, rng *rand.Rand) (*polytope, error) {
+	sh, err := newShape(all, n)
 	if err != nil {
 		return nil, err
 	}
-	p.x0 = x
-	return p, nil
+	return sh.instantiate(b, nil, rng)
+}
+
+// polytope is one sampling-ready instance: shared read-only shape slices
+// plus the instance's kept answers and feasible point.
+type polytope struct {
+	n int
+	// rows are linearly independent 0/1 query vectors; b their answers.
+	rows [][]float64
+	b    []float64
+	// chol is the Cholesky factor of A·Aᵀ for affine projection.
+	chol [][]float64
+	// x0 is a feasible point of P (after instantiate succeeds).
+	x0 []float64
+	// solve scratch for projectAffine (len of rows).
+	resid, solveY, solveW []float64
 }
 
 func pivotIndex(row []float64) int {
@@ -112,79 +221,6 @@ func maxAbs(row []float64) float64 {
 	return m
 }
 
-// buildNullBasis computes an orthonormal basis of the null space of the
-// eliminated rows via free-column parameterization + Gram–Schmidt.
-func (p *polytope) buildNullBasis(work [][]float64) {
-	// Reduce `work` to RREF-ish form with recorded pivots.
-	type pivoted struct {
-		row []float64
-		col int
-	}
-	var red []pivoted
-	for _, w := range work {
-		row := append([]float64(nil), w...)
-		for _, r := range red {
-			f := row[r.col] / r.row[r.col]
-			if f != 0 { //auditlint:allow floateq skip-zero fast path; any nonzero factor must be applied exactly
-				for j := range row {
-					row[j] -= f * r.row[j]
-				}
-			}
-		}
-		pv := pivotIndex(row)
-		if pv < 0 {
-			continue
-		}
-		red = append(red, pivoted{row: row, col: pv})
-	}
-	// Back-substitute to clear pivot columns above.
-	for i := len(red) - 1; i >= 0; i-- {
-		for k := 0; k < i; k++ {
-			f := red[k].row[red[i].col] / red[i].row[red[i].col]
-			if f != 0 { //auditlint:allow floateq skip-zero fast path; any nonzero factor must be applied exactly
-				for j := range red[k].row {
-					red[k].row[j] -= f * red[i].row[j]
-				}
-			}
-		}
-	}
-	isPivot := make([]bool, p.n)
-	for _, r := range red {
-		isPivot[r.col] = true
-	}
-	var raw [][]float64
-	for free := 0; free < p.n; free++ {
-		if isPivot[free] {
-			continue
-		}
-		v := make([]float64, p.n)
-		v[free] = 1
-		for _, r := range red {
-			v[r.col] = -r.row[free] / r.row[r.col]
-		}
-		raw = append(raw, v)
-	}
-	// Modified Gram–Schmidt.
-	var basis [][]float64
-	for _, v := range raw {
-		w := append([]float64(nil), v...)
-		for _, u := range basis {
-			d := dot(w, u)
-			for j := range w {
-				w[j] -= d * u[j]
-			}
-		}
-		nrm := math.Sqrt(dot(w, w))
-		if nrm > pivotTol {
-			for j := range w {
-				w[j] /= nrm
-			}
-			basis = append(basis, w)
-		}
-	}
-	p.basis = basis
-}
-
 func dot(a, b []float64) float64 {
 	s := 0.0
 	for i := range a {
@@ -194,13 +230,13 @@ func dot(a, b []float64) float64 {
 }
 
 // buildCholesky factors A·Aᵀ (SPD for independent rows).
-func (p *polytope) buildCholesky() error {
-	m := len(p.rows)
+func (sh *shape) buildCholesky() error {
+	m := len(sh.rows)
 	g := make([][]float64, m)
 	for i := range g {
 		g[i] = make([]float64, m)
 		for j := range g[i] {
-			g[i][j] = dot(p.rows[i], p.rows[j])
+			g[i][j] = dot(sh.rows[i], sh.rows[j])
 		}
 	}
 	l := make([][]float64, m)
@@ -223,30 +259,41 @@ func (p *polytope) buildCholesky() error {
 			}
 		}
 	}
-	p.chol = l
+	sh.chol = l
 	return nil
 }
 
-// solveGram solves (A·Aᵀ) w = r via the Cholesky factor.
-func (p *polytope) solveGram(r []float64) []float64 {
+// solveChol solves (A·Aᵀ) w = r via the Cholesky factor chol, using y as
+// forward-substitution scratch. Callers own y and w; chol is read-only,
+// so concurrent walkers over a shared polytope each solve with their own
+// buffers.
+func solveChol(chol [][]float64, r, y, w []float64) {
 	m := len(r)
-	y := make([]float64, m)
 	for i := 0; i < m; i++ {
 		s := r[i]
 		for k := 0; k < i; k++ {
-			s -= p.chol[i][k] * y[k]
+			s -= chol[i][k] * y[k]
 		}
-		y[i] = s / p.chol[i][i]
+		y[i] = s / chol[i][i]
 	}
-	w := make([]float64, m)
 	for i := m - 1; i >= 0; i-- {
 		s := y[i]
 		for k := i + 1; k < m; k++ {
-			s -= p.chol[k][i] * w[k]
+			s -= chol[k][i] * w[k]
 		}
-		w[i] = s / p.chol[i][i]
+		w[i] = s / chol[i][i]
 	}
-	return w
+}
+
+// solveGram solves (A·Aᵀ) w = r via the Cholesky factor, into p.solveW.
+func (p *polytope) solveGram(r []float64) []float64 {
+	m := len(r)
+	if cap(p.solveY) < m {
+		p.solveY = make([]float64, m)
+		p.solveW = make([]float64, m)
+	}
+	solveChol(p.chol, r, p.solveY[:m], p.solveW[:m])
+	return p.solveW[:m]
 }
 
 // projectAffine maps x to the nearest point of {Ax = b}.
@@ -254,7 +301,10 @@ func (p *polytope) projectAffine(x []float64) {
 	if len(p.rows) == 0 {
 		return
 	}
-	r := make([]float64, len(p.rows))
+	if cap(p.resid) < len(p.rows) {
+		p.resid = make([]float64, len(p.rows))
+	}
+	r := p.resid[:len(p.rows)]
 	for i, row := range p.rows {
 		r[i] = dot(row, x) - p.b[i]
 	}
@@ -266,13 +316,13 @@ func (p *polytope) projectAffine(x []float64) {
 	}
 }
 
-// feasiblePoint alternates projections between the affine subspace and
-// the box (POCS), starting from the box center.
-func (p *polytope) feasiblePoint(rng *rand.Rand) ([]float64, error) {
-	x := make([]float64, p.n)
-	for i := range x {
-		x[i] = 0.45 + 0.1*rng.Float64()
-	}
+// feasibleInPlace alternates projections between the affine subspace and
+// the box (POCS), refining p.x0 in place from wherever it starts. A start
+// already on or near the polytope (a walker position over a sub-system)
+// converges in one or two projections; the cold random start behaves as
+// the historical search did.
+func (p *polytope) feasibleInPlace() error {
+	x := p.x0
 	for iter := 0; iter < 500; iter++ {
 		p.projectAffine(x)
 		ok := true
@@ -296,19 +346,24 @@ func (p *polytope) feasiblePoint(rng *rand.Rand) ([]float64, error) {
 				}
 			}
 			if !clipped {
-				return x, nil
+				return nil
 			}
 		}
 	}
-	return nil, ErrInfeasible
+	return ErrInfeasible
 }
 
-// walker runs hit-and-run from the feasible point.
+// walker runs hit-and-run from the feasible point. It owns all mutable
+// step state — position, direction, and the projection solve buffers —
+// so any number of walkers can share one read-only polytope (the
+// decision loop runs one walker per worker lane over the shared base).
 type walker struct {
 	p     *polytope
 	x     []float64
 	d     []float64 // scratch direction in x-space
 	xPrev []float64 // scratch pre-move position for stepChord
+	// row-space projection scratch (len of p.rows).
+	resid, solveY, solveW []float64
 }
 
 func (p *polytope) newWalker() *walker {
@@ -318,6 +373,25 @@ func (p *polytope) newWalker() *walker {
 // reset returns the walker to the polytope's feasible origin so a reused
 // walker can start an independent chain.
 func (w *walker) reset() { copy(w.x, w.p.x0) }
+
+// resetTo starts the walker's chain from an arbitrary feasible point —
+// the warm-start path reusing the previous decision's chain state.
+func (w *walker) resetTo(x []float64) { copy(w.x, x) }
+
+// rebase points the walker at a different polytope instance (same
+// dimension), reusing its buffers, and restarts from that instance's
+// feasible point. The per-sample loop rebases one walker onto each
+// freshly instantiated extended system instead of allocating a new one.
+func (w *walker) rebase(p *polytope) {
+	w.p = p
+	if cap(w.x) < p.n {
+		w.x = make([]float64, p.n)
+		w.d = make([]float64, p.n)
+	}
+	w.x = w.x[:p.n]
+	w.d = w.d[:p.n]
+	copy(w.x, p.x0)
+}
 
 // step performs one hit-and-run transition; a nil-dimension polytope
 // (point) stays put. It returns the chord parameters (pre-move position
@@ -336,20 +410,18 @@ func (w *walker) step(rng *rand.Rand) {
 // [x_j + lo·d_j, x_j + hi·d_j], whose overlap with any interval is exact
 // — far lower variance than binning endpoints, and every step counts.
 func (w *walker) stepChord(rng *rand.Rand) (xBefore, dir []float64, lo, hi float64, ok bool) {
-	k := len(w.p.basis)
-	if k == 0 {
+	if w.p.dim() == 0 {
 		return nil, nil, 0, 0, false
 	}
+	// Random direction: isotropic Gaussian in R^n with the row space
+	// projected out, leaving an isotropic direction inside null(A). Costs
+	// O(rows·n) against the shared Cholesky factor — much cheaper than
+	// combining an explicit (n−rows)-vector null basis when the history
+	// is short relative to n.
 	for j := range w.d {
-		w.d[j] = 0
+		w.d[j] = rng.NormFloat64()
 	}
-	// Random direction: Gaussian combination of the orthonormal basis.
-	for _, u := range w.p.basis {
-		g := rng.NormFloat64()
-		for j := range w.d {
-			w.d[j] += g * u[j]
-		}
-	}
+	w.projectRowSpace(w.d)
 	lo, hi = math.Inf(-1), math.Inf(1)
 	for j := range w.d {
 		dj := w.d[j]
@@ -388,8 +460,36 @@ func (w *walker) stepChord(rng *rand.Rand) (xBefore, dir []float64, lo, hi float
 	return w.xPrev, w.d, lo, hi, true
 }
 
+// projectRowSpace removes d's component along the constraint rows,
+// d ← d − Aᵀ(A·Aᵀ)⁻¹A·d, using the walker's own solve scratch so the
+// underlying polytope stays read-only.
+func (w *walker) projectRowSpace(d []float64) {
+	m := len(w.p.rows)
+	if m == 0 {
+		return
+	}
+	if cap(w.resid) < m {
+		w.resid = make([]float64, m)
+		w.solveY = make([]float64, m)
+		w.solveW = make([]float64, m)
+	}
+	r := w.resid[:m]
+	for i, row := range w.p.rows {
+		r[i] = dot(row, d)
+	}
+	ws := w.solveW[:m]
+	solveChol(w.p.chol, r, w.solveY[:m], ws)
+	for i, row := range w.p.rows {
+		c := ws[i]
+		for j := range d {
+			d[j] -= c * row[j]
+		}
+	}
+}
+
 // point returns the current position (shared slice; copy to keep).
 func (w *walker) point() []float64 { return w.x }
 
-// dim returns the polytope's intrinsic dimension.
-func (p *polytope) dim() int { return len(p.basis) }
+// dim returns the polytope's intrinsic dimension: the rows kept by the
+// shape's elimination are independent, so it is n minus their count.
+func (p *polytope) dim() int { return p.n - len(p.rows) }

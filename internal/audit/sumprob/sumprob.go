@@ -11,15 +11,26 @@
 // the paper means by its max auditor being "decidedly more efficient".
 // BenchmarkProbSumVsMax quantifies the gap.
 //
-// The outer Monte Carlo loop runs on the shared parallel engine
-// (internal/mcpar): the base polytope is built once per decision and
-// shared read-only, each worker keeps a reusable hit-and-run walker that
-// restarts from the feasible origin for every sample, and every sample
-// draws from a counter-based stream keyed by (decision seed, sample
-// index) so the decision is bit-identical at any worker count. Restarting
-// the chain per sample (burn-in + thinning each time) makes the outer
-// draws independent — a statistical upgrade over the former single
-// sequential chain — at a per-sample cost the pool absorbs.
+// # Decision hot path
+//
+// The outer Monte Carlo loop runs on the shared decision scheduler
+// (internal/mcpar). All row-dependent factorization work is hoisted out
+// of the sample loop: the base polytope's shape is cached ACROSS
+// decisions (it changes only when Record appends a row), and the
+// extended system's shape — history rows plus the queried row — is built
+// once per decision. Each sample then only binds the extended shape to
+// its simulated answer: the outer walker's position is an exact feasible
+// point of the extended system (the answer is computed from it), so the
+// per-sample feasibility search converges in a projection or two, and
+// the inner chain starts from an exact conditional draw instead of
+// burning in cold. Consecutive decisions additionally reuse the
+// posterior chain state: the outer chain of decision t+1 starts where
+// decision t's equilibrated chain ended (a deterministic function of the
+// decision history, so journal replay reproduces it bit-for-bit).
+//
+// Every sample draws from a counter-based stream keyed by (decision
+// seed, sample index), so the decision is bit-identical at any worker
+// count.
 package sumprob
 
 import (
@@ -48,17 +59,25 @@ type Params struct {
 	OuterSamples int
 	// InnerSamples polytope points per posterior estimate (0 → 200).
 	InnerSamples int
-	// BurnIn hit-and-run steps before collecting (0 → 50 + 5·dim).
+	// BurnIn hit-and-run steps before collecting on a COLD chain (0 →
+	// 50 + 5·dim). Warm-started chains (posterior reuse across a
+	// session's decisions, and the per-sample inner chains, which start
+	// from an exact conditional draw) equilibrate with 3·Thin steps.
 	BurnIn int
 	// Thin steps between collected points (0 → max(4, dim), since the
 	// walk's autocorrelation grows with the polytope dimension).
 	Thin int
-	// Workers bounds the parallel Monte Carlo pool per decision;
-	// 0 = GOMAXPROCS, 1 = sequential. Decisions are identical at any
-	// worker count for a fixed Seed.
+	// Workers caps this auditor's share of the decision scheduler per
+	// decision; 0 = GOMAXPROCS, 1 = sequential. Decisions are identical
+	// at any worker count for a fixed Seed.
 	Workers int
 	// Seed drives the auditor's randomness.
 	Seed int64
+	// AdaptiveAlpha, when positive, arms mcpar's variance-aware adaptive
+	// sequential test: a decision stops early once its outcome is pinned
+	// with confidence 1-AdaptiveAlpha. Zero (the default) keeps the exact
+	// certificates only, which never change a decision.
+	AdaptiveAlpha float64
 }
 
 // Validate checks parameter sanity.
@@ -123,7 +142,18 @@ type Auditor struct {
 	decisions uint64
 	// mc observes per-decision Monte Carlo accounting (may be nil).
 	mc            mcpar.Observer
+	sched         *mcpar.Scheduler
 	denyThreshold float64
+
+	// Base-system cache, valid while len(rows) == baseRows. Every field
+	// is a pure function of the Decide/Record history (never of wall
+	// time or worker count), so journal replay rebuilds it exactly.
+	baseShape *shape
+	basePoly  *polytope
+	baseRows  int
+	// lastX is the end of the previous decision's equilibrated outer
+	// chain — the posterior state the next decision's chains resume from.
+	lastX []float64
 }
 
 // New returns an auditor over n records uniform on [0,1].
@@ -137,15 +167,20 @@ func New(n int, params Params) (*Auditor, error) {
 		part:          interval.NewPartition(0, 1, params.Gamma),
 		window:        interval.RatioWindow{Lambda: params.Lambda},
 		denyThreshold: params.Delta / (2 * float64(params.T)),
+		baseRows:      -1,
 	}, nil
 }
 
-// SetWorkers adjusts the Monte Carlo pool size (0 = GOMAXPROCS).
+// SetWorkers adjusts the per-decision worker cap (0 = GOMAXPROCS).
 func (a *Auditor) SetWorkers(n int) { a.params.Workers = n }
 
 // SetMCObserver installs the per-decision Monte Carlo observer (nil
 // disables).
 func (a *Auditor) SetMCObserver(o mcpar.Observer) { a.mc = o }
+
+// SetScheduler points the auditor's decisions at a shared assist pool
+// (nil selects mcpar.Default()).
+func (a *Auditor) SetScheduler(s *mcpar.Scheduler) { a.sched = s }
 
 // Name implements audit.Auditor.
 func (a *Auditor) Name() string { return "sum-partial-disclosure" }
@@ -162,19 +197,24 @@ func (a *Auditor) rowOf(s query.Set) []float64 {
 	return row
 }
 
-// safeForSystem estimates, by polytope sampling, whether every element's
-// interval posterior stays inside the λ-window for the given system,
-// drawing all randomness from rng.
-func (a *Auditor) safeForSystem(rows [][]float64, b []float64, rng *rand.Rand) (bool, error) {
-	p, err := newPolytope(rows, b, a.n, rng)
-	if err != nil {
+// safeForExt estimates, by sampling the pre-factored extended system
+// bound to the simulated answer vector extB, whether every element's
+// interval posterior stays inside the λ-window. start must be a feasible
+// point of the extended system — the outer walker's position, whose
+// answer entry was computed from it — which makes the instantiation a
+// projection polish and lets the chain skip the cold burn-in: start is
+// an exact draw from the extended polytope's distribution.
+func (a *Auditor) safeForExt(sh *shape, extB, start []float64, rng *rand.Rand, sc *decideScratch) (bool, error) {
+	if err := sh.instantiateInto(&sc.ext, extB, start, rng); err != nil {
 		return false, err
 	}
-	if p.dim() == 0 {
+	if sc.ext.dim() == 0 {
 		// Fully determined dataset: every posterior is a point mass.
 		return false, nil
 	}
-	steps := a.params.inner() * a.params.thin(p.dim())
+	dim := sc.ext.dim()
+	thin := a.params.thin(dim)
+	steps := a.params.inner() * thin
 	gamma := a.params.Gamma
 	// Batch-means accounting: the chord stream is autocorrelated, so the
 	// Monte Carlo error of each cell estimate is taken from the spread
@@ -184,29 +224,38 @@ func (a *Auditor) safeForSystem(rows [][]float64, b []float64, rng *rand.Rand) (
 	if perBatch < 1 {
 		perBatch = 1
 	}
-	sums := make([][][]float64, batches)
-	for b := range sums {
-		sums[b] = make([][]float64, a.n)
-		for i := range sums[b] {
-			sums[b][i] = make([]float64, gamma)
-		}
+	need := batches * a.n * gamma
+	if cap(sc.sums) < need {
+		sc.sums = make([]float64, need)
 	}
-	w := p.newWalker()
-	for s := 0; s < a.params.burnIn(p.dim()); s++ {
+	sums := sc.sums[:need]
+	for i := range sums {
+		sums[i] = 0
+	}
+	if cap(sc.used) < batches {
+		sc.used = make([]int, batches)
+	}
+	used := sc.used[:batches]
+	for i := range used {
+		used[i] = 0
+	}
+	sc.extW.rebase(&sc.ext)
+	w := &sc.extW
+	for s := 0; s < 3*thin; s++ {
 		w.step(rng)
 	}
 	// Rao–Blackwellized chord estimator: every step contributes the exact
 	// conditional cell probabilities of each coordinate along its chord.
 	cellW := a.part.Width()
-	usedPer := make([]int, batches)
+	stride := a.n * gamma
 	for s := 0; s < batches*perBatch; s++ {
-		b := s / perBatch
+		bi := s / perBatch
 		x, d, lo, hi, ok := w.stepChord(rng)
 		if !ok {
 			continue
 		}
-		usedPer[b]++
-		cb := sums[b]
+		used[bi]++
+		cb := sums[bi*stride : (bi+1)*stride]
 		for i := 0; i < a.n; i++ {
 			aEnd := x[i] + lo*d[i]
 			bEnd := x[i] + hi*d[i]
@@ -216,16 +265,33 @@ func (a *Auditor) safeForSystem(rows [][]float64, b []float64, rng *rand.Rand) (
 			if bEnd-aEnd < 1e-12 {
 				j := a.part.CellIndex(x[i])
 				if j >= 1 {
-					cb[i][j-1]++
+					cb[i*gamma+j-1]++
 				}
 				continue
 			}
 			inv := 1 / (bEnd - aEnd)
-			for j := 0; j < gamma; j++ {
-				cLo, cHi := float64(j)*cellW, float64(j+1)*cellW
-				o := math.Min(bEnd, cHi) - math.Max(aEnd, cLo)
-				if o > 0 {
-					cb[i][j] += o * inv
+			// Only the cells the segment overlaps contribute; chord
+			// endpoints sit in [0,1] up to clamping slack, so the index
+			// window needs clamping, not the arithmetic.
+			jLo := int(aEnd / cellW)
+			if jLo < 0 {
+				jLo = 0
+			}
+			jHi := int(bEnd / cellW)
+			if jHi >= gamma {
+				jHi = gamma - 1
+			}
+			for j := jLo; j <= jHi; j++ {
+				oLo := float64(j) * cellW
+				oHi := oLo + cellW
+				if aEnd > oLo {
+					oLo = aEnd
+				}
+				if bEnd < oHi {
+					oHi = bEnd
+				}
+				if oHi > oLo {
+					cb[i*gamma+j] += (oHi - oLo) * inv
 				}
 			}
 		}
@@ -239,7 +305,7 @@ func (a *Auditor) safeForSystem(rows [][]float64, b []float64, rng *rand.Rand) (
 	highEdge := prior / (1 - a.params.Lambda)
 	for i := 0; i < a.n; i++ {
 		for j := 0; j < gamma; j++ {
-			mean, se := batchStats(sums, usedPer, i, j)
+			mean, se := batchStats(sums, used, stride, i*gamma+j)
 			if se < 0 {
 				return false, nil // no usable samples
 			}
@@ -251,31 +317,34 @@ func (a *Auditor) safeForSystem(rows [][]float64, b []float64, rng *rand.Rand) (
 	return true, nil
 }
 
-// batchStats returns the across-batch mean and standard error of cell
-// (i, j); se is negative when no batch collected samples.
-func batchStats(sums [][][]float64, usedPer []int, i, j int) (mean, se float64) {
-	var ms []float64
-	for b := range sums {
-		if usedPer[b] == 0 {
+// batchStats returns the across-batch mean and standard error of the
+// cell at offset off (flat batches×stride layout); se is negative when
+// no batch collected samples.
+func batchStats(sums []float64, used []int, stride, off int) (mean, se float64) {
+	cnt := 0
+	for b := range used {
+		if used[b] == 0 {
 			continue
 		}
-		ms = append(ms, sums[b][i][j]/float64(usedPer[b]))
+		mean += sums[b*stride+off] / float64(used[b])
+		cnt++
 	}
-	if len(ms) == 0 {
+	if cnt == 0 {
 		return 0, -1
 	}
-	for _, m := range ms {
-		mean += m
-	}
-	mean /= float64(len(ms))
-	if len(ms) < 2 {
+	mean /= float64(cnt)
+	if cnt < 2 {
 		return mean, 0.5 // single batch: no spread information, max slack
 	}
 	varSum := 0.0
-	for _, m := range ms {
-		varSum += (m - mean) * (m - mean)
+	for b := range used {
+		if used[b] == 0 {
+			continue
+		}
+		m := sums[b*stride+off]/float64(used[b]) - mean
+		varSum += m * m
 	}
-	se = math.Sqrt(varSum / float64(len(ms)-1) / float64(len(ms)))
+	se = math.Sqrt(varSum / float64(cnt-1) / float64(cnt))
 	return mean, se
 }
 
@@ -296,34 +365,69 @@ func (a *Auditor) Decide(q query.Query) (audit.Decision, error) {
 	}
 	// Decision-level randomness splits into two decorrelated streams: one
 	// seeds the per-sample streams inside the engine, the other drives the
-	// one-off feasible-point search of the shared base polytope.
+	// one-off setup work (cold feasible-point search, chain-state advance).
 	decSeed := randx.DeriveSeed(a.params.Seed, a.decisions)
 	a.decisions++
 	voteSeed := randx.DeriveSeed(decSeed, 0)
 	setupRng := randx.Stream(decSeed, 1)
-	base, err := newPolytope(a.rows, a.b, a.n, setupRng)
+
+	// Base system: rebuilt only when Record appended a row since the last
+	// decision; otherwise this decision reuses the cached factorization
+	// AND the previous decision's equilibrated chain state.
+	warm := a.baseShape != nil && a.baseRows == len(a.rows)
+	if !warm {
+		sh, err := newShape(a.rows, a.n)
+		if err != nil {
+			return audit.Deny, err
+		}
+		p, err := sh.instantiate(a.b, nil, setupRng)
+		if err != nil {
+			return audit.Deny, err
+		}
+		a.baseShape, a.basePoly, a.baseRows = sh, p, len(a.rows)
+		a.lastX = append(a.lastX[:0], p.x0...)
+	}
+	base := a.basePoly
+
+	// Extended system = history rows + the queried row, factored ONCE per
+	// decision; each sample only re-binds its answer entry.
+	newRow := a.rowOf(q.Set)
+	extRows := append(append([][]float64{}, a.rows...), newRow)
+	extShape, err := newShape(extRows, a.n)
 	if err != nil {
 		return audit.Deny, err
 	}
-	newRow := a.rowOf(q.Set)
-	extRows := append(append([][]float64{}, a.rows...), newRow)
+
 	budget := a.params.outer()
 	barrier := mcpar.DenyBarrier(budget, a.denyThreshold)
-	burn := a.params.burnIn(base.dim())
-	thin := a.params.thin(base.dim())
+	dim := base.dim()
+	thin := a.params.thin(dim)
+	burn := 3 * thin
+	if !warm {
+		burn = a.params.burnIn(dim)
+	}
+	startX := a.lastX // read-only across workers during the vote
 	out := mcpar.Vote(
-		mcpar.Config{Workers: a.params.Workers, Seed: voteSeed, Observer: a.mc},
+		mcpar.Config{
+			Workers:       a.params.Workers,
+			Seed:          voteSeed,
+			Observer:      a.mc,
+			Sched:         a.sched,
+			AdaptiveAlpha: a.params.AdaptiveAlpha,
+		},
 		budget, barrier,
 		func() *decideScratch {
-			return &decideScratch{
+			sc := &decideScratch{
 				w:    base.newWalker(),
 				extB: make([]float64, len(a.b)+1),
 			}
+			return sc
 		},
 		func(_ int, rng *rand.Rand, sc *decideScratch) bool {
-			// Independent chain per sample: restart from the feasible
-			// origin, burn in, thin, and read one hypothetical dataset.
-			sc.w.reset()
+			// Independent chain per sample: resume from the session's
+			// posterior state, equilibrate, and read one hypothetical
+			// dataset.
+			sc.w.resetTo(startX)
 			for t := 0; t < burn+3*thin; t++ {
 				sc.w.step(rng)
 			}
@@ -334,23 +438,44 @@ func (a *Auditor) Decide(q query.Query) (audit.Decision, error) {
 			}
 			copy(sc.extB, a.b)
 			sc.extB[len(a.b)] = ans
-			ok, serr := a.safeForSystem(extRows, sc.extB, rng)
+			ok, serr := a.safeForExt(extShape, sc.extB, x, rng, sc)
 			return serr != nil || !ok
 		})
+
+	// Advance the shared chain state for the next decision: equilibrate a
+	// fresh stretch from the current state with the setup stream. Pure
+	// function of the decision history — replay lands on the same point.
+	{
+		w := base.newWalker()
+		w.resetTo(a.lastX)
+		for t := 0; t < 3*thin; t++ {
+			w.step(setupRng)
+		}
+		a.lastX = append(a.lastX[:0], w.point()...)
+	}
+
 	if out.Exceeded {
 		return audit.Deny, nil
 	}
 	return audit.Answer, nil
 }
 
-// decideScratch is the per-worker reusable state of Decide: a hit-and-run
-// walker over the shared base polytope and the extended answer vector.
+// decideScratch is the per-lane reusable state of Decide: a hit-and-run
+// walker over the shared base polytope, the extended answer vector, a
+// reusable extended-system instance with its own walker, and the flat
+// batch-means accumulators of the inner estimator.
 type decideScratch struct {
 	w    *walker
 	extB []float64
+	ext  polytope
+	extW walker
+	sums []float64
+	used []int
 }
 
-// Record implements audit.Auditor.
+// Record implements audit.Auditor. Appending a row invalidates the
+// cached base factorization; the next Decide rebuilds it (and restarts
+// its chains cold).
 func (a *Auditor) Record(q query.Query, answer float64) {
 	a.rows = append(a.rows, a.rowOf(q.Set))
 	a.b = append(a.b, answer)

@@ -181,6 +181,38 @@ func (e *Engine) SetMCObserver(o mcpar.Observer) int {
 	return e.forEachMCTunableLocked(func(t MCTunable) { t.SetMCObserver(o) })
 }
 
+// MCSchedulable is satisfied by auditors whose decisions can share a
+// cross-decision assist pool (mcpar.Scheduler). It is separate from
+// MCTunable so auditors may adopt the scheduler incrementally.
+type MCSchedulable interface {
+	// SetScheduler points the auditor at a shared assist pool (nil
+	// selects the process-wide default).
+	SetScheduler(s *mcpar.Scheduler)
+}
+
+// SetMCScheduler installs the shared decision scheduler on every
+// registered auditor that supports it and reports how many it reached.
+// All of a deployment's engines should share ONE scheduler: that is what
+// bounds the process's concurrent sample evaluation at the pool size
+// regardless of how many analyst sessions are deciding at once.
+func (e *Engine) SetMCScheduler(s *mcpar.Scheduler) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	seen := map[audit.Auditor]bool{}
+	reached := 0
+	for _, a := range e.auditors {
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		if t, ok := a.(MCSchedulable); ok {
+			t.SetScheduler(s)
+			reached++
+		}
+	}
+	return reached
+}
+
 // forEachMCTunableLocked applies f once per distinct MC-tunable auditor;
 // callers hold mu.
 func (e *Engine) forEachMCTunableLocked(f func(MCTunable)) int {

@@ -37,6 +37,7 @@ type EngineSpec struct {
 	obs     Observer
 	mcObs   mcpar.Observer
 	workers int
+	sched   *mcpar.Scheduler
 }
 
 type specEntry struct {
@@ -71,6 +72,12 @@ func (sp *EngineSpec) SetMCObserver(o mcpar.Observer) { sp.mcObs = o }
 // engine (0 leaves auditors at their own default).
 func (sp *EngineSpec) SetMCWorkers(n int) { sp.workers = n }
 
+// SetMCScheduler sets the shared decision scheduler installed on every
+// built engine's schedulable auditors. One scheduler per deployment:
+// sessions built from the same spec then multiplex their decisions over
+// one machine-sized pool instead of fanning out per decision.
+func (sp *EngineSpec) SetMCScheduler(s *mcpar.Scheduler) { sp.sched = s }
+
 // Build constructs a fresh engine: new auditor instances from every
 // factory, observers and MC knobs installed before the engine is
 // published to any other goroutine.
@@ -91,6 +98,9 @@ func (sp *EngineSpec) Build() (*Engine, error) {
 	}
 	if sp.workers != 0 {
 		e.SetMCWorkers(sp.workers)
+	}
+	if sp.sched != nil {
+		e.SetMCScheduler(sp.sched)
 	}
 	return e, nil
 }

@@ -3,53 +3,66 @@
 // maxprob, maxminprob and sumprob reduces to the same shape: run up to
 // `budget` independent sample evaluations, count how many vote "unsafe",
 // and deny iff the unsafe fraction exceeds the δ/(2T) threshold. This
-// package fans that budget across a bounded worker pool while keeping the
-// decision bit-identical at ANY worker count, including 1.
+// package schedules that budget — across the caller and a process-wide
+// assist pool shared by ALL concurrent decisions (see Scheduler) — while
+// keeping the decision bit-identical at ANY worker count, including 1.
 //
 // # Determinism
 //
 // Sample i draws all of its randomness from a counter-based stream keyed
 // by (seed, i) — randx.Stream — so its verdict is a pure function of the
-// sample index, never of scheduling. The full-budget unsafe count is
-// therefore a deterministic value U(seed), and the decision U > barrier is
-// invariant under the worker count and under the dispatch order.
+// sample index, never of scheduling. Verdicts commit into a per-index
+// result table and every stopping rule is evaluated only at contiguous
+// prefixes of it, in index order (see run), so the decision, the vote
+// count, and the certificate point are all deterministic values of the
+// seed: identical at every worker count and under any interleaving with
+// other analysts' decisions.
 //
 // # Early exit
 //
-// Votes only accumulate, so partial counts yield sound certificates about
+// Votes only accumulate, so prefix counts yield sound certificates about
 // the full-budget outcome:
 //
 //   - votes > barrier            ⇒ U > barrier (deny), stop sampling;
 //   - votes + remaining ≤ barrier ⇒ U ≤ barrier (answer), stop sampling.
 //
 // Either certificate proves the decision the full budget would have made,
-// so early exit never changes a decision — it only skips samples whose
-// verdicts cannot matter. The number of samples actually evaluated MAY
-// vary with scheduling (a fast worker can land one more sample before the
-// stop flag propagates); only the decision is scheduling-invariant.
+// so early exit never changes a decision. With Config.AdaptiveAlpha > 0 a
+// third, variance-aware rule joins them: an empirical-Bernstein
+// sequential test that stops once the full-budget unsafe fraction is
+// pinned on one side of the barrier with confidence 1-alpha. It can save
+// most of the budget when the unsafe fraction is far from the threshold,
+// at the cost of a ≤ alpha chance of deciding differently from the full
+// budget — still deterministically: the test reads only prefix counts,
+// so a given seed stops at the same point at every worker count.
+//
+// The number of samples actually evaluated MAY exceed the certificate
+// point — workers can have samples in flight when the rule fires — but
+// the claim window bounds the overshoot: evaluated ≤ CertPoint + Workers.
 //
 // # Worker isolation
 //
-// Each worker owns a private rand.Rand over a reseedable splitmix source
-// and a private scratch value, so the hot path shares nothing but three
-// atomics (the index dispenser, the vote count, the evaluated count).
-// internal/server's CI runs the auditor tests under -race to enforce this.
+// Samples run on "lanes": paired (source, rand.Rand, scratch) pooled per
+// run, at most one per worker, never shared between two in-flight
+// samples. The source is reseeded to (seed, i) before sample i, so lanes
+// affect only allocation reuse, never randomness. CI runs the auditor
+// tests under -race to enforce the isolation.
 package mcpar
 
 import (
 	"math/rand"
 	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"queryaudit/internal/randx"
 )
 
-// Config selects the worker pool and the random seed of one Vote run.
+// Config selects the scheduling and the random seed of one Vote run.
 type Config struct {
-	// Workers is the pool size; 0 means runtime.GOMAXPROCS(0), and 1
-	// forces the sequential path (same decisions, no goroutines).
+	// Workers caps this decision's parallelism; 0 means
+	// runtime.GOMAXPROCS(0), and 1 forces the fully sequential inline
+	// path (same decisions, no goroutines, no scheduler).
 	Workers int
 	// Seed keys the per-sample random streams. Two runs with the same
 	// seed, budget and sample function reach the same decision at any
@@ -57,6 +70,15 @@ type Config struct {
 	Seed int64
 	// Observer, when non-nil, receives one report per Vote run.
 	Observer Observer
+	// Sched is the assist pool to draw spare capacity from; nil selects
+	// the process-wide Default(). The pool is shared by all concurrent
+	// decisions — Workers only caps how much of it one decision may use.
+	Sched *Scheduler
+	// AdaptiveAlpha, when positive, arms the adaptive sequential test
+	// (see package doc): stop as soon as the decision is pinned with
+	// confidence 1-AdaptiveAlpha. Zero keeps the exact certificates only,
+	// which never change a decision.
+	AdaptiveAlpha float64
 }
 
 // Observer receives per-decision Monte Carlo accounting — sample budget
@@ -70,15 +92,26 @@ type Observer interface {
 type Outcome struct {
 	// Budget is the sample budget requested.
 	Budget int
-	// Evaluated is how many samples actually ran (≤ Budget on early exit).
+	// Evaluated is how many samples actually ran. It may vary with
+	// scheduling but is bounded: CertPoint ≤ Evaluated ≤ CertPoint+Workers.
 	Evaluated int
-	// Votes counts "unsafe" verdicts among the evaluated samples.
+	// Votes counts "unsafe" verdicts among the first CertPoint samples —
+	// the prefix the decision is taken on. Deterministic at any worker
+	// count, unlike Evaluated.
 	Votes int
-	// Workers is the resolved pool size.
+	// Workers is the resolved per-decision cap.
 	Workers int
-	// Exceeded reports the decision: the full-budget vote count provably
-	// exceeds the barrier (deny) or provably cannot (answer).
+	// Exceeded reports the decision: deny (the unsafe count provably — or,
+	// under the adaptive rule, confidently — exceeds the barrier) versus
+	// answer.
 	Exceeded bool
+	// CertPoint is the deterministic sample count at which a stopping
+	// rule fired (== Budget when none fired early). Identical at every
+	// worker count, and identical to the sequential loop's stop point.
+	CertPoint int
+	// Adaptive reports that the stop came from the adaptive sequential
+	// test rather than an exact certificate.
+	Adaptive bool
 	// busy is the summed per-worker time inside the sample loop;
 	// observers receive it via ObserveMC.
 	busy time.Duration
@@ -120,102 +153,114 @@ func DenyBarrier(budget int, threshold float64) int {
 	return k
 }
 
+// chunkFor sizes the assist work quantum: small enough that a token
+// cycles back through the queue often (fairness across concurrent
+// decisions), large enough to amortize the queue round-trip.
+func chunkFor(budget, workers int) int {
+	c := budget / (4 * workers)
+	if c < 1 {
+		c = 1
+	}
+	if c > 64 {
+		c = 64
+	}
+	return c
+}
+
+// lane pairs one rand.Rand (over a reseedable splitmix source) with one
+// scratch value. A lane serves one in-flight sample at a time; the pool
+// hands it to whichever claimant runs the next sample. Reseeding before
+// every sample makes lane identity irrelevant to randomness — it only
+// carries allocation reuse.
+type lane[S any] struct {
+	src *randx.SplitMix
+	// rng is confined to the lane: exactly one in-flight sample holds a
+	// lane at any time (taken from and returned to a buffered channel).
+	rng     *rand.Rand //auditlint:allow rngshare lane is held by exactly one in-flight sample at a time via the lanes channel
+	scratch S
+}
+
 // Vote runs sample(i, rng, scratch) for i ∈ [0, budget), counting true
 // returns as unsafe votes, and reports whether the full-budget vote count
 // exceeds barrier. Each sample's rng is the (cfg.Seed, i) stream; scratch
-// is per-worker state from newScratch (called once per worker; may build
+// is per-lane state from newScratch (at most Workers lanes; may build
 // reusable buffers). sample must not touch anything mutable outside its
 // scratch — shared inputs (the synopsis, the query) are read-only.
+//
+// The calling goroutine always participates: with Workers == 1 the whole
+// run is inline and allocation-light, with Workers > 1 up to Workers-1
+// work tokens are offered to the scheduler and the caller races the
+// assists for the remaining samples.
 func Vote[S any](cfg Config, budget, barrier int, newScratch func() S, sample func(i int, rng *rand.Rand, scratch S) bool) Outcome {
 	workers := cfg.resolveWorkers(budget)
 	start := time.Now() //auditlint:allow detrand latency metric stamp, never a decision input
-	var out Outcome
-	if workers <= 1 {
-		out = voteSequential(cfg, budget, barrier, newScratch, sample)
-	} else {
-		out = voteParallel(cfg, budget, barrier, workers, newScratch, sample)
-	}
-	out.Budget = budget
-	out.Workers = workers
-	out.Exceeded = out.Votes > barrier
-	if cfg.Observer != nil {
-		wall := time.Since(start) //auditlint:allow detrand latency metric stamp, never a decision input
-		busy := out.busy
-		if busy <= 0 {
-			busy = wall
+	if budget <= 0 {
+		out := Outcome{Workers: workers}
+		if cfg.Observer != nil {
+			wall := time.Since(start) //auditlint:allow detrand latency metric stamp, never a decision input
+			cfg.Observer.ObserveMC(0, 0, 0, workers, wall, wall)
 		}
-		cfg.Observer.ObserveMC(budget, out.Evaluated, out.Votes, workers, wall, busy)
+		return out
 	}
-	return out
-}
 
-func voteSequential[S any](cfg Config, budget, barrier int, newScratch func() S, sample func(i int, rng *rand.Rand, scratch S) bool) Outcome {
-	src := randx.NewSplitMix(cfg.Seed, 0)
-	rng := rand.New(src)
-	scratch := newScratch()
-	begin := time.Now() //auditlint:allow detrand latency metric stamp, never a decision input
-	votes, evaluated := 0, 0
-	for i := 0; i < budget; i++ {
-		src.Reseed(cfg.Seed, uint64(i))
-		if sample(i, rng, scratch) {
-			votes++
-		}
-		evaluated++
-		if votes > barrier || votes+(budget-evaluated) <= barrier {
-			break
-		}
-	}
-	return Outcome{Evaluated: evaluated, Votes: votes, busy: time.Since(begin)} //auditlint:allow detrand latency metric stamp, never a decision input
-}
-
-func voteParallel[S any](cfg Config, budget, barrier, workers int, newScratch func() S, sample func(i int, rng *rand.Rand, scratch S) bool) Outcome {
-	var (
-		next      atomic.Int64 // index dispenser
-		votes     atomic.Int64
-		evaluated atomic.Int64
-		stop      atomic.Bool
-		busy      atomic.Int64 // summed worker nanoseconds
-		wg        sync.WaitGroup
-	)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			src := randx.NewSplitMix(cfg.Seed, 0)
-			rng := rand.New(src)
-			scratch := newScratch()
-			begin := time.Now() //auditlint:allow detrand latency metric stamp, never a decision input
-			for !stop.Load() {
-				i := next.Add(1) - 1
-				if i >= int64(budget) {
-					break
-				}
-				src.Reseed(cfg.Seed, uint64(i))
-				unsafe := sample(int(i), rng, scratch)
-				// Order matters for the certificates: publish the vote
-				// BEFORE the evaluated count, and read votes after, so a
-				// vote can never be missing from v for a sample already
-				// counted in ev (which would let the answer certificate
-				// fire with an unsafe vote still in flight).
-				if unsafe {
-					votes.Add(1)
-				}
-				ev := evaluated.Add(1)
-				v := votes.Load()
-				// Certificates (see package doc): either one proves the
-				// full-budget decision, so stopping cannot change it.
-				if v > int64(barrier) || v+(int64(budget)-ev) <= int64(barrier) {
-					stop.Store(true)
-					break
-				}
+	r := newRun(budget, barrier, workers, chunkFor(budget, workers), cfg.AdaptiveAlpha)
+	lanes := make(chan *lane[S], workers)
+	var created int32
+	var busy atomic.Int64
+	r.eval = func(i int) {
+		var l *lane[S]
+		select {
+		case l = <-lanes:
+		default:
+			if int(atomic.AddInt32(&created, 1)) <= workers {
+				src := randx.NewSplitMix(cfg.Seed, uint64(i))
+				l = &lane[S]{src: src, rng: rand.New(src), scratch: newScratch()}
+			} else {
+				l = <-lanes
 			}
-			busy.Add(int64(time.Since(begin))) //auditlint:allow detrand latency metric stamp, never a decision input
-		}()
+		}
+		l.src.Reseed(cfg.Seed, uint64(i))
+		begin := time.Now() //auditlint:allow detrand latency metric stamp, never a decision input
+		unsafe := sample(i, l.rng, l.scratch)
+		busy.Add(int64(time.Since(begin))) //auditlint:allow detrand latency metric stamp, never a decision input
+		lanes <- l
+		r.commit(i, unsafe)
 	}
-	wg.Wait()
-	return Outcome{
-		Evaluated: int(evaluated.Load()),
-		Votes:     int(votes.Load()),
+
+	sched := cfg.Sched
+	if sched == nil {
+		sched = Default()
+	}
+	tokens := 0
+	if workers > 1 {
+		tokens = sched.offer(r, workers-1)
+	}
+	callerRan := r.work(0)
+	<-r.done
+
+	r.mu.Lock()
+	out := Outcome{
+		Budget:    budget,
+		Evaluated: r.evaluated,
+		Votes:     r.prefixVote,
+		Workers:   workers,
+		Exceeded:  r.deny,
+		CertPoint: r.certPoint,
+		Adaptive:  r.adaptive,
 		busy:      time.Duration(busy.Load()),
 	}
+	r.mu.Unlock()
+
+	if tokens > 0 {
+		sched.observe(tokens, int(r.assisted.Load()), callerRan)
+	}
+	if cfg.Observer != nil {
+		wall := time.Since(start) //auditlint:allow detrand latency metric stamp, never a decision input
+		b := out.busy
+		if b <= 0 {
+			b = wall
+		}
+		cfg.Observer.ObserveMC(budget, out.Evaluated, out.Votes, workers, wall, b)
+	}
+	return out
 }

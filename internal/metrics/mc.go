@@ -65,3 +65,38 @@ func (c *MCCollector) ObserveMC(budget, evaluated, votes, workers int, wall, bus
 		c.speedup.Observe(busy.Seconds() / wall.Seconds())
 	}
 }
+
+// SchedCollector implements mcpar.SchedObserver over a Registry: how the
+// shared decision scheduler splits sample work between the assist pool
+// and the deciding goroutines themselves. Atomic-only, like MCCollector.
+//
+// Exported names:
+//
+//	mcsched_runs_total            scheduler-assisted decisions
+//	mcsched_tokens_total          work tokens enqueued
+//	mcsched_assist_samples_total  samples evaluated by pool workers
+//	mcsched_caller_samples_total  samples evaluated by deciding callers
+type SchedCollector struct {
+	runs    *Counter
+	tokens  *Counter
+	assist  *Counter
+	callers *Counter
+}
+
+// NewSchedCollector wires a collector into reg.
+func NewSchedCollector(reg *Registry) *SchedCollector {
+	return &SchedCollector{
+		runs:    reg.Counter("mcsched_runs_total"),
+		tokens:  reg.Counter("mcsched_tokens_total"),
+		assist:  reg.Counter("mcsched_assist_samples_total"),
+		callers: reg.Counter("mcsched_caller_samples_total"),
+	}
+}
+
+// ObserveSchedRun implements mcpar.SchedObserver.
+func (c *SchedCollector) ObserveSchedRun(tokens, assisted, caller int) {
+	c.runs.Inc()
+	c.tokens.Add(int64(tokens))
+	c.assist.Add(int64(assisted))
+	c.callers.Add(int64(caller))
+}

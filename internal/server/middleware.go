@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"queryaudit/internal/mcpar"
 	"queryaudit/internal/metrics"
 	"queryaudit/internal/replica"
 )
@@ -36,11 +37,17 @@ type Options struct {
 	// observer on every MC-tunable auditor (on by default; a no-op when
 	// no probabilistic auditor is registered).
 	InstrumentMC bool
-	// MCWorkers overrides the parallel Monte Carlo pool of every
-	// MC-tunable auditor: 0 leaves the auditors as configured (their own
-	// default is GOMAXPROCS), 1 forces sequential decisions, n > 1 bounds
-	// the pool. Decisions are identical at any setting for a fixed seed.
+	// MCWorkers caps each decision's share of the shared Monte Carlo
+	// scheduler: 0 leaves the auditors as configured (their own default
+	// is GOMAXPROCS), 1 forces sequential decisions, n > 1 bounds the
+	// per-decision cap. Decisions are identical at any setting for a
+	// fixed seed.
 	MCWorkers int
+	// MCScheduler, when non-nil, is the shared assist pool installed on
+	// every schedulable auditor (single-engine constructor only; session
+	// deployments install it via the core.EngineSpec). Nil leaves
+	// auditors on the process-wide default pool.
+	MCScheduler *mcpar.Scheduler
 
 	// ReadHeaderTimeout / ReadTimeout / WriteTimeout / IdleTimeout are
 	// applied to the http.Server by Run and ListenAndServe.

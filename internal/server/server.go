@@ -126,16 +126,20 @@ func New(sdb *core.SDB, opts ...Option) *Server {
 	if s.opts.MCWorkers != 0 {
 		sdb.Engine().SetMCWorkers(s.opts.MCWorkers)
 	}
+	if s.opts.MCScheduler != nil {
+		sdb.Engine().SetMCScheduler(s.opts.MCScheduler)
+	}
 	return s
 }
 
 // NewWithSessions builds a multi-analyst server over a session manager.
 // Engine observers are NOT installed here: session engines are built on
 // demand, so observers must come from the manager's core.EngineSpec
-// (spec.SetObserver / SetMCObserver / SetMCWorkers), which installs them
-// at construction time — before the engine serves a single query —
-// rather than racing a SetObserver call against in-flight requests.
-// Options.InstrumentEngine / InstrumentMC / MCWorkers are ignored.
+// (spec.SetObserver / SetMCObserver / SetMCWorkers / SetMCScheduler),
+// which installs them at construction time — before the engine serves a
+// single query — rather than racing a SetObserver call against in-flight
+// requests. Options.InstrumentEngine / InstrumentMC / MCWorkers /
+// MCScheduler are ignored.
 func NewWithSessions(mgr *session.Manager, sensitive string, opts ...Option) *Server {
 	return newServer(mgr, sensitive, opts)
 }

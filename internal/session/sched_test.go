@@ -1,0 +1,146 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"queryaudit/internal/core"
+	"queryaudit/internal/dataset"
+	"queryaudit/internal/mcpar"
+	"queryaudit/internal/query"
+	"queryaudit/internal/randx"
+)
+
+// Scheduler-path determinism: many analysts deciding at once over ONE
+// shared assist pool (the server deployment shape) must produce exactly
+// the transcripts a sequential, scheduler-free run produces, and their
+// journals must replay bit-identically through the scheduler path. Run
+// under -race in CI: the test also exercises the pool's concurrency.
+
+func schedDS() *dataset.Dataset {
+	// The Section 3 auditors protect values normalized to [0,1].
+	return dataset.UniformDuplicateFree(randx.New(9), 12, 0, 1)
+}
+
+// probSchedSpec is probSpec with every engine pointed at one shared
+// scheduler — the multiplexing configuration under test.
+func probSchedSpec(ds *dataset.Dataset, workers int, sched *mcpar.Scheduler) *core.EngineSpec {
+	sp := probSpec(ds, workers)
+	sp.SetMCScheduler(sched)
+	return sp
+}
+
+// analystScripts builds one deterministic game per analyst. No updates:
+// the scripts run concurrently, and updates mutate the shared dataset.
+func analystScripts(analysts int) [][]step {
+	kinds := []query.Kind{query.Sum, query.Max, query.Min}
+	scripts := make([][]step, analysts)
+	for i := range scripts {
+		scripts[i] = script(int64(100+i), 12, 8, kinds, false)
+	}
+	return scripts
+}
+
+// TestConcurrentAnalystsSharedSchedulerDeterministic races several
+// analysts' sessions over one small scheduler and requires every
+// transcript to match the same analyst's sequential, unscheduled run.
+func TestConcurrentAnalystsSharedSchedulerDeterministic(t *testing.T) {
+	const analysts = 6
+	scripts := analystScripts(analysts)
+
+	ref, err := NewManager(probSpec(schedDS(), 1), Config{NoJanitor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want := make([][]outcome, analysts)
+	for i, sc := range scripts {
+		want[i] = play(t, ref, fmt.Sprintf("analyst-%d", i), sc, false)
+	}
+
+	sched := mcpar.NewScheduler(3)
+	defer sched.Close()
+	m, err := NewManager(probSchedSpec(schedDS(), 4, sched), Config{NoJanitor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	got := make([][]outcome, analysts)
+	var wg sync.WaitGroup
+	for i := range scripts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = play(t, m, fmt.Sprintf("analyst-%d", i), scripts[i], false)
+		}(i)
+	}
+	wg.Wait()
+	for i := range scripts {
+		compareTranscripts(t, fmt.Sprintf("analyst-%d", i), want[i], got[i])
+	}
+}
+
+// TestJournalReplayThroughScheduler journals sessions under concurrent
+// scheduled load, replays them into a fresh manager (itself running on a
+// scheduler), and requires the continuation of every game to match the
+// sequential reference — eviction/replay and the scheduler compose.
+func TestJournalReplayThroughScheduler(t *testing.T) {
+	const analysts = 4
+	scripts := analystScripts(analysts)
+	more := make([][]step, analysts)
+	kinds := []query.Kind{query.Sum, query.Max, query.Min}
+	for i := range more {
+		more[i] = script(int64(200+i), 12, 5, kinds, false)
+	}
+
+	// Sequential reference: full game per analyst, no scheduler.
+	ref, err := NewManager(probSpec(schedDS(), 1), Config{NoJanitor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want := make([][]outcome, analysts)
+	for i := range scripts {
+		a := fmt.Sprintf("analyst-%d", i)
+		play(t, ref, a, scripts[i], false)
+		want[i] = play(t, ref, a, more[i], false)
+	}
+
+	// First half under concurrent scheduled load, then snapshot.
+	sched1 := mcpar.NewScheduler(3)
+	defer sched1.Close()
+	m1, err := NewManager(probSchedSpec(schedDS(), 4, sched1), Config{NoJanitor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m1.Close()
+	var wg sync.WaitGroup
+	for i := range scripts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			play(t, m1, fmt.Sprintf("analyst-%d", i), scripts[i], false)
+		}(i)
+	}
+	wg.Wait()
+	snaps := m1.LogSnapshots()
+
+	// Restore into a fresh scheduled manager; replay runs through the
+	// scheduler path too. The continuations must match the reference.
+	sched2 := mcpar.NewScheduler(2)
+	defer sched2.Close()
+	m2, err := NewManager(probSchedSpec(schedDS(), 8, sched2), Config{NoJanitor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if err := m2.Restore(snaps); err != nil {
+		t.Fatalf("replay through scheduler: %v", err)
+	}
+	for i := range more {
+		got := play(t, m2, fmt.Sprintf("analyst-%d", i), more[i], false)
+		compareTranscripts(t, fmt.Sprintf("analyst-%d continuation", i), want[i], got)
+	}
+}

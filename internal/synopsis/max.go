@@ -139,6 +139,51 @@ func (m *Max) Clone() *Max {
 	return c
 }
 
+// CopyInto overwrites dst with a deep copy of m, reusing dst's maps,
+// predicate objects and set slices — the allocation-lean sibling of
+// Clone for hot loops that repeatedly reset one scratch synopsis to a
+// base state (the probabilistic max auditor re-copies the trail once per
+// Monte Carlo sample). dst must not share structure with m.
+func (m *Max) CopyInto(dst *Max) {
+	dst.n = m.n
+	dst.nextID = m.nextID
+	dst.singletonEq = m.singletonEq
+	dst.leCount = m.leCount
+	if cap(dst.elem) < m.n {
+		dst.elem = make([]int, m.n)
+	}
+	dst.elem = dst.elem[:m.n]
+	copy(dst.elem, m.elem)
+	if dst.preds == nil {
+		dst.preds = make(map[int]*Pred, len(m.preds))
+	}
+	for id := range dst.preds {
+		if _, ok := m.preds[id]; !ok {
+			delete(dst.preds, id)
+		}
+	}
+	for id, p := range m.preds {
+		cp := dst.preds[id]
+		if cp == nil {
+			cp = &Pred{}
+			dst.preds[id] = cp
+		}
+		cp.ID = p.ID
+		cp.Set = append(cp.Set[:0], p.Set...)
+		cp.Value = p.Value
+		cp.Op = p.Op
+	}
+	if dst.eqVal == nil {
+		dst.eqVal = make(map[float64]int, len(m.eqVal))
+	}
+	for v := range dst.eqVal {
+		delete(dst.eqVal, v)
+	}
+	for v, id := range m.eqVal {
+		dst.eqVal[v] = id
+	}
+}
+
 // Preds returns the predicates sorted by ID (deep copies).
 func (m *Max) Preds() []Pred {
 	ids := make([]int, 0, len(m.preds))
