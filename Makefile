@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint ci bench bench-guard cover replication-smoke
+.PHONY: build test race vet lint ci bench bench-guard cover replication-smoke loadgen-smoke
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: build lint race
+ci: build lint race loadgen-smoke
 
 # End-to-end failover drill across real OS processes: build the binary,
 # run a primary and a streaming replica, push 50 queries, diff the
@@ -36,16 +36,26 @@ ci: build lint race
 replication-smoke:
 	$(GO) test -run TestReplicationSmoke -count=1 -v ./cmd/auditserver
 
+# End-to-end capacity-harness drill: build auditserver and loadgen as
+# real binaries, drive a short mixed workload (all aggregate kinds,
+# churned sessions, Zipf statement repetition) over HTTP, and validate
+# the LOADGEN report artifact — every request classified, zero
+# transport/5xx errors, ordered latency percentiles.
+loadgen-smoke:
+	$(GO) test -run TestLoadgenSmoke -count=1 -v ./cmd/loadgen
+
 # Monte Carlo engine benchmarks — the per-worker Decide sweeps
 # {1,2,4,8} with samples-evaluated columns, the deployment-default
 # budget latency, the multi-analyst aggregate-QPS sweep over the shared
 # scheduler, and the coloring chain — plus the session-manager
 # benchmarks (hot-path lookup and the 1000-analyst eviction/replay
-# churn), archived as a dated JSON stream of test2json events so runs
-# are diffable across machines and commits.
+# churn) and the query-resolution benchmarks (naive scan vs indexed
+# resolver, and the full HTTP Ask path with allocs/op), archived as a
+# dated JSON stream of test2json events so runs are diffable across
+# machines and commits.
 BENCH_OUT ?= BENCH_$(shell date +%Y-%m-%d).json
 bench:
-	$(GO) test -run='^$$' -bench='Decide$$|DecideDefaultBudget$$|AggregateDecideQPS$$|ColoringChain|^BenchmarkSession' -benchmem -json . ./internal/session > $(BENCH_OUT)
+	$(GO) test -run='^$$' -bench='Decide$$|DecideDefaultBudget$$|AggregateDecideQPS$$|ColoringChain|^BenchmarkSession|^BenchmarkResolve|^BenchmarkServeAsk' -benchmem -json . ./internal/session ./internal/server > $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
 
 # Wall-clock tripwire for the workers>1 regression: a parallel

@@ -101,6 +101,8 @@ func main() {
 		sessShards  = flag.Int("session-shards", 16, "lock shards for the session table")
 		maxBody     = flag.Int64("max-body-bytes", 1<<20, "maximum POST body size in bytes")
 		maxIndices  = flag.Int("max-indices", 100_000, "maximum indices per query set")
+		noQIndex    = flag.Bool("no-query-index", false, "resolve SQL with the naive per-request dataset scan instead of the shared query index (baseline/debug)")
+		queryCache  = flag.Int("query-cache-entries", 0, "statement/predicate memo size for the query resolver (0 = shared default, negative = unbounded)")
 		perClient   = flag.Int("per-client-concurrency", 0, "maximum in-flight requests per client IP (0 = unlimited)")
 		drain       = flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain window on SIGINT/SIGTERM")
 		quietAccess = flag.Bool("quiet", false, "disable per-request access logging")
@@ -244,6 +246,8 @@ func main() {
 	opts.MaxIndices = *maxIndices
 	opts.PerClientConcurrency = *perClient
 	opts.ShutdownTimeout = *drain
+	opts.DisableQueryIndex = *noQIndex
+	opts.QueryCacheEntries = *queryCache
 	if !*quietAccess {
 		opts.AccessLog = logger
 	}

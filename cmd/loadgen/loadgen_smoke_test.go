@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLoadgenSmoke is the end-to-end capacity-harness drill (`make
+// loadgen-smoke`): build both binaries, start a real auditserver on an
+// ephemeral port, drive a short mixed workload through the loadgen
+// binary, and check the report artifact it writes is coherent — every
+// request accounted for, no transport or server errors, a plausible
+// latency distribution.
+func TestLoadgenSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping e2e binary test in -short mode")
+	}
+	dir := t.TempDir()
+	serverBin := filepath.Join(dir, "auditserver")
+	loadgenBin := filepath.Join(dir, "loadgen")
+	for _, b := range []struct{ bin, pkg string }{
+		{serverBin, "queryaudit/cmd/auditserver"},
+		{loadgenBin, "queryaudit/cmd/loadgen"},
+	} {
+		build := exec.Command("go", "build", "-o", b.bin, b.pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			t.Fatalf("build %s: %v", b.pkg, err)
+		}
+	}
+
+	// Start the server and learn its ephemeral address from the log line.
+	srv := exec.Command(serverBin, "-n", "50", "-addr", "127.0.0.1:0", "-quiet")
+	stderr, err := srv.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Process.Kill(); srv.Wait() })
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(20 * time.Second):
+		t.Fatal("auditserver never reported its listen address")
+	}
+
+	// A short fixed-count mixed run: enough requests to hit every kind,
+	// some churned sessions, Zipf repetition to exercise the memo.
+	out := filepath.Join(dir, "loadgen-report.json")
+	lg := exec.Command(loadgenBin,
+		"-target", "http://"+addr,
+		"-requests", "120",
+		"-concurrency", "4",
+		"-analysts", "3",
+		"-churn", "0.1",
+		"-mix", "sum=2,max=1,min=1",
+		"-statements", "12",
+		"-zipf", "1.2",
+		"-out", out,
+	)
+	lg.Stdout, lg.Stderr = os.Stderr, os.Stderr
+	if err := lg.Run(); err != nil {
+		t.Fatalf("loadgen run: %v", err)
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if rep.Totals.Requests != 120 {
+		t.Fatalf("report accounts for %d requests, want 120", rep.Totals.Requests)
+	}
+	if got := rep.Totals.Answered + rep.Totals.Denied + rep.Totals.HTTP4xx +
+		rep.Totals.HTTP5xx + rep.Totals.TransportErrors; got != rep.Totals.Requests {
+		t.Fatalf("outcome classes sum to %d, want %d", got, rep.Totals.Requests)
+	}
+	if rep.Totals.TransportErrors != 0 || rep.Totals.HTTP5xx != 0 || rep.Totals.HTTP4xx != 0 {
+		t.Fatalf("errors against a healthy server: %+v", rep.Totals)
+	}
+	if rep.Totals.Answered == 0 {
+		t.Fatalf("no queries answered: %+v", rep.Totals)
+	}
+	if len(rep.ByKind) != 3 {
+		t.Fatalf("expected 3 kinds in report, got %d", len(rep.ByKind))
+	}
+	if rep.LatencyMS.P99 < rep.LatencyMS.P50 || rep.LatencyMS.Max < rep.LatencyMS.P99 {
+		t.Fatalf("latency distribution out of order: %+v", rep.LatencyMS)
+	}
+	if rep.AchievedQPS <= 0 {
+		t.Fatalf("achieved QPS %g, want > 0", rep.AchievedQPS)
+	}
+}

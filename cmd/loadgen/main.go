@@ -1,0 +1,108 @@
+// Command loadgen is the capacity-planning harness for a live
+// auditserver: it drives a configurable synthetic analyst population
+// over HTTP — SQL statement mixes across the aggregate kinds, hot-key
+// skewed statement repetition, open (uniform/Poisson) or closed arrival
+// processes, and session churn — and reports latency percentiles,
+// denial rates, throughput and a QPS-vs-SLO figure as a dated JSON
+// artifact (LOADGEN_<date>.json) comparable across commits.
+//
+// The workload shape models what the audit protocol actually sees in
+// production: a small set of dashboard statements repeated verbatim
+// (the hot keys the query index's statement memo exists for), a long
+// tail of ad-hoc predicates, and analysts arriving and leaving (session
+// admission, eviction and replay on the server side).
+//
+//	loadgen -target http://127.0.0.1:8080 -analysts 16 -duration 30s \
+//	    -arrival poisson -rate 400 -mix 'sum=4,max=2,min=2' -zipf 1.2
+//
+// Denials are protocol outcomes, not errors: a healthy audited database
+// under sustained load denies an increasing fraction of queries as
+// analyst histories accumulate. The report therefore tracks answered
+// and denied separately from transport/HTTP failures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.target, "target", "", "base URL of the auditserver to load (e.g. http://127.0.0.1:8080); required")
+	flag.IntVar(&cfg.analysts, "analysts", 8, "size of the steady analyst population (distinct X-Analyst-ID values)")
+	flag.Float64Var(&cfg.churn, "churn", 0, "per-request probability of using a brand-new analyst instead of the steady population (session admission/eviction pressure)")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to drive load (ignored when -requests > 0)")
+	flag.IntVar(&cfg.requests, "requests", 0, "stop after exactly this many requests (0 = run for -duration)")
+	flag.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop workers; for open arrivals, the in-flight cap")
+	flag.StringVar(&cfg.arrival, "arrival", "closed", "arrival process: closed (back-to-back workers), uniform (fixed interarrival at -rate), or poisson (exponential interarrival at -rate)")
+	flag.Float64Var(&cfg.rate, "rate", 100, "target request rate for open arrivals (requests/second)")
+	flag.StringVar(&cfg.mix, "mix", "sum=4,max=2,min=2", "aggregate mix as kind=weight pairs over sum, max, min, avg")
+	flag.IntVar(&cfg.statements, "statements", 32, "distinct SQL statements in the pool (repetition comes from -zipf skew)")
+	flag.Float64Var(&cfg.zipfS, "zipf", 1.1, "Zipf skew s > 1 over the statement pool (hot-key shape); 0 selects uniformly")
+	flag.Float64Var(&cfg.sloMS, "slo-ms", 50, "latency SLO in milliseconds for the QPS-vs-SLO figure")
+	flag.StringVar(&cfg.out, "out", "", "report path (default LOADGEN_<date>.json in the working directory)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "workload seed (statement pool and arrival draws are reproducible per seed)")
+	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request HTTP timeout")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "loadgen ", log.LstdFlags|log.Lmsgprefix)
+	if cfg.target == "" {
+		logger.Fatal("-target is required (base URL of a running auditserver)")
+	}
+	if cfg.out == "" {
+		cfg.out = "LOADGEN_" + time.Now().Format("2006-01-02") + ".json"
+	}
+	if err := cfg.validate(); err != nil {
+		logger.Fatal(err)
+	}
+
+	// Refuse to drive load at a server that is not ready: a half-restored
+	// server would skew every figure (and 503s are not capacity data).
+	client := &http.Client{Timeout: cfg.timeout}
+	if err := waitReady(client, cfg.target, 10*time.Second); err != nil {
+		logger.Fatalf("target not ready: %v", err)
+	}
+
+	pool, err := buildStatements(cfg)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("driving %s: %d statements, mix %q, arrival=%s analysts=%d churn=%g",
+		cfg.target, len(pool), cfg.mix, cfg.arrival, cfg.analysts, cfg.churn)
+
+	samples, elapsed := run(cfg, client, pool, logger)
+	rep := buildReport(cfg, samples, elapsed)
+	if err := rep.write(cfg.out); err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("wrote %s", cfg.out)
+	fmt.Println(rep.summary())
+	if rep.Totals.TransportErrors > 0 || rep.Totals.HTTP5xx > 0 {
+		os.Exit(1)
+	}
+}
+
+// waitReady polls GET /readyz until 200 or the deadline.
+func waitReady(client *http.Client, base string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return err
+			}
+			return fmt.Errorf("GET /readyz kept answering non-200")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

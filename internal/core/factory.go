@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"queryaudit/internal/audit"
 	"queryaudit/internal/dataset"
 	"queryaudit/internal/mcpar"
+	"queryaudit/internal/qindex"
 	"queryaudit/internal/query"
 )
 
@@ -38,6 +40,11 @@ type EngineSpec struct {
 	mcObs   mcpar.Observer
 	workers int
 	sched   *mcpar.Scheduler
+	// resOnce/res: the deployment-shared indexed resolver over ds, built
+	// lazily so specs that never resolve SQL (replay, pure queryset
+	// traffic) skip the index build.
+	resOnce sync.Once
+	res     *qindex.Resolver
 }
 
 type specEntry struct {
@@ -52,6 +59,17 @@ func NewEngineSpec(ds *dataset.Dataset) *EngineSpec {
 
 // Dataset returns the shared dataset every built engine serves.
 func (sp *EngineSpec) Dataset() *dataset.Dataset { return sp.ds }
+
+// Resolver returns the spec's shared indexed resolver over the dataset,
+// building it on first use. Every consumer of the spec (the HTTP
+// server, replay, tools) resolving through this one instance is what
+// makes repeated statements across sessions land on the same interned,
+// pointer-equal query sets — so primary, replica and replayed engines
+// all see identical sets for identical SQL.
+func (sp *EngineSpec) Resolver() *qindex.Resolver {
+	sp.resOnce.Do(func() { sp.res = qindex.NewResolver(sp.ds, qindex.Options{}) })
+	return sp.res
+}
 
 // Register adds a factory for the given aggregate kinds. One factory
 // call produces one auditor instance registered for all listed kinds.

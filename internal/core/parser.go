@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"unicode"
@@ -272,4 +273,9 @@ func (p *parser) pred() (dataset.Predicate, error) {
 	}
 }
 
-func inf() float64 { return 1e308 }
+// inf is the open-bound sentinel for one-sided comparisons. It must be
+// a true infinity, not a large finite number: with a finite sentinel
+// like 1e308, a record whose value is ±1.5e308 (or exactly MaxFloat64
+// on the <= side) would silently fall OUT of a ">=" / "<=" predicate
+// that semantically has no upper/lower bound.
+func inf() float64 { return math.Inf(1) }

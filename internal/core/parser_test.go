@@ -113,3 +113,36 @@ func TestSDBEndToEnd(t *testing.T) {
 		t.Fatal("empty selection must error")
 	}
 }
+
+// TestParseOneSidedUnbounded: ">=" / "<=" predicates are genuinely
+// unbounded on the open side. With the old finite sentinel (1e308), a
+// record whose attribute value is larger — MaxFloat64, or the ±Inf a
+// loader might produce — silently fell out of the selection.
+func TestParseOneSidedUnbounded(t *testing.T) {
+	huge := 1.7976931348623157e308 // MaxFloat64 > 1e308
+	schema := dataset.Schema{{Name: "age", Kind: dataset.Numeric}}
+	rows := []dataset.Record{
+		{Public: []dataset.Value{dataset.NumValue(25)}, Sensitive: 1},
+		{Public: []dataset.Value{dataset.NumValue(huge)}, Sensitive: 2},
+		{Public: []dataset.Value{dataset.NumValue(-huge)}, Sensitive: 4},
+	}
+	ds := dataset.New(schema, rows)
+	for _, tc := range []struct {
+		sql  string
+		want []int
+	}{
+		{"SELECT sum(s) WHERE age >= 0", []int{0, 1}},
+		{"SELECT sum(s) WHERE age >= 1000000", []int{1}},
+		{"SELECT sum(s) WHERE age <= 0", []int{2}},
+		{"SELECT sum(s) WHERE age <= 1000000", []int{0, 2}},
+	} {
+		q, err := ResolveSQL(ds, "s", tc.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.sql, err)
+		}
+		want := query.NewSet(tc.want...)
+		if !q.Set.Equal(want) {
+			t.Errorf("%s: set = %v, want %v", tc.sql, q.Set, want)
+		}
+	}
+}

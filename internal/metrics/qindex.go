@@ -1,0 +1,107 @@
+// Query-index instrumentation: a qindex.Observer implementation backed
+// by a Registry. Lives here (not in internal/qindex) so the resolver
+// stays free of any metrics dependency — qindex defines the Observer
+// interface, this file satisfies it structurally.
+package metrics
+
+import "time"
+
+// QIndexBuildBuckets bound the index-build histogram: a small demo
+// dataset indexes in microseconds; a million-row deployment takes
+// fractions of a second.
+var QIndexBuildBuckets = []float64{
+	0.00025, 0.001, 0.0025, 0.01, 0.025, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// QIndexCollector implements qindex.Observer over a Registry. All
+// callbacks are atomic-only; some run while the resolver lock is held,
+// so they must stay that way.
+//
+// Exported names:
+//
+//	qindex_sql_hits_total        statement-memo hits
+//	qindex_sql_misses_total      statement-memo misses (parse + resolve)
+//	qindex_pred_hits_total       predicate-memo hits
+//	qindex_pred_misses_total     predicate-memo misses (index walk)
+//	qindex_intern_hits_total     set internings that found the canonical
+//	qindex_intern_misses_total   set internings that created a canonical
+//	qindex_evictions_sql_total   statement-memo LRU evictions
+//	qindex_evictions_pred_total  predicate-memo LRU evictions
+//	qindex_evictions_intern_total  canonical-set-table LRU evictions
+//	qindex_builds_total          index builds
+//	qindex_build_rows_total      rows covered by builds
+//	qindex_build_seconds         histogram of per-build wall time
+type QIndexCollector struct {
+	sqlHits     *Counter
+	sqlMisses   *Counter
+	predHits    *Counter
+	predMisses  *Counter
+	internHits  *Counter
+	internMiss  *Counter
+	evictSQL    *Counter
+	evictPred   *Counter
+	evictIntern *Counter
+	builds      *Counter
+	buildRows   *Counter
+	buildTime   *Histogram
+}
+
+// NewQIndexCollector wires a collector into reg.
+func NewQIndexCollector(reg *Registry) *QIndexCollector {
+	return &QIndexCollector{
+		sqlHits:     reg.Counter("qindex_sql_hits_total"),
+		sqlMisses:   reg.Counter("qindex_sql_misses_total"),
+		predHits:    reg.Counter("qindex_pred_hits_total"),
+		predMisses:  reg.Counter("qindex_pred_misses_total"),
+		internHits:  reg.Counter("qindex_intern_hits_total"),
+		internMiss:  reg.Counter("qindex_intern_misses_total"),
+		evictSQL:    reg.Counter("qindex_evictions_sql_total"),
+		evictPred:   reg.Counter("qindex_evictions_pred_total"),
+		evictIntern: reg.Counter("qindex_evictions_intern_total"),
+		builds:      reg.Counter("qindex_builds_total"),
+		buildRows:   reg.Counter("qindex_build_rows_total"),
+		buildTime:   reg.Histogram("qindex_build_seconds", QIndexBuildBuckets),
+	}
+}
+
+// ObserveResolve implements qindex.Observer.
+func (c *QIndexCollector) ObserveResolve(layer string, hit bool) {
+	switch {
+	case layer == "sql" && hit:
+		c.sqlHits.Inc()
+	case layer == "sql":
+		c.sqlMisses.Inc()
+	case hit:
+		c.predHits.Inc()
+	default:
+		c.predMisses.Inc()
+	}
+}
+
+// ObserveIntern implements qindex.Observer.
+func (c *QIndexCollector) ObserveIntern(hit bool) {
+	if hit {
+		c.internHits.Inc()
+	} else {
+		c.internMiss.Inc()
+	}
+}
+
+// ObserveEviction implements qindex.Observer.
+func (c *QIndexCollector) ObserveEviction(layer string) {
+	switch layer {
+	case "sql":
+		c.evictSQL.Inc()
+	case "pred":
+		c.evictPred.Inc()
+	default:
+		c.evictIntern.Inc()
+	}
+}
+
+// ObserveBuild implements qindex.Observer.
+func (c *QIndexCollector) ObserveBuild(rows int, elapsed time.Duration) {
+	c.builds.Inc()
+	c.buildRows.Add(int64(rows))
+	c.buildTime.ObserveDuration(elapsed)
+}

@@ -48,6 +48,16 @@ type Options struct {
 	// deployments install it via the core.EngineSpec). Nil leaves
 	// auditors on the process-wide default pool.
 	MCScheduler *mcpar.Scheduler
+	// DisableQueryIndex resolves /v1/query statements through the naive
+	// per-request dataset scan instead of the shared indexed resolver —
+	// the pre-index behaviour, kept as a kill switch and as the baseline
+	// arm for benchmarks. Decisions are identical either way.
+	DisableQueryIndex bool
+	// QueryCacheEntries, when non-zero, sizes the statement/predicate
+	// memos of a server-owned resolver (negative = unbounded) instead of
+	// sharing the manager's default-sized one. Leave 0 to share the
+	// deployment resolver.
+	QueryCacheEntries int
 
 	// ReadHeaderTimeout / ReadTimeout / WriteTimeout / IdleTimeout are
 	// applied to the http.Server by Run and ListenAndServe.
@@ -112,16 +122,18 @@ func WithReplication(n *replica.Node) Option { return func(s *Server) { s.repl =
 //	http_requests_total_<route>    per route (path pattern, slashes → _)
 //	http_responses_total_<class>   2xx / 4xx / 5xx
 //	http_throttled_total           429s from the per-client limiter
+//	http_encode_failures_total     response bodies that failed to encode
 //	http_request_seconds           end-to-end handler latency
 type httpMetrics struct {
-	total     *metrics.Counter
-	perRoute  map[string]*metrics.Counter
-	other     *metrics.Counter
-	class2xx  *metrics.Counter
-	class4xx  *metrics.Counter
-	class5xx  *metrics.Counter
-	throttled *metrics.Counter
-	latency   *metrics.Histogram
+	total      *metrics.Counter
+	perRoute   map[string]*metrics.Counter
+	other      *metrics.Counter
+	class2xx   *metrics.Counter
+	class4xx   *metrics.Counter
+	class5xx   *metrics.Counter
+	throttled  *metrics.Counter
+	encodeFail *metrics.Counter
+	latency    *metrics.Histogram
 }
 
 // routes lists the served path patterns for per-route counters.
@@ -140,14 +152,15 @@ func routeCounterName(path string) string {
 
 func newHTTPMetrics(reg *metrics.Registry) *httpMetrics {
 	m := &httpMetrics{
-		total:     reg.Counter("http_requests_total"),
-		perRoute:  make(map[string]*metrics.Counter, len(routes)),
-		other:     reg.Counter("http_requests_total_other"),
-		class2xx:  reg.Counter("http_responses_total_2xx"),
-		class4xx:  reg.Counter("http_responses_total_4xx"),
-		class5xx:  reg.Counter("http_responses_total_5xx"),
-		throttled: reg.Counter("http_throttled_total"),
-		latency:   reg.Histogram("http_request_seconds", nil),
+		total:      reg.Counter("http_requests_total"),
+		perRoute:   make(map[string]*metrics.Counter, len(routes)),
+		other:      reg.Counter("http_requests_total_other"),
+		class2xx:   reg.Counter("http_responses_total_2xx"),
+		class4xx:   reg.Counter("http_responses_total_4xx"),
+		class5xx:   reg.Counter("http_responses_total_5xx"),
+		throttled:  reg.Counter("http_throttled_total"),
+		encodeFail: reg.Counter("http_encode_failures_total"),
+		latency:    reg.Histogram("http_request_seconds", nil),
 	}
 	for _, r := range routes {
 		m.perRoute[r] = reg.Counter(routeCounterName(r))
@@ -246,7 +259,7 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 			if !s.limiter.acquire(client) {
 				s.httpM.throttled.Inc()
 				s.httpM.observe(r.URL.Path, http.StatusTooManyRequests, 0)
-				writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "too many concurrent requests from this client"})
+				s.writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "too many concurrent requests from this client"})
 				return
 			}
 			defer s.limiter.release(client)

@@ -65,16 +65,20 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"queryaudit/internal/audit"
 	"queryaudit/internal/core"
 	"queryaudit/internal/metrics"
+	"queryaudit/internal/qindex"
 	"queryaudit/internal/query"
 	"queryaudit/internal/replica"
 	"queryaudit/internal/session"
@@ -92,12 +96,16 @@ const maxAnalystIDLen = 128
 type Server struct {
 	mgr       *session.Manager
 	sensitive string
-	mux       *http.ServeMux
-	handler   http.Handler // mux behind the middleware chain
-	opts      Options
-	reg       *metrics.Registry
-	httpM     *httpMetrics
-	limiter   *clientLimiter
+	// sqlRes resolves /v1/query statements: by default the deployment's
+	// shared indexed resolver (memoized statements, interned sets); the
+	// naive per-request scan when Options.DisableQueryIndex is set.
+	sqlRes  *core.SQLResolver
+	mux     *http.ServeMux
+	handler http.Handler // mux behind the middleware chain
+	opts    Options
+	reg     *metrics.Registry
+	httpM   *httpMetrics
+	limiter *clientLimiter
 	// repl, when set, makes role and quarantine part of request routing:
 	// writes are fenced to the primary, divergent sessions answer 503.
 	repl *replica.Node
@@ -157,6 +165,23 @@ func newServer(mgr *session.Manager, sensitive string, opts []Option) *Server {
 	if s.opts.PerClientConcurrency > 0 {
 		s.limiter = newClientLimiter(s.opts.PerClientConcurrency)
 	}
+	switch {
+	case s.opts.DisableQueryIndex:
+		s.sqlRes = core.NewSQLResolver(mgr.Dataset())
+	case s.opts.QueryCacheEntries != 0:
+		// A server-owned resolver with caller-sized memos (the shared
+		// interner bound keeps its default — canonical sets are tiny).
+		qr := qindex.NewResolver(mgr.Dataset(), qindex.Options{
+			PredEntries: s.opts.QueryCacheEntries,
+			SQLEntries:  s.opts.QueryCacheEntries,
+		})
+		qr.SetObserver(metrics.NewQIndexCollector(s.reg))
+		s.sqlRes = core.NewSQLResolver(qr)
+	default:
+		qr := mgr.Resolver()
+		qr.SetObserver(metrics.NewQIndexCollector(s.reg))
+		s.sqlRes = core.NewSQLResolver(qr)
+	}
 	s.mux.HandleFunc("POST /v1/query", s.whenReady(s.writable(s.handleQuery)))
 	s.mux.HandleFunc("POST /v1/queryset", s.whenReady(s.writable(s.handleQuerySet)))
 	s.mux.HandleFunc("POST /v1/update", s.whenReady(s.writable(s.handleUpdate)))
@@ -188,7 +213,7 @@ func newServer(mgr *session.Manager, sensitive string, opts []Option) *Server {
 func (s *Server) writable(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.repl != nil && !s.repl.Writable() {
-			writeJSON(w, http.StatusMisdirectedRequest, replicaErrorResponse{
+			s.writeJSON(w, http.StatusMisdirectedRequest, replicaErrorResponse{
 				Error:      "this node is a read-only replica; direct writes to the primary",
 				Role:       s.repl.Role().String(),
 				Epoch:      s.repl.Epoch(),
@@ -206,6 +231,10 @@ func (s *Server) Metrics() *metrics.Registry { return s.reg }
 // Sessions returns the session manager the server routes through.
 func (s *Server) Sessions() *session.Manager { return s.mgr }
 
+// Resolver returns the SQL resolution front-end /v1/query routes
+// through (indexed by default; the naive scan under DisableQueryIndex).
+func (s *Server) Resolver() *core.SQLResolver { return s.sqlRes }
+
 // MarkReady opens the session-scoped endpoints on a readiness-gated
 // server. Call it once boot-time state restoration (auditor snapshot,
 // session-log replay) has finished.
@@ -216,7 +245,7 @@ func (s *Server) whenReady(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if !s.ready.Load() {
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is restoring audit state"})
+			s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is restoring audit state"})
 			return
 		}
 		h(w, r)
@@ -259,13 +288,13 @@ func analystID(r *http.Request) (string, error) {
 func (s *Server) analyst(w http.ResponseWriter, r *http.Request) (string, bool) {
 	a, err := analystID(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return "", false
 	}
 	if s.repl != nil {
 		if reason, bad := s.repl.Quarantined(a); bad {
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+			s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{
 				Error: "session quarantined after replication divergence: " + reason})
 			return "", false
 		}
@@ -275,14 +304,14 @@ func (s *Server) analyst(w http.ResponseWriter, r *http.Request) (string, bool) 
 
 // writeSessionErr maps session-layer failures; reports whether err was
 // one.
-func writeSessionErr(w http.ResponseWriter, err error) bool {
+func (s *Server) writeSessionErr(w http.ResponseWriter, err error) bool {
 	switch {
 	case errors.Is(err, session.ErrTooManySessions):
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 		return true
 	case errors.Is(err, session.ErrMultiAnalystDisabled):
-		writeJSON(w, http.StatusForbidden, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusForbidden, errorResponse{Error: err.Error()})
 		return true
 	}
 	return false
@@ -342,10 +371,51 @@ type replicaErrorResponse struct {
 	PrimaryURL string `json:"primary_url,omitempty"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// encodeBufs pools response-encoding buffers for the hot Ask/batch path:
+// a query answer is a few dozen bytes, so reusing buffers removes the
+// per-response bytes.Buffer and encoder-state allocations.
+var encodeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledEncodeBuf keeps one oversized response (a knowledge snapshot,
+// a full session listing) from pinning a large buffer in the pool.
+const maxPooledEncodeBuf = 64 << 10
+
+// writeJSON encodes v into a pooled buffer BEFORE writing the status
+// line, so an encode failure (a NaN that reached a float field, a
+// marshaler error) surfaces as a logged, counted 500 instead of a torn
+// 200 body. Client-side write failures (peer gone mid-response) remain
+// ignored — they are the client's disconnect, not a server fault.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := encodeBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	err := json.NewEncoder(buf).Encode(v)
+	if err != nil {
+		s.httpM.encodeFail.Inc()
+		s.logf("response encode failed: status=%d type=%T err=%v", status, v, err)
+		encodeBufs.Put(buf)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte(`{"error":"internal error encoding response"}` + "\n"))
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledEncodeBuf {
+		encodeBufs.Put(buf)
+	}
+}
+
+// logf writes one server-fault line to the access logger when one is
+// configured, else the process logger — encode failures must not be
+// silent just because access logging is off.
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.AccessLog != nil {
+		s.opts.AccessLog.Printf(format, args...)
+		return
+	}
+	log.Printf("server: "+format, args...)
 }
 
 // decodeBody decodes a JSON body capped at MaxBodyBytes. It reports
@@ -368,16 +438,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	ok, tooLarge := s.decodeBody(w, r, &req)
 	if tooLarge {
-		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: "request body too large"})
+		s.writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: "request body too large"})
 		return
 	}
 	if !ok || req.SQL == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be {\"sql\": \"SELECT ...\"}"})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be {\"sql\": \"SELECT ...\"}"})
 		return
 	}
-	q, err := core.ResolveSQL(s.mgr.Dataset(), s.sensitive, req.SQL)
+	// Resolve once through the shared resolver, then route the interned
+	// set to the analyst's engine: statement parsing and predicate
+	// resolution are paid per unique statement, not per request.
+	q, err := s.sqlRes.ResolveSQL(s.sensitive, req.SQL)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	resp, err := s.mgr.Ask(analyst, q)
@@ -392,39 +465,44 @@ func (s *Server) handleQuerySet(w http.ResponseWriter, r *http.Request) {
 	var req QuerySetRequest
 	ok, tooLarge := s.decodeBody(w, r, &req)
 	if tooLarge {
-		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: "request body too large"})
+		s.writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: "request body too large"})
 		return
 	}
 	if !ok {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be {\"kind\": ..., \"indices\": [...]}"})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be {\"kind\": ..., \"indices\": [...]}"})
 		return
 	}
 	if len(req.Indices) > s.opts.MaxIndices {
-		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+		s.writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
 			Error: "too many indices (limit " + strconv.Itoa(s.opts.MaxIndices) + ")"})
 		return
 	}
 	kind, err := query.ParseKind(req.Kind)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	resp, err := s.mgr.Ask(analyst, query.New(kind, req.Indices...))
+	// Interning the explicit set means a client that resolves predicates
+	// itself still shares canonical sets with the SQL path (and with
+	// every other session asking about the same rows).
+	q := query.New(kind, req.Indices...)
+	q.Set = s.sqlRes.Intern(q.Set)
+	resp, err := s.mgr.Ask(analyst, q)
 	s.writeQueryResult(w, resp, err)
 }
 
 func (s *Server) writeQueryResult(w http.ResponseWriter, resp core.Response, err error) {
 	switch {
-	case err != nil && writeSessionErr(w, err):
+	case err != nil && s.writeSessionErr(w, err):
 	case errors.Is(err, core.ErrNoAuditor) || errors.Is(err, audit.ErrUnsupportedKind):
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
 	case err != nil:
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 	case resp.Denied:
-		writeJSON(w, http.StatusOK, QueryResponse{Denied: true})
+		s.writeJSON(w, http.StatusOK, QueryResponse{Denied: true})
 	default:
 		ans := resp.Answer
-		writeJSON(w, http.StatusOK, QueryResponse{Answer: &ans})
+		s.writeJSON(w, http.StatusOK, QueryResponse{Answer: &ans})
 	}
 }
 
@@ -432,18 +510,18 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	var req UpdateRequest
 	ok, tooLarge := s.decodeBody(w, r, &req)
 	if tooLarge {
-		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: "request body too large"})
+		s.writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: "request body too large"})
 		return
 	}
 	if !ok {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be {\"index\": i, \"value\": v}"})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be {\"index\": i, \"value\": v}"})
 		return
 	}
 	if err := s.mgr.Update(req.Index, req.Value); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	s.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -452,7 +530,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.mgr.Stats(analyst)
-	writeJSON(w, http.StatusOK, StatsResponse{
+	s.writeJSON(w, http.StatusOK, StatsResponse{
 		Analyst:       st.Analyst,
 		Answered:      st.Answered,
 		Denied:        st.Denied,
@@ -477,7 +555,7 @@ func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
 		}
 		attrs = append(attrs, attr{Name: a.Name, Kind: k})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"records":    ds.N(),
 		"attributes": attrs,
 	})
@@ -500,40 +578,42 @@ func (s *Server) handlePrime(w http.ResponseWriter, r *http.Request) {
 	var req PrimeRequest
 	ok, tooLarge := s.decodeBody(w, r, &req)
 	if tooLarge {
-		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: "request body too large"})
+		s.writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: "request body too large"})
 		return
 	}
 	if !ok || len(req.Queries) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be {\"queries\": [{\"kind\":...,\"indices\":[...]}, ...]}"})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be {\"queries\": [{\"kind\":...,\"indices\":[...]}, ...]}"})
 		return
 	}
 	if len(req.Queries) > s.opts.MaxPrimeQueries {
-		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+		s.writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
 			Error: "too many prime queries (limit " + strconv.Itoa(s.opts.MaxPrimeQueries) + ")"})
 		return
 	}
 	var qs []query.Query
 	for _, q := range req.Queries {
 		if len(q.Indices) > s.opts.MaxIndices {
-			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+			s.writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
 				Error: "too many indices (limit " + strconv.Itoa(s.opts.MaxIndices) + ")"})
 			return
 		}
 		kind, err := query.ParseKind(q.Kind)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 			return
 		}
-		qs = append(qs, query.New(kind, q.Indices...))
+		pq := query.New(kind, q.Indices...)
+		pq.Set = s.sqlRes.Intern(pq.Set)
+		qs = append(qs, pq)
 	}
 	if err := s.mgr.Prime(analyst, qs); err != nil {
-		if writeSessionErr(w, err) {
+		if s.writeSessionErr(w, err) {
 			return
 		}
-		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "primed": len(qs)})
+	s.writeJSON(w, http.StatusOK, map[string]any{"ok": true, "primed": len(qs)})
 }
 
 // KnowledgeResponse is the body of GET /v1/knowledge: what the
@@ -551,17 +631,17 @@ func (s *Server) handleKnowledge(w http.ResponseWriter, r *http.Request) {
 	}
 	snap, err := s.mgr.Knowledge(analyst)
 	if err != nil {
-		if writeSessionErr(w, err) {
+		if s.writeSessionErr(w, err) {
 			return
 		}
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	out := KnowledgeResponse{Analyst: analyst, Auditors: make(map[string][]audit.ElementKnowledge, len(snap))}
 	for name, ks := range snap {
 		out.Auditors[name] = sanitizeKnowledge(ks)
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // SessionsResponse is the body of GET /v1/sessions: the admin view of
@@ -573,7 +653,7 @@ type SessionsResponse struct {
 }
 
 func (s *Server) handleSessions(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, SessionsResponse{
+	s.writeJSON(w, http.StatusOK, SessionsResponse{
 		Sessions: s.mgr.Sessions(),
 		Live:     s.mgr.Live(),
 		Tracked:  s.mgr.Tracked(),
@@ -584,7 +664,7 @@ func (s *Server) handleSessions(w http.ResponseWriter, _ *http.Request) {
 // serving. It deliberately avoids every lock so a long-running decide
 // cannot fail the probe.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // handleReadyz is the readiness probe: 200 only once boot-time state
@@ -594,10 +674,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if !s.ready.Load() {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "restoring"})
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "restoring"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // handleMetrics exports the registry: HTTP counters/latency per route,
@@ -612,7 +692,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		_ = metrics.WritePrometheus(w, s.reg.Snapshot())
 		return
 	}
-	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+	s.writeJSON(w, http.StatusOK, s.reg.Snapshot())
 }
 
 // acceptsPromText reports whether the Accept header asks for the

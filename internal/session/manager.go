@@ -12,6 +12,7 @@ import (
 	"queryaudit/internal/audit"
 	"queryaudit/internal/core"
 	"queryaudit/internal/dataset"
+	"queryaudit/internal/qindex"
 	"queryaudit/internal/query"
 )
 
@@ -177,6 +178,11 @@ type Manager struct {
 
 	supportsUpdates bool
 
+	// resOnce/res back Resolver in single-engine mode (no spec to own
+	// the deployment-shared resolver).
+	resOnce sync.Once
+	res     *qindex.Resolver
+
 	stop     chan struct{}
 	stopOnce sync.Once
 }
@@ -285,6 +291,20 @@ func (m *Manager) wireLog(analyst string, lg *Log) {
 
 // Dataset returns the shared dataset.
 func (m *Manager) Dataset() *dataset.Dataset { return m.ds }
+
+// Resolver returns the deployment-shared indexed query resolver over
+// the dataset: one index and one interner for ALL sessions, so the
+// transport layer resolves each statement once and routes the interned
+// set to any analyst's engine. Spec-backed managers share the spec's
+// resolver (so out-of-band consumers of the spec see the same canonical
+// sets); single-engine managers build their own lazily.
+func (m *Manager) Resolver() *qindex.Resolver {
+	if m.spec != nil {
+		return m.spec.Resolver()
+	}
+	m.resOnce.Do(func() { m.res = qindex.NewResolver(m.ds, qindex.Options{}) })
+	return m.res
+}
 
 // Live returns the number of materialized engines.
 func (m *Manager) Live() int { return int(m.live.Load()) }
