@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint ci bench bench-guard cover replication-smoke loadgen-smoke
+.PHONY: build test race vet lint ci bench bench-guard cover replication-smoke loadgen-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,17 @@ replication-smoke:
 # transport/5xx errors, ordered latency percentiles.
 loadgen-smoke:
 	$(GO) test -run TestLoadgenSmoke -count=1 -v ./cmd/loadgen
+
+# End-to-end sharded-fleet drill: two shard pairs (primary + streaming
+# replica each) plus the auditrouter, all real OS processes, driven by
+# the real loadgen binary. Validates the even per-shard request split in
+# the LOADGEN report, bit-identical replica transcripts on both pairs,
+# then SIGKILLs one primary mid-churn, promotes its replica over HTTP,
+# and requires the router to converge onto the promoted member with zero
+# transcript divergence — the paper's simulatability argument stretched
+# across a horizontally sharded fleet.
+cluster-smoke:
+	$(GO) test -run TestClusterSmoke -count=1 -v ./cmd/auditrouter
 
 # Monte Carlo engine benchmarks — the per-worker Decide sweeps
 # {1,2,4,8} with samples-evaluated columns, the deployment-default

@@ -1,0 +1,287 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"queryaudit/internal/cluster"
+	"queryaudit/internal/server"
+)
+
+// Fleet-wide status (GET /v1/cluster) and the rebalance driver
+// (POST /v1/cluster/rebalance). Rebalancing is replay: each moved
+// analyst's journal is shipped to its new owner, replayed there, and
+// digest-verified before the old shard drops it (cluster.Migrator), so
+// a rebalance can be killed at any instant without forking a timeline.
+
+// memberView is one node of a shard pair in the status response.
+type memberView struct {
+	URL    string              `json:"url"`
+	Status *cluster.NodeStatus `json:"status,omitempty"`
+	Error  string              `json:"error,omitempty"`
+}
+
+// shardView is one shard pair: descriptor facts plus the router's live
+// view (which member it currently targets, breaker state) and both
+// members' self-reported status.
+type shardView struct {
+	ID          string       `json:"id"`
+	Epoch       uint64       `json:"epoch"`
+	Active      string       `json:"active"`
+	BreakerOpen bool         `json:"breaker_open"`
+	Members     []memberView `json:"members"`
+}
+
+// clusterStatus is the body of GET /v1/cluster.
+type clusterStatus struct {
+	Shards []shardView `json:"shards"`
+	Seed   uint64      `json:"seed"`
+	VNodes int         `json:"vnodes"`
+}
+
+// getJSON / postJSON are plain node calls (no breaker: status and
+// rebalance want the truth about each member, not a failover).
+func (rt *router) getJSON(ctx context.Context, base, path string, out any) error {
+	return rt.callJSON(ctx, http.MethodGet, base, path, nil, out)
+}
+
+func (rt *router) postJSON(ctx context.Context, base, path string, body, out any) error {
+	return rt.callJSON(ctx, http.MethodPost, base, path, body, out)
+}
+
+func (rt *router) callJSON(ctx context.Context, method, base, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimSuffix(base, "/")+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(out)
+}
+
+// handleCluster aggregates every member's GET /v1/cluster/node into the
+// fleet-wide view, refreshing the per-shard lag and session gauges as a
+// side effect (so scraping /v1/metrics after /v1/cluster sees current
+// numbers — the alerting loop in docs/DEPLOYMENT.md §14 does exactly
+// that).
+func (rt *router) handleCluster(w http.ResponseWriter, r *http.Request) {
+	rt.mu.RLock()
+	fleet := rt.fleet
+	rt.mu.RUnlock()
+
+	out := clusterStatus{Seed: fleet.Seed, VNodes: fleet.VNodes}
+	for _, st := range rt.snapshotShards() {
+		active, open := st.view(rt.now())
+		sv := shardView{
+			ID:          st.spec.ID,
+			Epoch:       st.spec.Epoch,
+			Active:      active,
+			BreakerOpen: open,
+		}
+		urls := []string{st.spec.Primary}
+		if st.spec.Replica != "" {
+			urls = append(urls, st.spec.Replica)
+		}
+		for _, u := range urls {
+			mv := memberView{URL: u}
+			var ns cluster.NodeStatus
+			if err := rt.getJSON(r.Context(), u, "/v1/cluster/node", &ns); err != nil {
+				mv.Error = err.Error()
+			} else {
+				mv.Status = &ns
+				if u == active {
+					rt.m.SetShardSessions(st.spec.ID, ns.SessionsTracked)
+				}
+				if ns.Role == "replica" {
+					rt.m.SetShardLag(st.spec.ID, ns.Lag)
+				}
+			}
+			sv.Members = append(sv.Members, mv)
+		}
+		out.Shards = append(out.Shards, sv)
+	}
+	rt.writeJSON(w, http.StatusOK, out)
+}
+
+// rebalanceResponse summarizes one rebalance run.
+type rebalanceResponse struct {
+	Shards       int      `json:"shards"`
+	Moved        int      `json:"moved"`
+	Skipped      int      `json:"skipped"`
+	ConfigPushed int      `json:"config_pushed"`
+	Failures     []string `json:"failures,omitempty"`
+}
+
+// handleRebalance moves the fleet onto a new descriptor:
+//
+//  1. First sweep: list every shard's sessions, migrate each analyst
+//     whose owner changes under the new ring (journal ship + replay +
+//     digest verify + conditional forget). The forget fences the
+//     analyst on its old shard, so stragglers 421 to the new owner.
+//  2. Push the descriptor to every member of the new fleet
+//     (POST /v1/cluster/config) — nodes swap their ownership view.
+//  3. Swap the router's own ring.
+//  4. Second sweep: catch sessions created on old owners between the
+//     first sweep and the config push (now fenced by ownership 421s).
+//
+// The handler is idempotent: re-POSTing the same descriptor migrates
+// nothing and re-pushes the config.
+func (rt *router) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.bufferBody(w, r)
+	if !ok {
+		return
+	}
+	var req cluster.ConfigRequest
+	if err := json.Unmarshal(body, &req); err != nil || len(req.Fleet) == 0 {
+		rt.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be {\"fleet\": {...}}"})
+		return
+	}
+	newFleet, err := cluster.ParseFleet(bytes.NewReader(req.Fleet))
+	if err != nil {
+		rt.writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		return
+	}
+
+	rt.rebalanceMu.Lock()
+	defer rt.rebalanceMu.Unlock()
+
+	resp := rebalanceResponse{Shards: len(newFleet.Shards)}
+
+	moved, skipped, failures := rt.sweep(r.Context(), newFleet)
+	resp.Moved += moved
+	resp.Skipped += skipped
+	resp.Failures = append(resp.Failures, failures...)
+
+	pushed, pushFailures := rt.pushConfig(r.Context(), req.Fleet, newFleet)
+	resp.ConfigPushed = pushed
+	resp.Failures = append(resp.Failures, pushFailures...)
+
+	rt.adoptFleet(newFleet)
+
+	moved, skipped, failures = rt.sweep(r.Context(), newFleet)
+	resp.Moved += moved
+	resp.Skipped += skipped
+	resp.Failures = append(resp.Failures, failures...)
+
+	rt.m.Rebalances.Inc()
+	status := http.StatusOK
+	if len(resp.Failures) > 0 {
+		status = http.StatusBadGateway
+	}
+	rt.logger.Printf("rebalance: shards=%d moved=%d skipped=%d pushed=%d failures=%d",
+		resp.Shards, resp.Moved, resp.Skipped, resp.ConfigPushed, len(resp.Failures))
+	rt.writeJSON(w, status, resp)
+}
+
+// sweep migrates every session that is not on its target-fleet owner.
+// It enumerates the CURRENT shard table (where sessions actually live)
+// and computes ownership under the TARGET fleet.
+func (rt *router) sweep(ctx context.Context, target *cluster.Fleet) (moved, skipped int, failures []string) {
+	for _, st := range rt.snapshotShards() {
+		var sr server.SessionsResponse
+		if err := rt.getJSON(ctx, st.pick(rt.now()), "/v1/sessions", &sr); err != nil {
+			failures = append(failures, "listing shard "+st.spec.ID+": "+err.Error())
+			continue
+		}
+		for _, info := range sr.Sessions {
+			owner, err := target.Owner(info.Analyst)
+			if err != nil {
+				failures = append(failures, err.Error())
+				continue
+			}
+			if owner.ID == st.spec.ID {
+				continue
+			}
+			res, err := rt.mig.Migrate(ctx, st.pick(rt.now()), owner.Primary, owner.ID, info.Analyst)
+			if err != nil {
+				rt.m.MigrationFailures.Inc()
+				failures = append(failures, err.Error())
+				continue
+			}
+			if res.Skipped {
+				skipped++
+				continue
+			}
+			rt.m.Migrations.Inc()
+			moved++
+			rt.logger.Printf("rebalance: moved %s from %s to %s at seq %d (attempts %d)",
+				info.Analyst, st.spec.ID, owner.ID, res.Seq, res.Attempts)
+		}
+	}
+	return moved, skipped, failures
+}
+
+// pushConfig sends the new descriptor to every member of the new
+// fleet. Members leaving the fleet are not pushed: a node refuses a
+// descriptor that drops its own shard, and its moved-set fence keeps
+// redirecting stragglers until it is decommissioned.
+func (rt *router) pushConfig(ctx context.Context, raw json.RawMessage, fleet *cluster.Fleet) (pushed int, failures []string) {
+	for _, spec := range fleet.Shards {
+		urls := []string{spec.Primary}
+		if spec.Replica != "" {
+			urls = append(urls, spec.Replica)
+		}
+		for _, u := range urls {
+			var cr cluster.ConfigResponse
+			if err := rt.postJSON(ctx, u, "/v1/cluster/config", cluster.ConfigRequest{Fleet: raw}, &cr); err != nil {
+				failures = append(failures, "config push to "+u+": "+err.Error())
+				continue
+			}
+			pushed++
+		}
+	}
+	return pushed, failures
+}
+
+// adoptFleet swaps the router's routing view to the new descriptor,
+// carrying over breaker state for shards that persist across the swap.
+func (rt *router) adoptFleet(fleet *cluster.Fleet) {
+	ring, err := fleet.Ring()
+	if err != nil {
+		// Unreachable: the fleet was validated by ParseFleet.
+		rt.logger.Printf("rebalance: ring build failed: %v", err)
+		return
+	}
+	shards := make(map[string]*shardState, len(fleet.Shards))
+	rt.mu.Lock()
+	for _, spec := range fleet.Shards {
+		if old, ok := rt.shards[spec.ID]; ok && old.spec == spec {
+			shards[spec.ID] = old // same pair: keep its breaker state
+			continue
+		}
+		shards[spec.ID] = newShardState(spec)
+	}
+	rt.fleet = fleet
+	rt.ring = ring
+	rt.shards = shards
+	rt.mu.Unlock()
+	rt.m.RegisterShards(fleet.ShardIDs())
+	rt.m.RingRebuilds.Inc()
+}

@@ -1,0 +1,394 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"queryaudit/internal/cluster"
+)
+
+// TestClusterSmoke is the end-to-end sharded-fleet drill (`make
+// cluster-smoke`): two shard pairs (primary + streaming replica each)
+// and a router, all real OS processes, driven by the real loadgen
+// binary. It verifies the tentpole's operational claims:
+//
+//   - uniform load splits across the shards evenly (each shard's request
+//     share within 25% of the other's) and the per-shard distribution
+//     lands in the LOADGEN report;
+//   - each pair's replica converges to a bit-identical per-session
+//     (seq, digest) transcript;
+//   - SIGKILL of a primary mid-churn, followed by an HTTP promote of its
+//     replica, loses no acknowledged history: the promoted transcript
+//     only ever extends the pre-kill prefix, and the router converges
+//     onto the promoted member without a descriptor change.
+
+// smokeProc is one child process under test.
+type smokeProc struct {
+	name string
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startSmokeProc launches a binary and waits for its "listening on"
+// stderr line.
+func startSmokeProc(t *testing.T, name, bin string, args ...string) *smokeProc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &smokeProc{name: name, cmd: cmd, addr: addr}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s never reported its listen address", name)
+		return nil
+	}
+}
+
+func (p *smokeProc) url(path string) string { return "http://" + p.addr + path }
+
+// reserveAddr grabs a free localhost port and releases it for a child
+// process to bind (the descriptor needs the address before the process
+// exists).
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func smokeGetJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		_ = json.NewDecoder(resp.Body).Decode(out)
+	}
+	return resp.StatusCode
+}
+
+// smokeTranscript flattens a node's session listing to analyst ->
+// "seq:digest".
+func smokeTranscript(t *testing.T, base string) map[string]string {
+	t.Helper()
+	var v struct {
+		Sessions []struct {
+			Analyst string `json:"analyst"`
+			Seq     uint64 `json:"seq"`
+			Digest  string `json:"digest"`
+		} `json:"sessions"`
+	}
+	if code := smokeGetJSON(t, base+"/v1/sessions", &v); code != http.StatusOK {
+		t.Fatalf("GET %s/v1/sessions: status %d", base, code)
+	}
+	out := map[string]string{}
+	for _, s := range v.Sessions {
+		out[s.Analyst] = fmt.Sprintf("%d:%s", s.Seq, s.Digest)
+	}
+	return out
+}
+
+// waitReplicaConverged polls the replica until it has applied the
+// primary's current journal head.
+func waitReplicaConverged(t *testing.T, primaryURL, replicaURL string) {
+	t.Helper()
+	var pst struct {
+		Head uint64 `json:"head"`
+	}
+	if code := smokeGetJSON(t, primaryURL+"/v1/replication/status", &pst); code != http.StatusOK {
+		t.Fatalf("primary replication status: %d", code)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		var rst struct {
+			Applied uint64 `json:"applied"`
+		}
+		smokeGetJSON(t, replicaURL+"/v1/replication/status", &rst)
+		if rst.Applied >= pst.Head {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica %s stuck at applied=%d, primary head=%d", replicaURL, rst.Applied, pst.Head)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// diffTranscripts requires two nodes to report identical per-session
+// positions.
+func diffTranscripts(t *testing.T, label string, want, got map[string]string) {
+	t.Helper()
+	if len(want) == 0 {
+		t.Fatalf("%s: no sessions to compare", label)
+	}
+	for analyst, pos := range want {
+		if got[analyst] != pos {
+			t.Fatalf("%s: transcript diverged for %s: %s vs %s", label, analyst, pos, got[analyst])
+		}
+	}
+}
+
+// loadgenReport is the slice of the LOADGEN artifact the drill asserts.
+type loadgenReport struct {
+	Totals struct {
+		Requests        int `json:"requests"`
+		HTTP5xx         int `json:"http_5xx"`
+		TransportErrors int `json:"transport_errors"`
+		Retried421      int `json:"retried_421"`
+	} `json:"totals"`
+	ByShard []struct {
+		Shard    string `json:"shard"`
+		Requests int    `json:"requests"`
+	} `json:"by_shard"`
+}
+
+func runLoadgen(t *testing.T, bin string, out string, args ...string) loadgenReport {
+	t.Helper()
+	cmd := exec.Command(bin, append(args, "-out", out)...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgenReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func buildBinary(t *testing.T, dir, pkg, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	build := exec.Command("go", "build", "-o", bin, pkg)
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("build %s: %v", pkg, err)
+	}
+	return bin
+}
+
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping e2e binary test in -short mode")
+	}
+	dir := t.TempDir()
+	serverBin := buildBinary(t, dir, "queryaudit/cmd/auditserver", "auditserver")
+	routerBin := buildBinary(t, dir, "queryaudit/cmd/auditrouter", "auditrouter")
+	loadgenBin := buildBinary(t, dir, "queryaudit/cmd/loadgen", "loadgen")
+
+	// Fleet: two shard pairs on pre-reserved ports.
+	addrA1, addrA2 := reserveAddr(t), reserveAddr(t)
+	addrB1, addrB2 := reserveAddr(t), reserveAddr(t)
+	fleetDoc := fmt.Sprintf(`{"shards": [
+		{"id": "shard-a", "primary": "http://%s", "replica": "http://%s"},
+		{"id": "shard-b", "primary": "http://%s", "replica": "http://%s"}
+	]}`, addrA1, addrA2, addrB1, addrB2)
+	fleetPath := filepath.Join(dir, "fleet.json")
+	if err := os.WriteFile(fleetPath, []byte(fleetDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	shardArgs := func(shard, addr string) []string {
+		return []string{"-n", "30", "-quiet", "-addr", addr,
+			"-cluster-config", fleetPath, "-shard-id", shard}
+	}
+	primA := startSmokeProc(t, "shard-a primary", serverBin,
+		append(shardArgs("shard-a", addrA1), "-role", "primary")...)
+	replA := startSmokeProc(t, "shard-a replica", serverBin,
+		append(shardArgs("shard-a", addrA2),
+			"-role", "replica", "-primary-url", primA.url(""), "-replication-poll-wait", "500ms")...)
+	primB := startSmokeProc(t, "shard-b primary", serverBin,
+		append(shardArgs("shard-b", addrB1), "-role", "primary")...)
+	replB := startSmokeProc(t, "shard-b replica", serverBin,
+		append(shardArgs("shard-b", addrB2),
+			"-role", "replica", "-primary-url", primB.url(""), "-replication-poll-wait", "500ms")...)
+
+	rt := startSmokeProc(t, "router", routerBin,
+		"-addr", "127.0.0.1:0", "-cluster-config", fleetPath,
+		"-breaker-failures", "2", "-breaker-cooldown", "30s", "-quiet")
+
+	// Phase 1 — uniform load through the router. 16 steady analysts
+	// split 8/8 across this two-shard ring, so the per-shard request
+	// counts must land within 25% of each other.
+	rep := runLoadgen(t, loadgenBin, filepath.Join(dir, "phase1.json"),
+		"-target", rt.url(""), "-analysts", "16", "-requests", "1000",
+		"-concurrency", "4", "-seed", "1")
+	if rep.Totals.TransportErrors != 0 || rep.Totals.HTTP5xx != 0 {
+		t.Fatalf("phase 1: transport_errors=%d http_5xx=%d, want clean run",
+			rep.Totals.TransportErrors, rep.Totals.HTTP5xx)
+	}
+	if len(rep.ByShard) != 2 {
+		t.Fatalf("phase 1 report has %d shards in by_shard, want 2: %+v", len(rep.ByShard), rep.ByShard)
+	}
+	ra, rb := rep.ByShard[0].Requests, rep.ByShard[1].Requests
+	max := ra
+	if rb > max {
+		max = rb
+	}
+	if diff := ra - rb; diff < 0 {
+		diff = -diff
+		if float64(diff) > 0.25*float64(max) {
+			t.Fatalf("phase 1 shard split %d/%d exceeds 25%% skew", ra, rb)
+		}
+	} else if float64(diff) > 0.25*float64(max) {
+		t.Fatalf("phase 1 shard split %d/%d exceeds 25%% skew", ra, rb)
+	}
+
+	// Both replicas converge to bit-identical transcripts.
+	waitReplicaConverged(t, primA.url(""), replA.url(""))
+	waitReplicaConverged(t, primB.url(""), replB.url(""))
+	baselineA := smokeTranscript(t, primA.url(""))
+	diffTranscripts(t, "shard-a pair", baselineA, smokeTranscript(t, replA.url("")))
+	diffTranscripts(t, "shard-b pair", smokeTranscript(t, primB.url("")), smokeTranscript(t, replB.url("")))
+
+	// Phase 2 — churned load, and SIGKILL shard-a's primary mid-run.
+	churn := exec.Command(loadgenBin,
+		"-target", rt.url(""), "-analysts", "16", "-churn", "0.2",
+		"-duration", "6s", "-concurrency", "4", "-seed", "2",
+		"-out", filepath.Join(dir, "phase2.json"))
+	if err := churn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { churn.Process.Kill(); churn.Wait() }()
+
+	time.Sleep(1500 * time.Millisecond)
+	primA.cmd.Process.Kill()
+	primA.cmd.Wait()
+	time.Sleep(500 * time.Millisecond)
+
+	// Promote the orphaned replica over HTTP (the operator runbook step).
+	resp, err := http.Post(replA.url("/v1/replication/promote"), "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var promoted struct {
+		Role  string `json:"role"`
+		Epoch uint64 `json:"epoch"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&promoted)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || promoted.Role != "primary" {
+		t.Fatalf("promote: status %d, %+v", resp.StatusCode, promoted)
+	}
+	_ = churn.Wait() // phase 2 tolerates 5xx during the failover window
+
+	// The router must converge onto the promoted member: a shard-a
+	// analyst's query succeeds again without any descriptor change.
+	ring, err := cluster.NewRing([]string{"shard-a", "shard-b"}, cluster.DefaultVNodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardAAnalyst := ""
+	for i := 0; i < 16; i++ {
+		if a := fmt.Sprintf("analyst-%d", i); ring.Owner(a) == "shard-a" {
+			shardAAnalyst = a
+			break
+		}
+	}
+	if shardAAnalyst == "" {
+		t.Fatal("no analyst hashes to shard-a")
+	}
+	askVia := func(analyst string) int {
+		raw, _ := json.Marshal(map[string]any{"kind": "sum", "indices": []int{0, 1, 2}})
+		req, _ := http.NewRequest(http.MethodPost, rt.url("/v1/queryset"), bytes.NewReader(raw))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Analyst-ID", analyst)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for askVia(shardAAnalyst) != http.StatusOK {
+		if time.Now().After(deadline) {
+			t.Fatal("router never converged onto the promoted shard-a member")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	// The untouched shard keeps serving throughout.
+	bAnalyst := ""
+	for i := 0; i < 16; i++ {
+		if a := fmt.Sprintf("analyst-%d", i); ring.Owner(a) == "shard-b" {
+			bAnalyst = a
+			break
+		}
+	}
+	if code := askVia(bAnalyst); code != http.StatusOK {
+		t.Fatalf("shard-b analyst through router: %d", code)
+	}
+
+	// Zero divergence across the failover: the promoted member's
+	// transcript extends — never rewrites — the pre-kill prefix.
+	after := smokeTranscript(t, replA.url(""))
+	for analyst, pos := range baselineA {
+		var beforeSeq, afterSeq uint64
+		fmt.Sscanf(pos, "%d:", &beforeSeq)
+		fmt.Sscanf(after[analyst], "%d:", &afterSeq)
+		if afterSeq < beforeSeq {
+			t.Fatalf("promoted transcript for %s regressed: %s -> %s", analyst, pos, after[analyst])
+		}
+	}
+	// And shard-b's pair is still bit-identical.
+	waitReplicaConverged(t, primB.url(""), replB.url(""))
+	diffTranscripts(t, "shard-b pair after failover", smokeTranscript(t, primB.url("")), smokeTranscript(t, replB.url("")))
+
+	// The router's fleet view reports the promoted member as active for
+	// shard-a.
+	var cs struct {
+		Shards []struct {
+			ID     string `json:"id"`
+			Active string `json:"active"`
+		} `json:"shards"`
+	}
+	if code := smokeGetJSON(t, rt.url("/v1/cluster"), &cs); code != http.StatusOK {
+		t.Fatalf("GET /v1/cluster: %d", code)
+	}
+	for _, sv := range cs.Shards {
+		if sv.ID == "shard-a" && sv.Active != replA.url("") {
+			t.Fatalf("router active for shard-a = %s, want promoted member %s", sv.Active, replA.url(""))
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command auditrouter is the stateless routing tier of a sharded
+// auditserver fleet. It maps every analyst onto its owning shard with
+// the same consistent-hash ring the shards themselves use
+// (internal/cluster), so router and nodes agree on placement from the
+// shared fleet descriptor alone — no coordination service.
+//
+//	auditrouter -cluster-config fleet.json -addr :8090
+//
+//	curl -s -X POST localhost:8090/v1/query \
+//	     -H 'X-Analyst-ID: alice' \
+//	     -d '{"sql":"SELECT sum(salary) WHERE age BETWEEN 30 AND 40"}'
+//	curl -s localhost:8090/v1/cluster
+//	curl -s -X POST localhost:8090/v1/cluster/rebalance \
+//	     -d @new-fleet.json
+//
+// Analyst-scoped endpoints (/v1/query, /v1/queryset, /v1/prime,
+// /v1/stats, /v1/knowledge) are forwarded to the owning shard's active
+// member. Dataset updates (/v1/update) broadcast to every shard.
+// /v1/sessions and GET /v1/cluster fan in from all shards;
+// /v1/metrics, /healthz and /readyz are served by the router itself.
+//
+// Failures are handled in two layers. A member that answers 421 names
+// the shard's real primary in its body; the router adopts it and
+// retries once — this is how the router converges on a promotion it
+// did not witness. A member that stops answering at all trips a
+// circuit breaker after -breaker-failures consecutive transport
+// errors: the router fails over to the shard's replica and re-probes
+// the primary after -breaker-cooldown.
+//
+// POST /v1/cluster/rebalance moves the fleet onto a new descriptor:
+// sessions whose owner changes are journal-shipped, replayed and
+// digest-verified on the new owner before the old one drops them, then
+// the descriptor is pushed to every node and the router's ring swaps.
+// See docs/DEPLOYMENT.md §14 for the runbook.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"queryaudit/internal/cluster"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8090", "listen address")
+		configPath  = flag.String("cluster-config", "", "path to the fleet descriptor (required)")
+		maxBody     = flag.Int64("max-body-bytes", 1<<20, "maximum request body size in bytes")
+		breakerN    = flag.Int("breaker-failures", 3, "consecutive transport failures before failing a shard over to its replica")
+		breakerWait = flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped shard stays on its replica before the primary is re-probed")
+		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-upstream-request timeout")
+		migRetries  = flag.Int("migrate-retries", 3, "export re-rounds per migrated session when live traffic keeps landing on it")
+		drain       = flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain window on SIGINT/SIGTERM")
+		quiet       = flag.Bool("quiet", false, "disable failover and rebalance logging")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "auditrouter ", log.LstdFlags|log.Lmsgprefix)
+	if *configPath == "" {
+		logger.Fatalf("-cluster-config is required (the fleet descriptor defines the ring)")
+	}
+	fleet, err := cluster.LoadFleet(*configPath)
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
+	rtLogger := logger
+	if *quiet {
+		rtLogger = log.New(discard{}, "", 0)
+	}
+	rt, err := newRouter(fleet, routerConfig{
+		Logger:          rtLogger,
+		MaxBodyBytes:    *maxBody,
+		BreakerFailures: *breakerN,
+		BreakerCooldown: *breakerWait,
+		RequestTimeout:  *reqTimeout,
+		MigrateRetries:  *migRetries,
+	})
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
+
+	srv := &http.Server{
+		Handler:           rt,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	logger.Printf("routing %d shards (seed %d, vnodes %d) from %s",
+		len(fleet.Shards), fleet.Seed, fleet.VNodes, *configPath)
+	logger.Printf("listening on %s", ln.Addr())
+
+	select {
+	case <-ctx.Done():
+		stop()
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+		<-done
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatalf("serve: %v", err)
+		}
+	}
+	logger.Printf("bye")
+}
+
+// discard satisfies io.Writer for the -quiet logger.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

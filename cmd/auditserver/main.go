@@ -121,11 +121,18 @@ func main() {
 		replRetention = flag.Int("replication-retention", 4096, "records retained in the replication journal tail (followers further behind resync from a snapshot)")
 		replPollWait  = flag.Duration("replication-poll-wait", 10*time.Second, "how long a stream long-poll is held open (heartbeat interval when idle)")
 		replMaxBatch  = flag.Int("replication-max-batch", 256, "maximum records per stream response")
+
+		clusterConfig = flag.String("cluster-config", "", "fleet descriptor for sharded deployments (requires -shard-id; see docs/DEPLOYMENT.md §14)")
+		shardID       = flag.String("shard-id", "", "this node's shard ID in the -cluster-config descriptor")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "auditserver ", log.LstdFlags|log.Lmsgprefix)
 	if *snapshot != "" && *sessSnap != "" {
 		logger.Fatalf("-snapshot and -session-snapshot are mutually exclusive (the session snapshot already carries the default session)")
+	}
+	cview, fleetDesc, err := clusterSetup(*clusterConfig, *shardID, *snapshot)
+	if err != nil {
+		logger.Fatalf("cluster: %v", err)
 	}
 	switch *role {
 	case "standalone", "primary":
@@ -239,6 +246,13 @@ func main() {
 			Logger:    logger,
 			Observer:  metrics.NewReplicaCollector(reg),
 		})
+		// A clustered pair boots at the epoch the descriptor last recorded
+		// for its shard, so a restarted shard resumes its fence.
+		if fleetDesc != nil {
+			if sp, ok := fleetDesc.Shard(*shardID); ok && sp.Epoch > 0 {
+				node.AdoptEpoch(sp.Epoch)
+			}
+		}
 	}
 
 	opts := server.Defaults()
@@ -256,6 +270,11 @@ func main() {
 	}
 	if node != nil {
 		srvOpts = append(srvOpts, server.WithReplication(node))
+	}
+	if cview != nil {
+		srvOpts = append(srvOpts, server.WithCluster(cview))
+		logger.Printf("cluster: serving shard %s of %d (descriptor %s)",
+			cview.ShardID(), len(fleetDesc.Shards), *clusterConfig)
 	}
 	srv := server.NewWithSessions(mgr, "salary", srvOpts...)
 

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 	"time"
 
 	"queryaudit/internal/persist"
@@ -20,6 +22,7 @@ type Report struct {
 	Workload    WorkloadEcho `json:"workload"`
 	Totals      Totals       `json:"totals"`
 	ByKind      []KindStats  `json:"by_kind"`
+	ByShard     []ShardStats `json:"by_shard,omitempty"`
 	LatencyMS   Latency      `json:"latency_ms"`
 	AchievedQPS float64      `json:"achieved_qps"`
 	SLO         SLO          `json:"slo"`
@@ -49,6 +52,20 @@ type Totals struct {
 	HTTP4xx         int     `json:"http_4xx"`
 	HTTP5xx         int     `json:"http_5xx"`
 	TransportErrors int     `json:"transport_errors"`
+	Retried421      int     `json:"retried_421,omitempty"`
+}
+
+// ShardStats is the per-shard slice of a clustered run, keyed by the
+// X-Shard-ID response header. Uniform analyst load should spread
+// requests evenly here (the cluster-smoke drill asserts it); a skewed
+// distribution means a hot shard or a stale fleet descriptor.
+type ShardStats struct {
+	Shard       string  `json:"shard"`
+	Requests    int     `json:"requests"`
+	Answered    int     `json:"answered"`
+	Denied      int     `json:"denied"`
+	DenialRate  float64 `json:"denial_rate"`
+	AchievedQPS float64 `json:"achieved_qps"`
 }
 
 // KindStats is the per-aggregate slice of the totals.
@@ -107,10 +124,15 @@ func buildReport(cfg config, samples []sample, elapsed time.Duration) *Report {
 	}
 	kinds := map[string]*kindAgg{}
 	order := []string{}
+	shards := map[string]*ShardStats{}
+	shardOrder := []string{}
 	within := 0
 	var sum time.Duration
 	for _, s := range samples {
 		rep.Totals.Requests++
+		if s.retried {
+			rep.Totals.Retried421++
+		}
 		ka := kinds[s.kind]
 		if ka == nil {
 			ka = &kindAgg{stats: KindStats{Kind: s.kind}}
@@ -118,6 +140,16 @@ func buildReport(cfg config, samples []sample, elapsed time.Duration) *Report {
 			order = append(order, s.kind)
 		}
 		ka.stats.Requests++
+		var sa *ShardStats
+		if s.shard != "" {
+			sa = shards[s.shard]
+			if sa == nil {
+				sa = &ShardStats{Shard: s.shard}
+				shards[s.shard] = sa
+				shardOrder = append(shardOrder, s.shard)
+			}
+			sa.Requests++
+		}
 		switch {
 		case s.failed:
 			rep.Totals.TransportErrors++
@@ -131,9 +163,15 @@ func buildReport(cfg config, samples []sample, elapsed time.Duration) *Report {
 		case s.denied:
 			rep.Totals.Denied++
 			ka.stats.Denied++
+			if sa != nil {
+				sa.Denied++
+			}
 		default:
 			rep.Totals.Answered++
 			ka.stats.Answered++
+			if sa != nil {
+				sa.Answered++
+			}
 		}
 		ka.lats = append(ka.lats, s.latency)
 		sum += s.latency
@@ -174,6 +212,17 @@ func buildReport(cfg config, samples []sample, elapsed time.Duration) *Report {
 		ka.stats.P99MS = ms(percentile(ls, 0.99))
 		rep.ByKind = append(rep.ByKind, ka.stats)
 	}
+	sort.Strings(shardOrder)
+	for _, id := range shardOrder {
+		sa := shards[id]
+		if decided := sa.Answered + sa.Denied; decided > 0 {
+			sa.DenialRate = float64(sa.Denied) / float64(decided)
+		}
+		if elapsed > 0 {
+			sa.AchievedQPS = float64(sa.Requests) / elapsed.Seconds()
+		}
+		rep.ByShard = append(rep.ByShard, *sa)
+	}
 	return rep
 }
 
@@ -197,11 +246,19 @@ func (r *Report) write(path string) error {
 
 // summary is the one human-readable line printed after a run.
 func (r *Report) summary() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"loadgen: %d reqs in %.1fs (%.1f qps) | answered %d, denied %d (%.1f%%), 4xx %d, 5xx %d, transport %d | p50 %.2fms p99 %.2fms | %.1f qps within %.0fms SLO (%.1f%%)",
 		r.Totals.Requests, r.Workload.DurationSec, r.AchievedQPS,
 		r.Totals.Answered, r.Totals.Denied, 100*r.Totals.DenialRate,
 		r.Totals.HTTP4xx, r.Totals.HTTP5xx, r.Totals.TransportErrors,
 		r.LatencyMS.P50, r.LatencyMS.P99,
 		r.SLO.QPSWithinSLO, r.SLO.ThresholdMS, 100*r.SLO.WithinFraction)
+	if len(r.ByShard) > 0 {
+		parts := make([]string, len(r.ByShard))
+		for i, sh := range r.ByShard {
+			parts[i] = fmt.Sprintf("%s=%d", sh.Shard, sh.Requests)
+		}
+		s += fmt.Sprintf(" | shards %s (421 follows %d)", strings.Join(parts, " "), r.Totals.Retried421)
+	}
+	return s
 }

@@ -164,7 +164,9 @@ type sample struct {
 	latency time.Duration
 	status  int
 	denied  bool
-	failed  bool // transport error (no HTTP status)
+	failed  bool   // transport error (no HTTP status)
+	shard   string // X-Shard-ID of the answering node (clustered runs)
+	retried bool   // followed one 421 misdirected hop
 }
 
 // run drives the configured arrival process and returns every sample
@@ -272,23 +274,43 @@ func newPicker(rng *rand.Rand, s float64, n int) func() int {
 }
 
 // doQuery posts one SQL statement as the given analyst and classifies
-// the outcome.
+// the outcome. A 421 misdirected response from a clustered node names
+// the analyst's real owner; the harness follows it exactly once (the
+// same hop a router or well-behaved client makes), so driving a shard
+// directly still exercises the whole fleet. The recorded latency spans
+// both hops — that IS the cost a misrouted client pays.
 func doQuery(client *http.Client, base, analyst string, st statement) sample {
 	body, _ := json.Marshal(map[string]string{"sql": st.sql})
-	req, err := http.NewRequest(http.MethodPost, base+"/v1/query", bytes.NewReader(body))
-	if err != nil {
-		return sample{kind: st.kind, failed: true}
-	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set("X-Analyst-ID", analyst)
+	out := sample{kind: st.kind}
 	t0 := time.Now()
-	resp, err := client.Do(req)
-	lat := time.Since(t0)
+	resp, err := postQuery(client, base, analyst, body)
 	if err != nil {
-		return sample{kind: st.kind, latency: lat, failed: true}
+		return sample{kind: st.kind, latency: time.Since(t0), failed: true}
+	}
+	if resp.StatusCode == http.StatusMisdirectedRequest {
+		var mb struct {
+			PrimaryURL string `json:"primary_url"`
+		}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if json.Unmarshal(raw, &mb) == nil && mb.PrimaryURL != "" {
+			out.retried = true
+			resp, err = postQuery(client, mb.PrimaryURL, analyst, body)
+			if err != nil {
+				out.latency = time.Since(t0)
+				out.failed = true
+				return out
+			}
+		} else {
+			out.latency = time.Since(t0)
+			out.status = http.StatusMisdirectedRequest
+			return out
+		}
 	}
 	defer resp.Body.Close()
-	out := sample{kind: st.kind, latency: lat, status: resp.StatusCode}
+	out.latency = time.Since(t0)
+	out.status = resp.StatusCode
+	out.shard = resp.Header.Get("X-Shard-ID")
 	var qr struct {
 		Denied bool `json:"denied"`
 	}
@@ -300,6 +322,17 @@ func doQuery(client *http.Client, base, analyst string, st statement) sample {
 		_, _ = io.Copy(io.Discard, resp.Body)
 	}
 	return out
+}
+
+// postQuery issues one /v1/query POST against base.
+func postQuery(client *http.Client, base, analyst string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, strings.TrimSuffix(base, "/")+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Analyst-ID", analyst)
+	return client.Do(req)
 }
 
 // percentile returns the p-quantile (0..1) of sorted durations.

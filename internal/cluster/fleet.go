@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ShardSpec is one shard pair in the fleet descriptor: a stable ID (the
+// ring hashes IDs, not URLs, so a pair can be re-hosted without moving
+// a single analyst), the primary's base URL, an optional replica base
+// URL, and the replication epoch the pair was last known at (nodes
+// adopt at least this epoch on boot, so a restarted shard resumes its
+// fence instead of epoch 0).
+type ShardSpec struct {
+	ID      string `json:"id"`
+	Primary string `json:"primary"`
+	Replica string `json:"replica,omitempty"`
+	Epoch   uint64 `json:"epoch,omitempty"`
+}
+
+// Fleet is the static-membership fleet descriptor, shared verbatim by
+// the router and every node (-cluster-config). Routing is a pure
+// function of this document: same descriptor, same placements,
+// everywhere.
+type Fleet struct {
+	// Seed salts the ring hash; change it only with a full rebalance.
+	Seed uint64 `json:"seed,omitempty"`
+	// VNodes is the virtual-node count per shard (0 → DefaultVNodes).
+	VNodes int         `json:"vnodes,omitempty"`
+	Shards []ShardSpec `json:"shards"`
+
+	ringOnce sync.Once
+	ring     *Ring
+	ringErr  error
+}
+
+// ParseFleet decodes and validates a fleet descriptor.
+func ParseFleet(r io.Reader) (*Fleet, error) {
+	var f Fleet
+	dec := json.NewDecoder(io.LimitReader(r, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("cluster: parsing fleet descriptor: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// LoadFleet reads and validates the fleet descriptor at path.
+func LoadFleet(path string) (*Fleet, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	defer fh.Close()
+	f, err := ParseFleet(fh)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return f, nil
+}
+
+// validShardID restricts shard IDs to letters, digits, dot, dash and
+// underscore: they become vnode labels, metric name suffixes and URL
+// query values, so anything fancier would need escaping in three
+// different grammars.
+func validShardID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '-' || c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validBaseURL accepts absolute http(s) URLs without path, query or
+// fragment — node base URLs that endpoint paths are appended to.
+func validBaseURL(raw string) error {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return err
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return fmt.Errorf("scheme must be http or https, got %q", u.Scheme)
+	}
+	if u.Host == "" {
+		return fmt.Errorf("missing host")
+	}
+	if strings.TrimSuffix(u.Path, "/") != "" || u.RawQuery != "" || u.Fragment != "" {
+		return fmt.Errorf("must be a base URL without path or query")
+	}
+	return nil
+}
+
+// Validate checks the structural invariants of the descriptor: at least
+// one shard, unique well-formed IDs, parseable base URLs, a primary on
+// every shard.
+func (f *Fleet) Validate() error {
+	if len(f.Shards) == 0 {
+		return fmt.Errorf("cluster: fleet descriptor lists no shards")
+	}
+	if f.VNodes < 0 {
+		return fmt.Errorf("cluster: vnodes must be >= 0, got %d", f.VNodes)
+	}
+	seen := make(map[string]bool, len(f.Shards))
+	for i, sh := range f.Shards {
+		if !validShardID(sh.ID) {
+			return fmt.Errorf("cluster: shard %d: invalid id %q (want 1-64 chars of [a-zA-Z0-9._-])", i, sh.ID)
+		}
+		if seen[sh.ID] {
+			return fmt.Errorf("cluster: duplicate shard id %q", sh.ID)
+		}
+		seen[sh.ID] = true
+		if sh.Primary == "" {
+			return fmt.Errorf("cluster: shard %q: missing primary URL", sh.ID)
+		}
+		if err := validBaseURL(sh.Primary); err != nil {
+			return fmt.Errorf("cluster: shard %q: primary %q: %v", sh.ID, sh.Primary, err)
+		}
+		if sh.Replica != "" {
+			if err := validBaseURL(sh.Replica); err != nil {
+				return fmt.Errorf("cluster: shard %q: replica %q: %v", sh.ID, sh.Replica, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ShardIDs returns the descriptor's shard IDs in sorted order.
+func (f *Fleet) ShardIDs() []string {
+	ids := make([]string, len(f.Shards))
+	for i, sh := range f.Shards {
+		ids[i] = sh.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Shard looks up one shard spec by ID.
+func (f *Fleet) Shard(id string) (ShardSpec, bool) {
+	for _, sh := range f.Shards {
+		if sh.ID == id {
+			return sh, true
+		}
+	}
+	return ShardSpec{}, false
+}
+
+// Ring returns the fleet's consistent-hash ring, built once.
+func (f *Fleet) Ring() (*Ring, error) {
+	f.ringOnce.Do(func() {
+		f.ring, f.ringErr = NewRing(f.ShardIDs(), f.VNodes, f.Seed)
+	})
+	return f.ring, f.ringErr
+}
+
+// Owner returns the shard spec owning the given analyst.
+func (f *Fleet) Owner(analyst string) (ShardSpec, error) {
+	r, err := f.Ring()
+	if err != nil {
+		return ShardSpec{}, err
+	}
+	sh, ok := f.Shard(r.Owner(analyst))
+	if !ok {
+		// Unreachable: the ring is built from this fleet's IDs.
+		return ShardSpec{}, fmt.Errorf("cluster: ring owner %q not in fleet", r.Owner(analyst))
+	}
+	return sh, nil
+}

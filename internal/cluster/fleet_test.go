@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+const twoShardFleet = `{
+	"seed": 7,
+	"shards": [
+		{"id": "shard-a", "primary": "http://127.0.0.1:9001", "replica": "http://127.0.0.1:9002", "epoch": 3},
+		{"id": "shard-b", "primary": "http://127.0.0.1:9003"}
+	]
+}`
+
+func parseTestFleet(t *testing.T, doc string) *Fleet {
+	t.Helper()
+	f, err := ParseFleet(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestParseFleet(t *testing.T) {
+	f := parseTestFleet(t, twoShardFleet)
+	if got := f.ShardIDs(); len(got) != 2 || got[0] != "shard-a" || got[1] != "shard-b" {
+		t.Fatalf("ShardIDs = %v", got)
+	}
+	sp, ok := f.Shard("shard-a")
+	if !ok || sp.Replica != "http://127.0.0.1:9002" || sp.Epoch != 3 {
+		t.Fatalf("Shard(shard-a) = %+v, %v", sp, ok)
+	}
+	if _, ok := f.Shard("shard-z"); ok {
+		t.Fatal("unknown shard resolved")
+	}
+}
+
+func TestParseFleetRejects(t *testing.T) {
+	cases := map[string]string{
+		"no shards":       `{"shards": []}`,
+		"unknown field":   `{"shards": [{"id": "a", "primary": "http://h"}], "zone": "us"}`,
+		"missing primary": `{"shards": [{"id": "a"}]}`,
+		"bad id":          `{"shards": [{"id": "a/b", "primary": "http://h"}]}`,
+		"empty id":        `{"shards": [{"id": "", "primary": "http://h"}]}`,
+		"duplicate id":    `{"shards": [{"id": "a", "primary": "http://h"}, {"id": "a", "primary": "http://g"}]}`,
+		"bad scheme":      `{"shards": [{"id": "a", "primary": "ftp://h"}]}`,
+		"url with path":   `{"shards": [{"id": "a", "primary": "http://h/v1"}]}`,
+		"bad replica":     `{"shards": [{"id": "a", "primary": "http://h", "replica": "nope"}]}`,
+		"negative vnodes": `{"vnodes": -1, "shards": [{"id": "a", "primary": "http://h"}]}`,
+		"not json":        `shards: [a]`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseFleet(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted %s", name, doc)
+		}
+	}
+}
+
+// TestFleetOwner: ownership is a pure function of the descriptor —
+// parsing the same document twice yields identical placements, and
+// every resolved owner is a descriptor shard.
+func TestFleetOwner(t *testing.T) {
+	f1 := parseTestFleet(t, twoShardFleet)
+	f2 := parseTestFleet(t, twoShardFleet)
+	for _, analyst := range testKeys(100) {
+		o1, err := f1.Owner(analyst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2, err := f2.Owner(analyst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o1.ID != o2.ID {
+			t.Fatalf("owner(%q) differs across parses: %s vs %s", analyst, o1.ID, o2.ID)
+		}
+		if _, ok := f1.Shard(o1.ID); !ok {
+			t.Fatalf("owner %q not in descriptor", o1.ID)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"queryaudit/internal/session"
+)
+
+// Wire types of the migration protocol (served by internal/server's
+// /v1/cluster endpoints, driven by Migrator). Migration IS replay: the
+// old owner exports the session journal, the new owner replays it into
+// a fresh engine (simulatability §2.2 — the journal is the complete
+// auditor state), and only when the new owner's recomputed digest chain
+// lands on the exact exported (seq, digest) does the old owner drop its
+// copy. At every instant the analyst has exactly one live timeline.
+
+// JournalResponse is the body of GET /v1/cluster/journal?analyst=X.
+type JournalResponse struct {
+	Shard    string              `json:"shard"`
+	Snapshot session.LogSnapshot `json:"snapshot"`
+}
+
+// ImportRequest is the body of POST /v1/cluster/import.
+type ImportRequest struct {
+	Snapshot session.LogSnapshot `json:"snapshot"`
+}
+
+// ImportResponse reports the importing node's journal position after
+// replay; the migrator compares it against the exported snapshot.
+type ImportResponse struct {
+	Analyst string `json:"analyst"`
+	Seq     uint64 `json:"seq"`
+	Digest  string `json:"digest"`
+}
+
+// ForgetRequest is the body of POST /v1/cluster/forget: drop the
+// analyst's session if and only if its journal is still exactly at
+// (Seq, Digest) — the atomic cut of the handoff. SuccessorShard and
+// SuccessorURL let the old owner fence stragglers to the new one until
+// the next descriptor reload.
+type ForgetRequest struct {
+	Analyst        string `json:"analyst"`
+	Seq            uint64 `json:"seq"`
+	Digest         string `json:"digest"`
+	SuccessorShard string `json:"successor_shard,omitempty"`
+	SuccessorURL   string `json:"successor_url,omitempty"`
+}
+
+// ForgetResponse is the body of a successful forget.
+type ForgetResponse struct {
+	Dropped bool `json:"dropped"`
+}
+
+// ConfigRequest is the body of POST /v1/cluster/config: the new fleet
+// descriptor a rebalance pushes to every node.
+type ConfigRequest struct {
+	Fleet json.RawMessage `json:"fleet"`
+}
+
+// ConfigResponse reports a node's view after a descriptor reload.
+type ConfigResponse struct {
+	Shard   string `json:"shard"`
+	Shards  int    `json:"shards"`
+	Reloads uint64 `json:"reloads"`
+}
+
+// NodeStatus is the body of GET /v1/cluster/node: one node's cluster
+// identity plus its replication status, aggregated by the router into
+// the fleet-wide GET /v1/cluster view.
+type NodeStatus struct {
+	Shard           string   `json:"shard"`
+	Role            string   `json:"role"`
+	Epoch           uint64   `json:"epoch"`
+	SessionsTracked int      `json:"sessions_tracked"`
+	SessionsLive    int      `json:"sessions_live"`
+	Head            uint64   `json:"head,omitempty"`
+	Applied         uint64   `json:"applied,omitempty"`
+	Lag             uint64   `json:"lag,omitempty"`
+	Quarantined     []string `json:"quarantined,omitempty"`
+	Reloads         uint64   `json:"reloads"`
+}
+
+// MisdirectedBody is the JSON envelope of a 421 from a clustered node.
+// It extends the replication layer's misdirected envelope with the
+// owning shard ID, so a proxy can tell a role redirect WITHIN a shard
+// pair (follow and update that shard's active URL) from an ownership
+// redirect to a DIFFERENT shard (follow one hop, leave the view alone).
+type MisdirectedBody struct {
+	Error      string `json:"error"`
+	Shard      string `json:"shard,omitempty"`
+	Role       string `json:"role,omitempty"`
+	Epoch      uint64 `json:"epoch,omitempty"`
+	PrimaryURL string `json:"primary_url,omitempty"`
+}
+
+// ErrConflict reports a forget or import refused because the session's
+// position changed — live traffic landed between export and handoff.
+// The migrator retries the whole export from scratch on it.
+var ErrConflict = errors.New("cluster: session position changed during migration")
+
+// MoveResult describes one completed migration.
+type MoveResult struct {
+	Analyst string
+	// Seq and Digest are the verified position the session moved at.
+	Seq    uint64
+	Digest string
+	// Attempts counts export rounds (>1 means live traffic interleaved).
+	Attempts int
+	// Skipped is true when the source had no session to move.
+	Skipped bool
+}
+
+// Migrator ships session journals between shards over the /v1/cluster
+// endpoints. The zero value is not usable; use NewMigrator.
+type Migrator struct {
+	client *http.Client
+	// retries bounds export re-rounds when live traffic keeps landing on
+	// the session mid-migration.
+	retries int
+}
+
+// NewMigrator builds a migrator. A nil client uses http.DefaultClient;
+// retries <= 0 defaults to 3.
+func NewMigrator(client *http.Client, retries int) *Migrator {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if retries <= 0 {
+		retries = 3
+	}
+	return &Migrator{client: client, retries: retries}
+}
+
+// Migrate moves one analyst's session from the node at fromURL to the
+// node at toURL (owning shard toShard): export → validate → import →
+// verify digest → forget. The session is only ever dropped at the exact
+// (seq, digest) that was verified on the target, so a crash or conflict
+// at any step leaves the analyst with exactly one authoritative
+// timeline (possibly still the old one — the migration is then simply
+// incomplete, never split).
+func (m *Migrator) Migrate(ctx context.Context, fromURL, toURL, toShard, analyst string) (MoveResult, error) {
+	res := MoveResult{Analyst: analyst}
+	for attempt := 1; attempt <= m.retries; attempt++ {
+		res.Attempts = attempt
+
+		// Export the source journal.
+		var jr JournalResponse
+		status, err := m.call(ctx, http.MethodGet, fromURL,
+			"/v1/cluster/journal?analyst="+urlQueryEscape(analyst), nil, &jr)
+		if status == http.StatusNotFound {
+			res.Skipped = true // nothing to move
+			return res, nil
+		}
+		if err != nil {
+			return res, fmt.Errorf("cluster: export %q from %s: %w", analyst, fromURL, err)
+		}
+		snap := jr.Snapshot
+		if snap.Analyst != analyst {
+			return res, fmt.Errorf("cluster: export %q returned journal for %q", analyst, snap.Analyst)
+		}
+		// Validate the chain locally before shipping it anywhere: a
+		// corrupt journal must fail the migration, not poison the target.
+		if err := snap.Validate(); err != nil {
+			return res, fmt.Errorf("cluster: export %q: %w", analyst, err)
+		}
+
+		// Import on the target; its recomputed position must be
+		// bit-identical to the export.
+		var ir ImportResponse
+		status, err = m.call(ctx, http.MethodPost, toURL, "/v1/cluster/import", ImportRequest{Snapshot: snap}, &ir)
+		if status == http.StatusConflict {
+			// The target already holds a DIFFERENT timeline for this
+			// analyst. That is not retryable — dropping either copy would
+			// destroy audit history. Surface it for the operator.
+			return res, fmt.Errorf("cluster: import %q into %s: %w: %v", analyst, toURL, ErrConflict, err)
+		}
+		if err != nil {
+			return res, fmt.Errorf("cluster: import %q into %s: %w", analyst, toURL, err)
+		}
+		if ir.Seq != snap.Seq || ir.Digest != snap.Digest {
+			return res, fmt.Errorf(
+				"cluster: import %q into %s diverged: exported (seq %d, digest %s), target replayed to (seq %d, digest %s)",
+				analyst, toURL, snap.Seq, snap.Digest, ir.Seq, ir.Digest)
+		}
+
+		// Drop the source copy — only at the verified position. A 409
+		// means live traffic advanced the session after our export; the
+		// target holds a stale (but valid prefix) copy that the next
+		// round's idempotent import extends.
+		fr := ForgetRequest{
+			Analyst:        analyst,
+			Seq:            snap.Seq,
+			Digest:         snap.Digest,
+			SuccessorShard: toShard,
+			SuccessorURL:   toURL,
+		}
+		var fres ForgetResponse
+		status, err = m.call(ctx, http.MethodPost, fromURL, "/v1/cluster/forget", fr, &fres)
+		if status == http.StatusConflict {
+			continue // re-export the grown journal
+		}
+		if err != nil {
+			return res, fmt.Errorf("cluster: forget %q on %s: %w", analyst, fromURL, err)
+		}
+		res.Seq = snap.Seq
+		res.Digest = snap.Digest
+		return res, nil
+	}
+	return res, fmt.Errorf("cluster: migrating %q: %w after %d attempts (session kept taking writes)",
+		analyst, ErrConflict, m.retries)
+}
+
+// call performs one JSON round trip, returning the HTTP status (0 on
+// transport error) and an error for any non-200.
+func (m *Migrator) call(ctx context.Context, method, base, path string, body, out any) (int, error) {
+	url := strings.TrimSuffix(base, "/") + path
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return resp.StatusCode, fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil
+	}
+	return resp.StatusCode, json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(out)
+}
+
+// urlQueryEscape is a minimal query-value escaper for analyst IDs
+// (validated printable ASCII; only the URL-special subset needs care).
+func urlQueryEscape(s string) string {
+	const hex = "0123456789ABCDEF"
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-' || c == '_' || c == '.' || c == '~':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('%')
+			b.WriteByte(hex[c>>4])
+			b.WriteByte(hex[c&0xf])
+		}
+	}
+	return b.String()
+}

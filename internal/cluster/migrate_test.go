@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"queryaudit/internal/audit"
+	"queryaudit/internal/audit/sumfull"
+	"queryaudit/internal/core"
+	"queryaudit/internal/dataset"
+	"queryaudit/internal/query"
+	"queryaudit/internal/randx"
+	"queryaudit/internal/session"
+)
+
+// testSnapshots drives a real session to produce digest-chain-valid
+// journals: one export after half the queries, one after all of them
+// (a strict extension — the shape a forget-conflict retry sees).
+func testSnapshots(t *testing.T, analyst string) (short, long session.LogSnapshot) {
+	t.Helper()
+	ds := dataset.UniformDuplicateFree(randx.New(5), 8, 1, 100)
+	sp := core.NewEngineSpec(ds)
+	n := ds.N()
+	sp.Register(func() (audit.Auditor, error) { return sumfull.New(n), nil }, query.Sum)
+	m, err := session.NewManager(sp, session.Config{NoJanitor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	ask := func(rounds int) {
+		for i := 0; i < rounds; i++ {
+			if _, err := m.Ask(analyst, query.New(query.Sum, i%n, (i+1)%n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ask(3)
+	var ok bool
+	if short, ok = m.Export(analyst); !ok {
+		t.Fatal("no session to export")
+	}
+	ask(3)
+	if long, ok = m.Export(analyst); !ok {
+		t.Fatal("no session to export")
+	}
+	if long.Seq <= short.Seq {
+		t.Fatalf("long journal (seq %d) does not extend short (seq %d)", long.Seq, short.Seq)
+	}
+	return short, long
+}
+
+// fakeSource serves the export/forget half of the protocol with a
+// scriptable journal, simulating live traffic landing mid-migration.
+type fakeSource struct {
+	mu      sync.Mutex
+	snaps   []session.LogSnapshot // snaps[0] served; forget-409 pops to the next
+	dropped bool
+}
+
+func (f *fakeSource) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cluster/journal", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if len(f.snaps) == 0 || f.dropped {
+			http.Error(w, `{"error":"no session"}`, http.StatusNotFound)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(JournalResponse{Shard: "src", Snapshot: f.snaps[0]})
+	})
+	mux.HandleFunc("POST /v1/cluster/forget", func(w http.ResponseWriter, r *http.Request) {
+		var req ForgetRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		cur := f.snaps[0]
+		if req.Seq != cur.Seq || req.Digest != cur.Digest {
+			// Live traffic moved the journal past the requested cut.
+			http.Error(w, `{"error":"position moved"}`, http.StatusConflict)
+			return
+		}
+		if len(f.snaps) > 1 {
+			// Scripted interleaving: the journal grew before the forget
+			// landed — refuse and serve the longer journal from now on.
+			f.snaps = f.snaps[1:]
+			http.Error(w, `{"error":"position moved"}`, http.StatusConflict)
+			return
+		}
+		f.dropped = true
+		_ = json.NewEncoder(w).Encode(ForgetResponse{Dropped: true})
+	})
+	return mux
+}
+
+// fakeTarget records imports and echoes the replayed position
+// (optionally scripted to conflict or diverge).
+type fakeTarget struct {
+	mu       sync.Mutex
+	imported []session.LogSnapshot
+	conflict bool
+	diverge  bool
+}
+
+func (f *fakeTarget) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cluster/import", func(w http.ResponseWriter, r *http.Request) {
+		var req ImportRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.conflict {
+			http.Error(w, `{"error":"conflicting timeline"}`, http.StatusConflict)
+			return
+		}
+		f.imported = append(f.imported, req.Snapshot)
+		ir := ImportResponse{Analyst: req.Snapshot.Analyst, Seq: req.Snapshot.Seq, Digest: req.Snapshot.Digest}
+		if f.diverge {
+			ir.Digest = strings.Repeat("00", 32)
+		}
+		_ = json.NewEncoder(w).Encode(ir)
+	})
+	return mux
+}
+
+func startMigrationPair(t *testing.T, src *fakeSource, dst *fakeTarget) (fromURL, toURL string) {
+	t.Helper()
+	s := httptest.NewServer(src.handler())
+	t.Cleanup(s.Close)
+	d := httptest.NewServer(dst.handler())
+	t.Cleanup(d.Close)
+	return s.URL, d.URL
+}
+
+func TestMigrateHappyPath(t *testing.T) {
+	short, _ := testSnapshots(t, "alice")
+	src := &fakeSource{snaps: []session.LogSnapshot{short}}
+	dst := &fakeTarget{}
+	from, to := startMigrationPair(t, src, dst)
+	res, err := NewMigrator(nil, 3).Migrate(context.Background(), from, to, "dst", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped || res.Seq != short.Seq || res.Digest != short.Digest || res.Attempts != 1 {
+		t.Fatalf("result = %+v, want seq %d digest %s in 1 attempt", res, short.Seq, short.Digest)
+	}
+	if !src.dropped {
+		t.Fatal("source kept its copy after a verified handoff")
+	}
+	if len(dst.imported) != 1 {
+		t.Fatalf("target imported %d journals, want 1", len(dst.imported))
+	}
+}
+
+func TestMigrateNoSessionSkips(t *testing.T) {
+	src := &fakeSource{}
+	dst := &fakeTarget{}
+	from, to := startMigrationPair(t, src, dst)
+	res, err := NewMigrator(nil, 3).Migrate(context.Background(), from, to, "dst", "ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Skipped {
+		t.Fatalf("result = %+v, want Skipped", res)
+	}
+	if len(dst.imported) != 0 {
+		t.Fatal("skipped migration still imported a journal")
+	}
+}
+
+// TestMigrateRetriesOnForgetConflict: live traffic lands between the
+// export and the forget. The source refuses the stale cut (409), the
+// migrator re-exports the grown journal and hands off at the new
+// position — and only then does the source drop.
+func TestMigrateRetriesOnForgetConflict(t *testing.T) {
+	short, long := testSnapshots(t, "alice")
+	src := &fakeSource{snaps: []session.LogSnapshot{short, long}}
+	dst := &fakeTarget{}
+	from, to := startMigrationPair(t, src, dst)
+	res, err := NewMigrator(nil, 3).Migrate(context.Background(), from, to, "dst", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 2 || res.Seq != long.Seq || res.Digest != long.Digest {
+		t.Fatalf("result = %+v, want the LONG journal (seq %d) in 2 attempts", res, long.Seq)
+	}
+	if !src.dropped {
+		t.Fatal("source kept its copy")
+	}
+	if len(dst.imported) != 2 {
+		t.Fatalf("target saw %d imports, want 2 (stale then extended)", len(dst.imported))
+	}
+}
+
+// TestMigrateFatalOnImportConflict: a target already holding a
+// DIFFERENT timeline is never resolved automatically.
+func TestMigrateFatalOnImportConflict(t *testing.T) {
+	short, _ := testSnapshots(t, "alice")
+	src := &fakeSource{snaps: []session.LogSnapshot{short}}
+	dst := &fakeTarget{conflict: true}
+	from, to := startMigrationPair(t, src, dst)
+	_, err := NewMigrator(nil, 3).Migrate(context.Background(), from, to, "dst", "alice")
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("err = %v, want ErrConflict", err)
+	}
+	if src.dropped {
+		t.Fatal("source dropped its copy despite the conflict")
+	}
+}
+
+// TestMigrateFatalOnDivergence: a target whose replayed digest does not
+// match the export must abort the migration before the forget.
+func TestMigrateFatalOnDivergence(t *testing.T) {
+	short, _ := testSnapshots(t, "alice")
+	src := &fakeSource{snaps: []session.LogSnapshot{short}}
+	dst := &fakeTarget{diverge: true}
+	from, to := startMigrationPair(t, src, dst)
+	_, err := NewMigrator(nil, 3).Migrate(context.Background(), from, to, "dst", "alice")
+	if err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("err = %v, want divergence error", err)
+	}
+	if src.dropped {
+		t.Fatal("source dropped its copy despite the divergence")
+	}
+}
+
+// TestMigrateGivesUpAfterRetries: a journal that keeps taking writes
+// exhausts the retry budget with the source copy intact.
+func TestMigrateGivesUpAfterRetries(t *testing.T) {
+	short, long := testSnapshots(t, "alice")
+	// The journal grows past the first cut, but the budget (1 attempt)
+	// is exhausted before the migrator can chase the new position.
+	src := &fakeSource{snaps: []session.LogSnapshot{short, long}}
+	dst := &fakeTarget{}
+	from, to := startMigrationPair(t, src, dst)
+	_, err := NewMigrator(nil, 1).Migrate(context.Background(), from, to, "dst", "alice")
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("err = %v, want ErrConflict after exhausted retries", err)
+	}
+	if src.dropped {
+		t.Fatal("source dropped its copy despite never verifying a cut")
+	}
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// NodeView is one node's live view of the cluster: which shard it is,
+// what the fleet looks like, and which analysts were just migrated away.
+// The fleet half is swappable at runtime (POST /v1/cluster/config pushes
+// a new descriptor during a rebalance) so ownership fencing converges
+// without restarts. Safe for concurrent use.
+type NodeView struct {
+	shardID string
+
+	mu    sync.RWMutex
+	fleet *Fleet // auditlint:guardedby(mu)
+	ring  *Ring  // auditlint:guardedby(mu)
+	// moved fences analysts whose sessions this shard handed off before
+	// the NEW fleet descriptor reached it: between the Forget step of a
+	// migration and the config push, the old descriptor still names this
+	// shard as owner, and without the fence a request slipping in would
+	// silently start a FRESH session here — forking the analyst's audit
+	// timeline across two shards. Entries clear on Reload (the new
+	// descriptor carries the real ownership from then on).
+	moved map[string]ShardSpec // auditlint:guardedby(mu)
+	// reloads counts descriptor swaps, for the ring-rebuild metric.
+	reloads uint64 // auditlint:guardedby(mu)
+}
+
+// NewNodeView builds the view for one node. The shard ID must appear in
+// the descriptor — a node configured into a fleet that does not know it
+// would blackhole every analyst hashed to it.
+func NewNodeView(f *Fleet, shardID string) (*NodeView, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if _, ok := f.Shard(shardID); !ok {
+		return nil, fmt.Errorf("cluster: shard id %q not present in the fleet descriptor (shards: %v)", shardID, f.ShardIDs())
+	}
+	ring, err := f.Ring()
+	if err != nil {
+		return nil, err
+	}
+	return &NodeView{
+		shardID: shardID,
+		fleet:   f,
+		ring:    ring,
+		moved:   make(map[string]ShardSpec),
+	}, nil
+}
+
+// ShardID returns this node's shard ID (fixed for the process lifetime).
+func (v *NodeView) ShardID() string { return v.shardID }
+
+// Fleet returns the current fleet descriptor.
+func (v *NodeView) Fleet() *Fleet {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.fleet
+}
+
+// Owner returns the shard spec owning the analyst under the current
+// view: the moved fence first (a just-migrated analyst's new owner),
+// then the ring.
+func (v *NodeView) Owner(analyst string) ShardSpec {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if sp, ok := v.moved[analyst]; ok {
+		return sp
+	}
+	sh, _ := v.fleet.Shard(v.ring.Owner(analyst))
+	return sh
+}
+
+// Owns reports whether this node's shard owns the analyst, returning
+// the owning spec either way (for the 421 body naming the real owner).
+func (v *NodeView) Owns(analyst string) (ShardSpec, bool) {
+	sp := v.Owner(analyst)
+	return sp, sp.ID == v.shardID
+}
+
+// MarkMoved fences one analyst to a successor shard until the next
+// descriptor reload — the Forget step of a migration calls this on the
+// old owner so no fresh session can form in the propagation window.
+func (v *NodeView) MarkMoved(analyst string, to ShardSpec) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.moved[analyst] = to
+}
+
+// Reload swaps in a new fleet descriptor (validating it and that this
+// node's shard is still a member), clears the moved fence, and returns
+// the cumulative reload count. An invalid descriptor leaves the current
+// view untouched.
+func (v *NodeView) Reload(f *Fleet) (uint64, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	if _, ok := f.Shard(v.shardID); !ok {
+		return 0, fmt.Errorf("cluster: refusing descriptor that drops this node's shard %q", v.shardID)
+	}
+	ring, err := f.Ring()
+	if err != nil {
+		return 0, err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.fleet = f
+	v.ring = ring
+	v.moved = make(map[string]ShardSpec)
+	v.reloads++
+	return v.reloads, nil
+}
+
+// Reloads returns how many descriptor swaps the view has absorbed.
+func (v *NodeView) Reloads() uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.reloads
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNodeViewOwnership(t *testing.T) {
+	f := parseTestFleet(t, twoShardFleet)
+	va, err := NewNodeView(f, "shard-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := NewNodeView(f, "shard-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both views agree on every placement, and exactly one claims each
+	// analyst.
+	for _, analyst := range testKeys(100) {
+		spA, ownsA := va.Owns(analyst)
+		spB, ownsB := vb.Owns(analyst)
+		if spA.ID != spB.ID {
+			t.Fatalf("views disagree on owner(%q): %s vs %s", analyst, spA.ID, spB.ID)
+		}
+		if ownsA == ownsB {
+			t.Fatalf("analyst %q owned by %d shards", analyst, btoi(ownsA)+btoi(ownsB))
+		}
+	}
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestNewNodeViewRejectsUnknownShard(t *testing.T) {
+	f := parseTestFleet(t, twoShardFleet)
+	if _, err := NewNodeView(f, "shard-z"); err == nil {
+		t.Fatal("view built for a shard the descriptor does not know")
+	}
+}
+
+// TestNodeViewMovedFence: a migrated-away analyst is fenced to the
+// successor even while the OLD descriptor still names this shard as
+// owner, and the fence clears on the next descriptor reload.
+func TestNodeViewMovedFence(t *testing.T) {
+	f := parseTestFleet(t, twoShardFleet)
+	v, err := NewNodeView(f, "shard-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an analyst this shard owns.
+	var analyst string
+	for _, a := range testKeys(100) {
+		if _, owns := v.Owns(a); owns {
+			analyst = a
+			break
+		}
+	}
+	if analyst == "" {
+		t.Fatal("shard-a owns none of the test analysts")
+	}
+	succ := ShardSpec{ID: "shard-b", Primary: "http://127.0.0.1:9003"}
+	v.MarkMoved(analyst, succ)
+	if sp, owns := v.Owns(analyst); owns || sp.ID != "shard-b" {
+		t.Fatalf("after MarkMoved: owns=%v owner=%s, want fenced to shard-b", owns, sp.ID)
+	}
+	if _, err := v.Reload(parseTestFleet(t, twoShardFleet)); err != nil {
+		t.Fatal(err)
+	}
+	if _, owns := v.Owns(analyst); !owns {
+		t.Fatal("reload did not clear the moved fence")
+	}
+	if v.Reloads() != 1 {
+		t.Fatalf("Reloads = %d, want 1", v.Reloads())
+	}
+}
+
+// TestNodeViewReloadRefusesDroppingSelf: a descriptor push that removes
+// this node's shard must be rejected, leaving the old view intact.
+func TestNodeViewReloadRefusesDroppingSelf(t *testing.T) {
+	f := parseTestFleet(t, twoShardFleet)
+	v, err := NewNodeView(f, "shard-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	onlyB, err := ParseFleet(strings.NewReader(
+		`{"shards": [{"id": "shard-b", "primary": "http://127.0.0.1:9003"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Reload(onlyB); err == nil {
+		t.Fatal("descriptor dropping this node's shard accepted")
+	}
+	if v.Fleet() != f {
+		t.Fatal("failed reload replaced the fleet")
+	}
+}

@@ -8,12 +8,15 @@ package lint
 
 // DecisionPathPrefixes are the packages whose code decides or samples:
 // everything under the auditors, the coloring sampler, the Monte Carlo
-// engine, and the attack game. detrand runs here.
+// engine, the attack game, and the cluster placement logic (router and
+// shards must compute identical owners from the descriptor alone, so
+// the ring is a decision path too). detrand runs here.
 var DecisionPathPrefixes = []string{
 	"queryaudit/internal/audit",
 	"queryaudit/internal/coloring",
 	"queryaudit/internal/mcpar",
 	"queryaudit/internal/game",
+	"queryaudit/internal/cluster",
 }
 
 // FloatEqPrefixes are the packages doing probability and bound

@@ -22,6 +22,15 @@ const (
 	// plus the journal marks it appended to every session that existed on
 	// the primary at that instant.
 	RecordUpdate = "update"
+	// RecordSession carries one whole session journal, shipped when a
+	// cross-shard migration imports a session onto this primary: the
+	// imported history never passed through the decision tap, so the
+	// follower receives it as a unit and rebuilds by replay, exactly as
+	// the primary did.
+	RecordSession = "session"
+	// RecordForget announces that a session was migrated away (dropped at
+	// a verified position); the follower drops its copy too.
+	RecordForget = "forget"
 )
 
 // WireMark is a session journal position on the wire: analyst, sequence
@@ -55,6 +64,11 @@ type Record struct {
 	Value float64 `json:"value,omitempty"`
 	// Sessions are the per-session marker positions the update appended.
 	Sessions []WireMark `json:"sessions,omitempty"`
+
+	// Snapshot is the whole-journal payload (Kind == RecordSession). The
+	// snapshot's own digest chain authenticates it; Analyst names the
+	// session for RecordSession and RecordForget alike.
+	Snapshot *session.LogSnapshot `json:"snapshot,omitempty"`
 }
 
 // StreamRequest is the body of POST /v1/replication/stream: a long-poll
@@ -115,11 +129,14 @@ type DemoteRequest struct {
 
 // StatusResponse is the body of GET /v1/replication/status.
 type StatusResponse struct {
-	Role        string   `json:"role"`
-	Epoch       uint64   `json:"epoch"`
-	Head        uint64   `json:"head"`
-	Applied     uint64   `json:"applied"`
-	Lag         uint64   `json:"lag"`
+	Role    string `json:"role"`
+	Epoch   uint64 `json:"epoch"`
+	Head    uint64 `json:"head"`
+	Applied uint64 `json:"applied"`
+	Lag     uint64 `json:"lag"`
+	// Sessions is the node's tracked-session count, surfaced so the
+	// cluster ring (GET /v1/cluster) can report per-shard load.
+	Sessions    int      `json:"sessions"`
 	PrimaryURL  string   `json:"primary_url,omitempty"`
 	Quarantined []string `json:"quarantined,omitempty"`
 }

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"queryaudit/internal/cluster"
+	"queryaudit/internal/session"
+)
+
+// testFleetDoc names two shards; the URLs are placeholders — the
+// ownership gate and the migration endpoints never dial them (the
+// Migrator is pointed at httptest servers directly).
+const testFleetDoc = `{
+	"seed": 11,
+	"shards": [
+		{"id": "shard-a", "primary": "http://127.0.0.1:9001"},
+		{"id": "shard-b", "primary": "http://127.0.0.1:9003"}
+	]
+}`
+
+func testFleet(t *testing.T) *cluster.Fleet {
+	t.Helper()
+	f, err := cluster.ParseFleet(strings.NewReader(testFleetDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func testView(t *testing.T, f *cluster.Fleet, shard string) *cluster.NodeView {
+	t.Helper()
+	v, err := cluster.NewNodeView(f, shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// analystOwnedBy scans for an analyst ID the given shard owns.
+func analystOwnedBy(t *testing.T, f *cluster.Fleet, shard string) string {
+	t.Helper()
+	for _, name := range []string{"alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"} {
+		sp, err := f.Owner(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.ID == shard {
+			return name
+		}
+	}
+	t.Fatalf("no test analyst hashes to shard %s", shard)
+	return ""
+}
+
+// TestClusterOwnershipGate: a clustered node answers its own analysts
+// normally and fences another shard's analysts with a 421 naming the
+// owner — the hop a router or misconfigured client follows.
+func TestClusterOwnershipGate(t *testing.T) {
+	f := testFleet(t)
+	hs, _, _ := newSessionServer(t, replSpec(8), session.Config{}, WithCluster(testView(t, f, "shard-a")))
+	mine := analystOwnedBy(t, f, "shard-a")
+	theirs := analystOwnedBy(t, f, "shard-b")
+
+	if code, body := askAs(t, hs.URL, mine, "sum", []int{0, 1}); code != http.StatusOK {
+		t.Fatalf("owned analyst %q: %d %v", mine, code, body)
+	}
+	code, body := askAs(t, hs.URL, theirs, "sum", []int{0, 1})
+	if code != http.StatusMisdirectedRequest {
+		t.Fatalf("foreign analyst %q: %d %v, want 421", theirs, code, body)
+	}
+	if body["shard"] != "shard-b" || body["primary_url"] != "http://127.0.0.1:9003" {
+		t.Fatalf("421 body does not name the owner: %v", body)
+	}
+
+	// Every response from a clustered node carries its shard identity.
+	resp, err := http.Get(hs.URL + "/v1/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Shard-ID"); got != "shard-a" {
+		t.Fatalf("X-Shard-ID = %q, want shard-a", got)
+	}
+}
+
+// TestClusterNodeStatus: the per-node status row the router aggregates.
+func TestClusterNodeStatus(t *testing.T) {
+	f := testFleet(t)
+	hs, _, _ := newSessionServer(t, replSpec(8), session.Config{}, WithCluster(testView(t, f, "shard-a")))
+	resp, err := http.Get(hs.URL + "/v1/cluster/node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st cluster.NodeStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shard != "shard-a" || st.Role != "primary" {
+		t.Fatalf("node status = %+v", st)
+	}
+}
+
+// TestClusterMigrationOverHTTP drives a real migration through the
+// node endpoints with the same Migrator the router's rebalance uses,
+// then verifies the handoff semantics: the source fences the analyst
+// to the successor (even though the stale descriptor still names the
+// source as owner), and a descriptor push clears the fence.
+func TestClusterMigrationOverHTTP(t *testing.T) {
+	f := testFleet(t)
+	srcHS, _, srcMgr := newSessionServer(t, replSpec(8), session.Config{}, WithCluster(testView(t, f, "shard-a")))
+	dstHS, _, dstMgr := newSessionServer(t, replSpec(8), session.Config{}, WithCluster(testView(t, f, "shard-b")))
+	analyst := analystOwnedBy(t, f, "shard-a")
+
+	for i := 0; i < 4; i++ {
+		if code, body := askAs(t, srcHS.URL, analyst, "sum", []int{i % 8, (i + 1) % 8}); code != http.StatusOK {
+			t.Fatalf("seed query %d: %d %v", i, code, body)
+		}
+	}
+	wantSeq, _ := srcMgr.SeqOf(analyst)
+
+	res, err := cluster.NewMigrator(nil, 3).Migrate(context.Background(), srcHS.URL, dstHS.URL, "shard-b", analyst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped || res.Seq != wantSeq {
+		t.Fatalf("migration result %+v, want seq %d", res, wantSeq)
+	}
+	if _, ok := srcMgr.Export(analyst); ok {
+		t.Fatal("source still holds the session")
+	}
+	if seq, ok := dstMgr.SeqOf(analyst); !ok || seq != wantSeq {
+		t.Fatalf("target at (seq %d, %v), want %d", seq, ok, wantSeq)
+	}
+
+	// The source now fences the analyst to the successor shard: a query
+	// racing the config push gets a 421 to shard-b instead of silently
+	// starting a second timeline here.
+	code, body := askAs(t, srcHS.URL, analyst, "sum", []int{0, 1})
+	if code != http.StatusMisdirectedRequest || body["shard"] != "shard-b" {
+		t.Fatalf("post-migration query on source: %d %v, want 421 to shard-b", code, body)
+	}
+
+	// A descriptor push clears the fence (this stale descriptor still
+	// assigns the analyst here, so the query then lands as a fresh
+	// session — exactly what a rebalance's second sweep re-migrates).
+	cfg, _ := json.Marshal(cluster.ConfigRequest{Fleet: json.RawMessage(testFleetDoc)})
+	resp, err := http.Post(srcHS.URL+"/v1/cluster/config", "application/json", strings.NewReader(string(cfg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cr cluster.ConfigResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || cr.Shard != "shard-a" || cr.Reloads != 1 {
+		t.Fatalf("config push: %d %+v", resp.StatusCode, cr)
+	}
+	if code, _ := askAs(t, srcHS.URL, analyst, "sum", []int{0, 1}); code != http.StatusOK {
+		t.Fatalf("post-reload query on source: %d, want 200 (fence cleared)", code)
+	}
+}
+
+// TestClusterConfigRejectsDroppingSelf: a node must refuse a descriptor
+// that removes its own shard — accepting it would leave the node unable
+// to place any analyst, including the ones it still hosts.
+func TestClusterConfigRejectsDroppingSelf(t *testing.T) {
+	f := testFleet(t)
+	hs, _, _ := newSessionServer(t, replSpec(8), session.Config{}, WithCluster(testView(t, f, "shard-b")))
+	only := `{"shards": [{"id": "shard-a", "primary": "http://127.0.0.1:9001"}]}`
+	cfg, _ := json.Marshal(cluster.ConfigRequest{Fleet: json.RawMessage(only)})
+	resp, err := http.Post(hs.URL+"/v1/cluster/config", "application/json", strings.NewReader(string(cfg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", resp.StatusCode)
+	}
+}
+
+// TestClusterJournalEndpointErrors: missing analyst param and unknown
+// analyst are client errors, not empty journals.
+func TestClusterJournalEndpointErrors(t *testing.T) {
+	f := testFleet(t)
+	hs, _, _ := newSessionServer(t, replSpec(8), session.Config{}, WithCluster(testView(t, f, "shard-a")))
+	resp, err := http.Get(hs.URL + "/v1/cluster/journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("no analyst param: %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(hs.URL + "/v1/cluster/journal?analyst=nobody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown analyst: %d, want 404", resp.StatusCode)
+	}
+}

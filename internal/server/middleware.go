@@ -143,6 +143,8 @@ var routes = []string{
 	"/v1/replication/status", "/v1/replication/snapshot",
 	"/v1/replication/stream", "/v1/replication/promote",
 	"/v1/replication/demote",
+	"/v1/cluster/node", "/v1/cluster/journal", "/v1/cluster/import",
+	"/v1/cluster/forget", "/v1/cluster/config",
 	"/healthz", "/readyz",
 }
 
@@ -263,6 +265,11 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 				return
 			}
 			defer s.limiter.release(client)
+		}
+		if s.cview != nil {
+			// Every response names the serving shard, so load generators
+			// and proxies can attribute traffic without a second lookup.
+			w.Header().Set("X-Shard-ID", s.cview.ShardID())
 		}
 		rec := &statusRecorder{ResponseWriter: w}
 		start := time.Now()

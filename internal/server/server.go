@@ -76,6 +76,7 @@ import (
 	"sync/atomic"
 
 	"queryaudit/internal/audit"
+	"queryaudit/internal/cluster"
 	"queryaudit/internal/core"
 	"queryaudit/internal/metrics"
 	"queryaudit/internal/qindex"
@@ -109,6 +110,10 @@ type Server struct {
 	// repl, when set, makes role and quarantine part of request routing:
 	// writes are fenced to the primary, divergent sessions answer 503.
 	repl *replica.Node
+	// cview, when set, makes shard ownership part of request routing:
+	// analysts owned by another shard answer 421 naming the owner.
+	cview    *cluster.NodeView
+	clusterM *metrics.ClusterNodeMetrics
 	// ready gates the session-scoped endpoints; it starts true unless
 	// WithReadinessGate is given, and flips once via MarkReady.
 	ready atomic.Bool
@@ -196,6 +201,9 @@ func newServer(mgr *session.Manager, sensitive string, opts []Option) *Server {
 	if s.repl != nil {
 		s.mux.Handle("/v1/replication/", s.repl.Handler())
 	}
+	if s.cview != nil {
+		s.clusterRoutes()
+	}
 	s.handler = s.middleware(s.mux)
 	return s
 }
@@ -213,12 +221,19 @@ func newServer(mgr *session.Manager, sensitive string, opts []Option) *Server {
 func (s *Server) writable(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.repl != nil && !s.repl.Writable() {
-			s.writeJSON(w, http.StatusMisdirectedRequest, replicaErrorResponse{
+			resp := replicaErrorResponse{
 				Error:      "this node is a read-only replica; direct writes to the primary",
 				Role:       s.repl.Role().String(),
 				Epoch:      s.repl.Epoch(),
 				PrimaryURL: s.repl.PrimaryURL(),
-			})
+			}
+			if s.cview != nil {
+				// Clustered nodes name their shard so a proxy can tell this
+				// role redirect (same shard, wrong member) from an ownership
+				// redirect to a different shard.
+				resp.Shard = s.cview.ShardID()
+			}
+			s.writeJSON(w, http.StatusMisdirectedRequest, resp)
 			return
 		}
 		h(w, r)
@@ -289,6 +304,9 @@ func (s *Server) analyst(w http.ResponseWriter, r *http.Request) (string, bool) 
 	a, err := analystID(r)
 	if err != nil {
 		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return "", false
+	}
+	if !s.ownershipGate(w, a) {
 		return "", false
 	}
 	if s.repl != nil {
@@ -363,11 +381,13 @@ type errorResponse struct {
 }
 
 // replicaErrorResponse carries a role-aware refusal (421) with enough
-// context for the caller to find the primary.
+// context for the caller to find the primary. Shard is set on clustered
+// nodes (see cluster.MisdirectedBody for the ownership-redirect form).
 type replicaErrorResponse struct {
 	Error      string `json:"error"`
 	Role       string `json:"role"`
 	Epoch      uint64 `json:"epoch"`
+	Shard      string `json:"shard,omitempty"`
 	PrimaryURL string `json:"primary_url,omitempty"`
 }
 

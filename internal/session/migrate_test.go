@@ -1,0 +1,109 @@
+package session
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The cross-shard migration determinism property — the cluster
+// tentpole's correctness claim, the sibling of replay_test.go's
+// eviction property: for a simulatable auditor stack, migrating a
+// session to a different shard (export → replay-import → verified
+// conditional drop, exactly what cluster.Migrate drives over HTTP) at
+// ANY point in the game produces a transcript bit-identical to an
+// uninterrupted single-shard run. Updates are applied to BOTH managers
+// throughout, mirroring the router's dataset-update broadcast: every
+// shard's synopsis sees every update, whether or not it currently
+// hosts the session.
+
+// migrateSession performs the manager-level half of cluster.Migrate:
+// export from one manager, replay-import into the other, verify the
+// replayed position bit-for-bit, then conditionally drop the source
+// copy at exactly that cut. A session that does not exist yet simply
+// starts fresh on the target — migrating an analyst who never queried
+// moves nothing.
+func migrateSession(t *testing.T, from, to *Manager, analyst string) {
+	t.Helper()
+	snap, ok := from.Export(analyst)
+	if !ok {
+		return
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("exported journal invalid: %v", err)
+	}
+	seq, digest, err := to.Import(snap)
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if seq != snap.Seq || digest.Hex() != snap.Digest {
+		t.Fatalf("target replayed to (seq %d, %s), exported (seq %d, %s)",
+			seq, digest.Hex(), snap.Seq, snap.Digest)
+	}
+	if err := from.DropIfAt(analyst, seq, digest); err != nil {
+		t.Fatalf("conditional drop at verified cut: %v", err)
+	}
+}
+
+// playAcrossMigration runs the scripted game against a two-shard pair,
+// migrating the session from shard A to shard B just before step cut
+// (cut == len(steps) migrates after the final step). Dataset updates go
+// to both managers, as the router broadcasts them fleet-wide.
+func playAcrossMigration(t *testing.T, f family, steps []step, cut int) []outcome {
+	t.Helper()
+	mA, mB := f.newManager(t), f.newManager(t)
+	var out []outcome
+	for i, st := range steps {
+		if i == cut {
+			migrateSession(t, mA, mB, "alice")
+		}
+		var o outcome
+		if st.update {
+			if err := mA.Update(st.idx, st.val); err != nil {
+				t.Fatalf("update on shard A: %v", err)
+			}
+			if err := mB.Update(st.idx, st.val); err != nil {
+				t.Fatalf("update on shard B: %v", err)
+			}
+		} else {
+			m := mA
+			if i >= cut {
+				m = mB
+			}
+			resp, err := m.Ask("alice", st.q)
+			o = outcome{denied: resp.Denied, answer: resp.Answer}
+			if err != nil {
+				o.errStr = err.Error()
+			}
+		}
+		out = append(out, o)
+	}
+	if cut == len(steps) {
+		migrateSession(t, mA, mB, "alice")
+		if _, ok := mA.Export("alice"); ok {
+			t.Fatal("source shard still holds the session after migration")
+		}
+		if _, ok := mB.Export("alice"); !ok {
+			t.Fatal("target shard did not receive the session")
+		}
+	}
+	return out
+}
+
+// TestMigrationAtEveryEventIndex migrates the session at every possible
+// cut point — before the first event, between every adjacent pair, and
+// after the last — for both the exact-disclosure and the probabilistic
+// stacks, and requires each interrupted transcript to equal the
+// uninterrupted run exactly.
+func TestMigrationAtEveryEventIndex(t *testing.T) {
+	for _, f := range determinismFamilies() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			steps := script(42, f.n, f.rounds, f.kinds, f.withUpdates)
+			base := play(t, f.newManager(t), "alice", steps, false)
+			for cut := 0; cut <= len(steps); cut++ {
+				migrated := playAcrossMigration(t, f, steps, cut)
+				compareTranscripts(t, fmt.Sprintf("migrate-at-%d", cut), base, migrated)
+			}
+		})
+	}
+}
