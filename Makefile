@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint ci bench bench-guard cover replication-smoke loadgen-smoke cluster-smoke
+.PHONY: build test race vet lint ci bench bench-guard cover replication-smoke loadgen-smoke cluster-smoke report-smoke
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: build lint race loadgen-smoke
+ci: build lint race loadgen-smoke report-smoke
 
 # End-to-end failover drill across real OS processes: build the binary,
 # run a primary and a streaming replica, push 50 queries, diff the
@@ -54,6 +54,16 @@ loadgen-smoke:
 # across a horizontally sharded fleet.
 cluster-smoke:
 	$(GO) test -run TestClusterSmoke -count=1 -v ./cmd/auditrouter
+
+# End-to-end retrospective-auditing drill: auditserver + loadgen +
+# auditreport as real binaries. loadgen emits the workload as an ndjson
+# audit log, the server exports the matching session journals over
+# /v1/journal, and auditreport replays both shapes offline through a
+# construction-identical stack (full and prob) with -verify: zero
+# live/offline verdict mismatches, and two pipeline runs over the same
+# inputs produce byte-identical reports.
+report-smoke:
+	$(GO) test -run TestReportSmoke -count=1 -v ./cmd/auditreport
 
 # Monte Carlo engine benchmarks — the per-worker Decide sweeps
 # {1,2,4,8} with samples-evaluated columns, the deployment-default

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"queryaudit/internal/auditlog"
+)
+
+// TestReportSmoke is the end-to-end retrospective-auditing drill
+// (`make report-smoke`): start a real auditserver, drive a workload
+// through the loadgen binary with -emit-audit-log, export the session
+// journals over /v1/journal, then replay both log shapes through the
+// auditreport binary configured with the same stack flags. The paper's
+// simulatability property says the offline verdicts must reproduce the
+// live ones bit-for-bit, so -verify must pass with zero mismatches —
+// for the full-information stack and the probabilistic one — and
+// running the pipeline twice must yield byte-identical reports.
+func TestReportSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping e2e binary test in -short mode")
+	}
+	dir := t.TempDir()
+	serverBin := filepath.Join(dir, "auditserver")
+	loadgenBin := filepath.Join(dir, "loadgen")
+	reportBin := filepath.Join(dir, "auditreport")
+	for _, b := range []struct{ bin, pkg string }{
+		{serverBin, "queryaudit/cmd/auditserver"},
+		{loadgenBin, "queryaudit/cmd/loadgen"},
+		{reportBin, "queryaudit/cmd/auditreport"},
+	} {
+		build := exec.Command("go", "build", "-o", b.bin, b.pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			t.Fatalf("build %s: %v", b.pkg, err)
+		}
+	}
+
+	cases := []struct {
+		family   string
+		requests int
+		stack    []string // shared auditserver/auditreport stack flags
+	}{
+		{"full", 80, []string{"-auditors", "full", "-n", "60", "-seed", "3"}},
+		// Small prob stack: live Monte Carlo decisions are the cost here.
+		{"prob", 24, []string{
+			"-auditors", "prob", "-n", "24", "-seed", "3",
+			"-prob-lambda", "0.45", "-prob-gamma", "4", "-prob-delta", "0.2",
+			"-prob-t", "12", "-prob-seed", "7",
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.family, func(t *testing.T) {
+			sub := filepath.Join(dir, tc.family)
+			if err := os.MkdirAll(sub, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			addr := startServer(t, serverBin, tc.stack)
+
+			// One worker so the emission order of the audit log equals the
+			// server's decision order per analyst — the precondition for
+			// sequential replay.
+			auditLog := filepath.Join(sub, "audit.ndjson")
+			lg := exec.Command(loadgenBin,
+				"-target", "http://"+addr,
+				"-requests", fmt.Sprint(tc.requests),
+				"-concurrency", "1",
+				"-analysts", "2",
+				"-mix", "sum=2,max=1,min=1",
+				"-statements", "8",
+				"-out", filepath.Join(sub, "loadgen.json"),
+				"-emit-audit-log", auditLog,
+			)
+			lg.Stdout, lg.Stderr = os.Stderr, os.Stderr
+			if err := lg.Run(); err != nil {
+				t.Fatalf("loadgen run: %v", err)
+			}
+
+			// Export both analysts' journals — the server-side record of
+			// the same history.
+			journal := filepath.Join(sub, "journal.json")
+			fetchJournals(t, addr, []string{"analyst-0", "analyst-1"}, journal)
+
+			// Replay each log shape through the same stack; -verify makes
+			// any live/offline divergence fatal.
+			report1 := runReport(t, reportBin, tc.stack, filepath.Join(sub, "report1.json"), auditLog)
+			report2 := runReport(t, reportBin, tc.stack, filepath.Join(sub, "report2.json"), auditLog)
+			if !bytes.Equal(report1, report2) {
+				t.Fatal("two pipeline runs over the same audit log differ")
+			}
+			journalReport := runReport(t, reportBin, tc.stack, filepath.Join(sub, "journal-report.json"), journal)
+
+			for name, raw := range map[string][]byte{"audit-log": report1, "journal": journalReport} {
+				var rep auditlog.Report
+				if err := json.Unmarshal(raw, &rep); err != nil {
+					t.Fatalf("%s report not valid JSON: %v", name, err)
+				}
+				if rep.Mismatches != 0 {
+					t.Fatalf("%s replay diverged: %d mismatches", name, rep.Mismatches)
+				}
+				if rep.Compared == 0 || rep.Queries == 0 {
+					t.Fatalf("%s report compared nothing: %+v", name, rep)
+				}
+				if len(rep.Analysts) != 2 {
+					t.Fatalf("%s report has %d analysts, want 2", name, len(rep.Analysts))
+				}
+			}
+		})
+	}
+}
+
+// startServer launches auditserver on an ephemeral port with the given
+// stack flags and returns its address.
+func startServer(t *testing.T, bin string, stack []string) string {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-quiet"}, stack...)
+	srv := exec.Command(bin, args...)
+	stderr, err := srv.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Process.Kill(); srv.Wait() })
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return addr
+	case <-time.After(20 * time.Second):
+		t.Fatal("auditserver never reported its listen address")
+		return ""
+	}
+}
+
+// fetchJournals exports each analyst's journal over /v1/journal and
+// writes them as one JSON array — the multi-snapshot shape the parser
+// accepts.
+func fetchJournals(t *testing.T, addr string, analysts []string, path string) {
+	t.Helper()
+	var snaps []json.RawMessage
+	for _, a := range analysts {
+		resp, err := http.Get("http://" + addr + "/v1/journal?analyst=" + a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/journal?analyst=%s: %d %s", a, resp.StatusCode, body)
+		}
+		snaps = append(snaps, body)
+	}
+	data, err := json.Marshal(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runReport invokes the auditreport binary in -verify mode and returns
+// the report bytes.
+func runReport(t *testing.T, bin string, stack []string, out, input string) []byte {
+	t.Helper()
+	args := append([]string{}, stack...)
+	args = append(args, "-verify", "-quiet", "-o", out, input)
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("auditreport %s: %v", input, err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}

@@ -70,19 +70,14 @@ import (
 	"syscall"
 	"time"
 
-	"queryaudit/internal/audit"
-	"queryaudit/internal/audit/maxminfull"
-	"queryaudit/internal/audit/maxminprob"
 	"queryaudit/internal/audit/sumfull"
-	"queryaudit/internal/audit/sumprob"
+	"queryaudit/internal/auditlog"
 	"queryaudit/internal/core"
-	"queryaudit/internal/dataset"
 	"queryaudit/internal/field"
 	"queryaudit/internal/mcpar"
 	"queryaudit/internal/metrics"
 	"queryaudit/internal/persist"
 	"queryaudit/internal/query"
-	"queryaudit/internal/randx"
 	"queryaudit/internal/replica"
 	"queryaudit/internal/server"
 	"queryaudit/internal/session"
@@ -150,16 +145,22 @@ func main() {
 		logger.Fatalf("-primary-url and -replica-listen only apply to -role=replica")
 	}
 
-	cfg := dataset.DefaultCompanyConfig(*n)
-	if *auditors == "prob" {
-		// The Section 3 auditors implement the paper's normalized data
-		// model: sensitive values i.i.d. uniform on [0,1], which is also
-		// the range their interval partition and polytope box protect.
-		// Feeding raw salaries would make every recorded answer
-		// inconsistent with the [0,1] synopsis.
-		cfg.MinSalary, cfg.MaxSalary = 0, 1
+	// StackConfig is the shared construction path with the offline
+	// pipeline (internal/auditlog): an auditreport run handed the same
+	// family/N/seed/prob parameters builds a bit-identical stack, which
+	// is what makes retrospective verdicts reproduce live ones.
+	stack := auditlog.StackConfig{
+		Family: *auditors, N: *n, Seed: *seed,
+		Lambda: *probLambda, Gamma: *probGamma, Delta: *probDelta, T: *probT,
+		MCWorkers: *mcWorkers, AdaptiveAlpha: *mcAlpha, ProbSeed: *probSeed,
 	}
-	ds := dataset.GenerateCompany(randx.New(*seed), cfg)
+	if err := stack.Validate(); err != nil {
+		logger.Fatalf("%v (unknown -auditors? want full or prob)", err)
+	}
+	if *auditors == "prob" && *snapshot != "" {
+		logger.Fatalf("-snapshot only supports -auditors=full (use -session-snapshot, which replays either family)")
+	}
+	ds := stack.NewDataset()
 
 	// One spec builds every session's engine: identical fresh auditors,
 	// observers installed at construction (never mid-flight).
@@ -168,26 +169,10 @@ func main() {
 	spec.SetObserver(metrics.NewEngineCollector(reg))
 	spec.SetMCObserver(metrics.NewMCCollector(reg))
 	spec.SetMCWorkers(*mcWorkers)
-	switch *auditors {
-	case "full":
-		nn := *n
-		spec.Register(func() (audit.Auditor, error) { return sumfull.New(nn), nil }, query.Sum)
-		spec.Register(func() (audit.Auditor, error) { return maxminfull.New(nn), nil }, query.Max, query.Min)
-	case "prob":
-		if *snapshot != "" {
-			logger.Fatalf("-snapshot only supports -auditors=full (use -session-snapshot, which replays either family)")
-		}
-		nn := *n
-		mmP := maxminprob.Params{
-			Lambda: *probLambda, Gamma: *probGamma, Delta: *probDelta, T: *probT,
-			Workers: *mcWorkers, Seed: *probSeed, AdaptiveAlpha: *mcAlpha,
-		}
-		sP := sumprob.Params{
-			Lambda: *probLambda, Gamma: *probGamma, Delta: *probDelta, T: *probT,
-			Workers: *mcWorkers, Seed: *probSeed + 1, AdaptiveAlpha: *mcAlpha,
-		}
-		spec.Register(func() (audit.Auditor, error) { return maxminprob.New(nn, mmP) }, query.Max, query.Min)
-		spec.Register(func() (audit.Auditor, error) { return sumprob.New(nn, sP) }, query.Sum)
+	if err := stack.RegisterAuditors(spec); err != nil {
+		logger.Fatalf("auditors: %v", err)
+	}
+	if *auditors == "prob" {
 		// One assist pool for the whole process: every session's decisions
 		// multiplex over it, so concurrent analysts share the machine
 		// instead of each fanning out their own goroutines.
@@ -196,8 +181,6 @@ func main() {
 		spec.SetMCScheduler(sched)
 		logger.Printf("probabilistic auditors: lambda=%g gamma=%d delta=%g T=%d mc-workers=%d sched-pool=%d adaptive-alpha=%g (sensitive values normalized to [0,1])",
 			*probLambda, *probGamma, *probDelta, *probT, *mcWorkers, sched.Size(), *mcAlpha)
-	default:
-		logger.Fatalf("unknown -auditors %q (want full or prob)", *auditors)
 	}
 
 	mgr, err := session.NewManager(spec, session.Config{

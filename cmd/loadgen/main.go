@@ -45,6 +45,7 @@ func main() {
 	flag.Float64Var(&cfg.zipfS, "zipf", 1.1, "Zipf skew s > 1 over the statement pool (hot-key shape); 0 selects uniformly")
 	flag.Float64Var(&cfg.sloMS, "slo-ms", 50, "latency SLO in milliseconds for the QPS-vs-SLO figure")
 	flag.StringVar(&cfg.out, "out", "", "report path (default LOADGEN_<date>.json in the working directory)")
+	flag.StringVar(&cfg.auditLog, "emit-audit-log", "", "also emit the workload as ndjson audit-log lines for auditreport (analyst, query, timestamp, outcome)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload seed (statement pool and arrival draws are reproducible per seed)")
 	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request HTTP timeout")
 	flag.Parse()
@@ -80,6 +81,12 @@ func main() {
 		logger.Fatal(err)
 	}
 	logger.Printf("wrote %s", cfg.out)
+	if cfg.auditLog != "" {
+		if err := writeAuditLog(cfg.auditLog, samples); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("wrote audit log %s (%d lines)", cfg.auditLog, len(samples))
+	}
 	fmt.Println(rep.summary())
 	if rep.Totals.TransportErrors > 0 || rep.Totals.HTTP5xx > 0 {
 		os.Exit(1)

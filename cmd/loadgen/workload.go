@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"queryaudit/internal/persist"
 )
 
 // config are the harness knobs (see main for the flag descriptions).
@@ -29,6 +31,7 @@ type config struct {
 	zipfS       float64
 	sloMS       float64
 	out         string
+	auditLog    string
 	seed        int64
 	timeout     time.Duration
 }
@@ -160,13 +163,33 @@ func buildStatements(cfg config) ([]statement, error) {
 
 // sample is one request's outcome.
 type sample struct {
-	kind    string
-	latency time.Duration
-	status  int
-	denied  bool
-	failed  bool   // transport error (no HTTP status)
-	shard   string // X-Shard-ID of the answering node (clustered runs)
-	retried bool   // followed one 421 misdirected hop
+	kind     string
+	analyst  string
+	sql      string
+	ts       string // request start, RFC3339Nano (audit-log emission)
+	latency  time.Duration
+	status   int
+	denied   bool
+	answered bool
+	answer   float64
+	failed   bool   // transport error (no HTTP status)
+	shard    string // X-Shard-ID of the answering node (clustered runs)
+	retried  bool   // followed one 421 misdirected hop
+}
+
+// outcome classifies the sample the way an audit log records it:
+// answered and denied are protocol outcomes; everything else (transport
+// failure, non-200 status) is "error" — the query may never have
+// reached an auditor, and the offline replayer skips such lines.
+func (s sample) outcome() string {
+	switch {
+	case s.answered:
+		return "answered"
+	case s.status == http.StatusOK && s.denied:
+		return "denied"
+	default:
+		return "error"
+	}
 }
 
 // run drives the configured arrival process and returns every sample
@@ -281,11 +304,13 @@ func newPicker(rng *rand.Rand, s float64, n int) func() int {
 // both hops — that IS the cost a misrouted client pays.
 func doQuery(client *http.Client, base, analyst string, st statement) sample {
 	body, _ := json.Marshal(map[string]string{"sql": st.sql})
-	out := sample{kind: st.kind}
 	t0 := time.Now()
+	out := sample{kind: st.kind, analyst: analyst, sql: st.sql, ts: t0.UTC().Format(time.RFC3339Nano)}
 	resp, err := postQuery(client, base, analyst, body)
 	if err != nil {
-		return sample{kind: st.kind, latency: time.Since(t0), failed: true}
+		out.latency = time.Since(t0)
+		out.failed = true
+		return out
 	}
 	if resp.StatusCode == http.StatusMisdirectedRequest {
 		var mb struct {
@@ -312,11 +337,16 @@ func doQuery(client *http.Client, base, analyst string, st statement) sample {
 	out.status = resp.StatusCode
 	out.shard = resp.Header.Get("X-Shard-ID")
 	var qr struct {
-		Denied bool `json:"denied"`
+		Denied bool     `json:"denied"`
+		Answer *float64 `json:"answer"`
 	}
 	if resp.StatusCode == http.StatusOK {
 		if json.NewDecoder(resp.Body).Decode(&qr) == nil {
 			out.denied = qr.Denied
+			if !qr.Denied && qr.Answer != nil {
+				out.answered = true
+				out.answer = *qr.Answer
+			}
 		}
 	} else {
 		_, _ = io.Copy(io.Discard, resp.Body)
@@ -333,6 +363,38 @@ func postQuery(client *http.Client, base, analyst string, body []byte) (*http.Re
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("X-Analyst-ID", analyst)
 	return client.Do(req)
+}
+
+// auditLine is one emitted audit-log record — the ndjson schema
+// internal/auditlog ingests (auditlog.FormatNDJSON), so a loadgen run
+// plus auditreport forms a closed retrospective pipeline.
+type auditLine struct {
+	TS      string   `json:"ts"`
+	Analyst string   `json:"analyst"`
+	SQL     string   `json:"sql"`
+	Kind    string   `json:"kind"`
+	Outcome string   `json:"outcome"`
+	Answer  *float64 `json:"answer,omitempty"`
+}
+
+// writeAuditLog emits every sample as one audit-log line, in completion
+// order (with -concurrency 1 that is exactly the server's per-analyst
+// decision order, which is what bit-for-bit replay verification needs).
+func writeAuditLog(path string, samples []sample) error {
+	return persist.WriteAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		for _, s := range samples {
+			line := auditLine{TS: s.ts, Analyst: s.analyst, SQL: s.sql, Kind: s.kind, Outcome: s.outcome()}
+			if s.answered {
+				ans := s.answer
+				line.Answer = &ans
+			}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // percentile returns the p-quantile (0..1) of sorted durations.

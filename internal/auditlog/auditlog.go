@@ -1,0 +1,119 @@
+// Package auditlog is the retrospective-auditing pipeline: it ingests
+// historical audit logs, scores each query's sensitivity risk, replays
+// every analyst's history offline through the same auditor stack a live
+// server runs, and reports which queries would have been denied and
+// which analysts' histories approach compromise.
+//
+// The paper's auditors are online-only — a query is judged the moment
+// it arrives — but a deployment also needs the backward question:
+// given this auditor configuration, what does the history we already
+// served expose? Simulatability (§2.2) is what makes the answer exact:
+// a safe auditor's state is a pure function of its query/decision
+// history, so feeding the recorded history to a fresh stack rebuilds
+// the live auditor bit-for-bit, and the offline verdicts ARE the live
+// verdicts.
+//
+// The pipeline has four stages, each usable on its own:
+//
+//	parse  — normalize external audit logs (pgAudit-style CSV, ndjson)
+//	         and our own exported session journals into one Entry
+//	         stream, with per-line error recovery.
+//	enrich — score each query against a sensitivity dictionary:
+//	         attributes touched × sensitivity weight × aggregation
+//	         breadth, emitted as enriched ndjson.
+//	replay — rebuild each analyst's history offline through a chosen
+//	         core.EngineSpec stack, diffing offline verdicts against
+//	         recorded live outcomes where the source carries them.
+//	report — fold everything into a deterministic JSON artifact
+//	         (per-analyst denial rates, top-risk queries, compromise
+//	         proximity) written via persist.WriteAtomic.
+//
+// The whole pipeline is deterministic: no wall-clock reads, no global
+// RNG, no map-ordered output (enforced by auditlint's detrand pass —
+// this package is a decision path). Running it twice over the same
+// input yields byte-identical reports, so a report is a reproducible
+// compliance artifact, not a log of one run.
+package auditlog
+
+import "fmt"
+
+// Op distinguishes the two entry arms of the normalized stream.
+type Op string
+
+const (
+	// OpQuery is an audited query (the common case).
+	OpQuery Op = "query"
+	// OpUpdate marks a sensitive-value modification at this point of
+	// the analyst's timeline (session journals only; external audit
+	// logs carry no update markers).
+	OpUpdate Op = "update"
+)
+
+// Entry is one normalized audit-log record. External logs carry the
+// statement text (resolved to a query set at replay time); session
+// journals carry the explicit resolved index set plus the recorded
+// outcome and released answer, which is what enables bit-for-bit
+// verdict verification.
+type Entry struct {
+	// Source names where the entry came from (file path or
+	// "journal:<analyst>"); Line is its 1-based line number there
+	// (0 for journal events, which are positions, not lines).
+	Source string `json:"source,omitempty"`
+	Line   int    `json:"line,omitempty"`
+	// Pos is the entry's position in the merged input stream; the
+	// report uses it to join enrichment and replay results.
+	Pos int `json:"-"`
+
+	Analyst string `json:"analyst"`
+	// Time is the original timestamp text, passed through verbatim
+	// (the pipeline never parses or compares wall-clock values).
+	Time string `json:"ts,omitempty"`
+	Op   Op     `json:"op"`
+
+	// SQL is the statement text (external logs); empty for journal
+	// entries, which carry the resolved set instead.
+	SQL string `json:"sql,omitempty"`
+	// Kind is the aggregate kind when known ("sum", "max", ...).
+	Kind string `json:"kind,omitempty"`
+	// Indices is the explicit resolved query set (journal entries).
+	Indices []int `json:"indices,omitempty"`
+
+	// Outcome is the recorded live outcome when the source carries one:
+	// "answered", "denied", "errored" (auditor Decide failed), or
+	// "error" (transport/HTTP failure — the query may never have
+	// reached an auditor). Empty means unknown.
+	Outcome string `json:"outcome,omitempty"`
+	// Answer is the recorded released answer; HasAnswer distinguishes
+	// a genuine 0 from absence.
+	Answer    float64 `json:"answer,omitempty"`
+	HasAnswer bool    `json:"-"`
+
+	// Index is the updated record (Op == OpUpdate).
+	Index int `json:"index,omitempty"`
+}
+
+// Validate checks the structural invariants a replayable entry needs.
+func (e Entry) Validate() error {
+	if e.Analyst == "" {
+		return fmt.Errorf("auditlog: entry without analyst")
+	}
+	switch e.Op {
+	case OpUpdate:
+		if e.Index < 0 {
+			return fmt.Errorf("auditlog: negative update index %d", e.Index)
+		}
+		return nil
+	case OpQuery:
+		if e.SQL == "" && len(e.Indices) == 0 {
+			return fmt.Errorf("auditlog: query entry with neither SQL nor indices")
+		}
+		for _, i := range e.Indices {
+			if i < 0 {
+				return fmt.Errorf("auditlog: negative index %d", i)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("auditlog: unknown op %q", e.Op)
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math"
+
+	"queryaudit/internal/audit"
+)
+
+// Proximity condenses a knowledge snapshot into the distance-to-
+// compromise figures the retrospective pipeline (internal/auditlog)
+// reports per analyst: how many records the answered history already
+// pins exactly (classical compromise, §2), how many it confines to a
+// finite interval, and how tight the tightest such interval is. A
+// history with pinned records IS a compromise; a history whose minimum
+// interval width is shrinking is approaching one.
+type Proximity struct {
+	// Records is the dataset size the auditor reports over.
+	Records int `json:"records"`
+	// Pinned counts records whose value is exactly determined.
+	Pinned int `json:"pinned"`
+	// Bounded counts records confined to a finite interval on both
+	// sides but not pinned.
+	Bounded int `json:"bounded"`
+	// MinWidth is the width of the tightest finite, non-pinned interval
+	// (0 when no record is bounded).
+	MinWidth float64 `json:"min_width"`
+	// MeanWidth is the mean width over the bounded records (0 when no
+	// record is bounded).
+	MeanWidth float64 `json:"mean_width"`
+	// Score orders analysts by danger in [0,1]: 1 when any record is
+	// pinned, 1/(1+MinWidth) when records are bounded (tighter bounds
+	// approach 1), 0 when the history exposes no finite interval.
+	Score float64 `json:"score"`
+}
+
+// ProximityOf folds one auditor's per-element knowledge into its
+// compromise-proximity summary.
+func ProximityOf(ks []audit.ElementKnowledge) Proximity {
+	p := Proximity{Records: len(ks)}
+	var widthSum float64
+	for _, k := range ks {
+		if k.Pinned {
+			p.Pinned++
+			continue
+		}
+		w := k.Upper - k.Lower
+		if math.IsInf(w, 0) || math.IsNaN(w) || w < 0 {
+			continue
+		}
+		if p.Bounded == 0 || w < p.MinWidth {
+			p.MinWidth = w
+		}
+		p.Bounded++
+		widthSum += w
+	}
+	if p.Bounded > 0 {
+		p.MeanWidth = widthSum / float64(p.Bounded)
+	}
+	switch {
+	case p.Pinned > 0:
+		p.Score = 1
+	case p.Bounded > 0:
+		p.Score = 1 / (1 + p.MinWidth)
+	}
+	return p
+}
+
+// KnowledgeProximity reports, per reporting auditor (by name), how close
+// the answered history stands to compromising each record — the whole
+// report built under one engine lock acquisition, like
+// KnowledgeSnapshot, so it reflects a single instant of the protocol.
+func (e *Engine) KnowledgeProximity() map[string]Proximity {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := map[string]Proximity{}
+	seen := map[audit.Auditor]bool{}
+	for _, a := range e.auditors {
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		kr, ok := a.(audit.KnowledgeReporter)
+		if !ok {
+			continue
+		}
+		out[a.Name()] = ProximityOf(kr.Knowledge())
+	}
+	return out
+}

@@ -8,11 +8,14 @@ package lint
 
 // DecisionPathPrefixes are the packages whose code decides or samples:
 // everything under the auditors, the coloring sampler, the Monte Carlo
-// engine, the attack game, and the cluster placement logic (router and
+// engine, the attack game, the cluster placement logic (router and
 // shards must compute identical owners from the descriptor alone, so
-// the ring is a decision path too). detrand runs here.
+// the ring is a decision path too), and the retrospective pipeline
+// (reports are reproducible artifacts: same inputs, same bytes).
+// detrand runs here.
 var DecisionPathPrefixes = []string{
 	"queryaudit/internal/audit",
+	"queryaudit/internal/auditlog",
 	"queryaudit/internal/coloring",
 	"queryaudit/internal/mcpar",
 	"queryaudit/internal/game",

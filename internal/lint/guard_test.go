@@ -18,7 +18,7 @@ func TestDecisionPathsStayDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := LoadPackages(root, "./internal/audit/...", "./internal/mcpar", "./internal/coloring", "./internal/cluster")
+	prog, err := LoadPackages(root, "./internal/audit/...", "./internal/auditlog", "./internal/mcpar", "./internal/coloring", "./internal/cluster")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -139,7 +139,7 @@ type httpMetrics struct {
 // routes lists the served path patterns for per-route counters.
 var routes = []string{
 	"/v1/query", "/v1/queryset", "/v1/update", "/v1/stats", "/v1/schema",
-	"/v1/knowledge", "/v1/prime", "/v1/sessions", "/v1/metrics",
+	"/v1/journal", "/v1/knowledge", "/v1/prime", "/v1/sessions", "/v1/metrics",
 	"/v1/replication/status", "/v1/replication/snapshot",
 	"/v1/replication/stream", "/v1/replication/promote",
 	"/v1/replication/demote",

@@ -191,6 +191,7 @@ func newServer(mgr *session.Manager, sensitive string, opts []Option) *Server {
 	s.mux.HandleFunc("POST /v1/queryset", s.whenReady(s.writable(s.handleQuerySet)))
 	s.mux.HandleFunc("POST /v1/update", s.whenReady(s.writable(s.handleUpdate)))
 	s.mux.HandleFunc("GET /v1/stats", s.whenReady(s.handleStats))
+	s.mux.HandleFunc("GET /v1/journal", s.whenReady(s.handleJournal))
 	s.mux.HandleFunc("GET /v1/schema", s.handleSchema)
 	s.mux.HandleFunc("GET /v1/knowledge", s.whenReady(s.handleKnowledge))
 	s.mux.HandleFunc("POST /v1/prime", s.whenReady(s.writable(s.handlePrime)))
@@ -559,6 +560,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Live:          st.Live,
 		LogEvents:     st.LogEvents,
 	})
+}
+
+// handleJournal exports the requesting analyst's session journal — the
+// same digest-chained session.LogSnapshot the cluster migration
+// endpoint ships, but reachable on every deployment (GET
+// /v1/cluster/journal mounts only with -cluster-config), so the
+// retrospective pipeline (cmd/auditreport) can ingest from any live
+// server. The snapshot is self-verifying: auditreport recomputes the
+// digest chain before replaying a single event.
+func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
+	analyst, ok := s.analyst(w, r)
+	if !ok {
+		return
+	}
+	snap, ok := s.mgr.Export(analyst)
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, errorResponse{Error: "no session for analyst " + analyst})
+		return
+	}
+	if snap.Events == nil {
+		// A journal is a JSON array of events even when empty; null would
+		// make the export indistinguishable from a non-journal document.
+		snap.Events = []session.EventSnapshot{}
+	}
+	s.writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
