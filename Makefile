@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint ci bench bench-guard cover replication-smoke loadgen-smoke cluster-smoke report-smoke
+.PHONY: build test race vet lint lint-report lint-cache-smoke ci bench bench-guard cover replication-smoke loadgen-smoke cluster-smoke report-smoke
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,23 @@ vet:
 # Static analysis: go vet plus auditlint, the repo's custom stdlib-only
 # analyzer suite (cmd/auditlint, docs/LINTING.md) enforcing the
 # determinism, locking and persistence invariants the replay/replication
-# layers depend on.
+# layers depend on. -cache reuses the summary cache (.auditlint-cache/,
+# gitignored) keyed on source + export-data hashes, so warm runs skip
+# the load-and-analyze phase entirely.
 lint: vet
-	$(GO) run ./cmd/auditlint ./...
+	$(GO) run ./cmd/auditlint -cache ./...
+
+# Machine-readable findings report (schema 2, with witness chains) for
+# the CI artifact. Exit code is the same 0/1/2 contract as `lint`.
+LINT_REPORT ?= auditlint-findings.json
+lint-report:
+	$(GO) run ./cmd/auditlint -cache -json ./... > $(LINT_REPORT)
+
+# Warm-vs-cold cache smoke: over the real module, the second (warm)
+# auditlint run must beat the cold one. Wall-clock assertions belong on
+# a deliberate invocation, so the test is env-gated like bench-guard.
+lint-cache-smoke:
+	LINT_CACHE_SMOKE=1 $(GO) test -run TestCacheWarmFasterThanCold -count=1 -v ./cmd/auditlint
 
 test:
 	$(GO) test ./...

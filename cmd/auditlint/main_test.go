@@ -1,0 +1,290 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The exit-code contract: 0 on a clean tree, 1 when findings survive
+// suppression, 2 on load/usage errors — stable across -analyzers
+// subsets and -json, because CI and the pre-commit hook both branch on
+// it. Exercised against the real binary over throwaway modules.
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+func auditlintBin(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "auditlint-bin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "auditlint")
+		out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput()
+		if err != nil {
+			buildErr = err
+			t.Logf("build output: %s", out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building auditlint: %v", buildErr)
+	}
+	return binPath
+}
+
+// run executes the binary and returns stdout, stderr and the exit code.
+func run(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(auditlintBin(t), args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running auditlint %v: %v", args, err)
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func cleanModule(t *testing.T) string {
+	return writeModule(t, map[string]string{
+		"go.mod":  "module queryaudit\n\ngo 1.22\n",
+		"util.go": "package util\n\nfunc Add(a, b int) int { return a + b }\n",
+	})
+}
+
+// dirtyModule impersonates the repo's module: a decision-path package
+// (queryaudit/internal/audit) reaches time.Now through a TWO-call chain
+// in a helper package — the interprocedural regression fixture.
+func dirtyModule(t *testing.T) string {
+	return writeModule(t, map[string]string{
+		"go.mod": "module queryaudit\n\ngo 1.22\n",
+		"internal/timeutil/timeutil.go": "package timeutil\n\nimport \"time\"\n\n" +
+			"// Stamp returns the current unix time via a private helper.\n" +
+			"func Stamp() int64 { return nowUnix() }\n\n" +
+			"func nowUnix() int64 { return time.Now().Unix() }\n",
+		"internal/audit/decide.go": "package audit\n\nimport \"queryaudit/internal/timeutil\"\n\n" +
+			"// Choose wrongly folds a timestamp into a decision.\n" +
+			"func Choose(n int) int64 {\n\tif n > 0 {\n\t\treturn timeutil.Stamp()\n\t}\n\treturn 0\n}\n",
+	})
+}
+
+func TestExitCodeCleanTree(t *testing.T) {
+	dir := cleanModule(t)
+	for _, args := range [][]string{
+		{"-C", dir, "./..."},
+		{"-C", dir, "-json", "./..."},
+		{"-C", dir, "-analyzers", "detrand,errsink", "./..."},
+	} {
+		if out, errOut, code := run(t, args...); code != 0 {
+			t.Errorf("%v: exit %d, want 0\nstdout: %s\nstderr: %s", args, code, out, errOut)
+		}
+	}
+}
+
+func TestExitCodeFindings(t *testing.T) {
+	dir := dirtyModule(t)
+	out, _, code := run(t, "-C", dir, "./...")
+	if code != 1 {
+		t.Fatalf("dirty module: exit %d, want 1\n%s", code, out)
+	}
+	for _, needle := range []string{
+		"call to internal/timeutil.Stamp reaches a wall-clock read in a decision path",
+		"internal/audit.Choose → internal/timeutil.Stamp → internal/timeutil.nowUnix → time.Now",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("finding output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestExitCodeAnalyzerSubsets(t *testing.T) {
+	dir := dirtyModule(t)
+	// The flagging analyzer alone still exits 1; subsets that cannot see
+	// the defect — including each of the new passes — exit 0.
+	if _, _, code := run(t, "-C", dir, "-analyzers", "detrand", "./..."); code != 1 {
+		t.Errorf("-analyzers detrand: exit %d, want 1", code)
+	}
+	for _, subset := range []string{"floateq", "lockorder", "ctxleak", "errsink", "lockorder,ctxleak,errsink"} {
+		if out, _, code := run(t, "-C", dir, "-analyzers", subset, "./..."); code != 0 {
+			t.Errorf("-analyzers %s: exit %d, want 0\n%s", subset, code, out)
+		}
+	}
+}
+
+func TestExitCodeLoadAndUsageErrors(t *testing.T) {
+	dir := cleanModule(t)
+	if _, errOut, code := run(t, "-C", dir, "-analyzers", "nosuch", "./..."); code != 2 || !strings.Contains(errOut, "unknown analyzer") {
+		t.Errorf("unknown analyzer: exit %d (%s), want 2", code, errOut)
+	}
+	if _, _, code := run(t, "-C", dir, "./does/not/exist"); code != 2 {
+		t.Errorf("bad pattern: exit %d, want 2", code)
+	}
+	broken := writeModule(t, map[string]string{
+		"go.mod": "module queryaudit\n\ngo 1.22\n",
+		"bad.go": "package bad\n\nfunc Broken() int { return undefinedSymbol }\n",
+	})
+	if _, _, code := run(t, "-C", broken, "./..."); code != 2 {
+		t.Errorf("type error: exit %d, want 2", code)
+	}
+	if _, _, code := run(t, "-C", dir, "-why", "no.Such", "./..."); code != 2 {
+		t.Errorf("-why unknown function: exit %d, want 2", code)
+	}
+}
+
+// TestWhyPrintsWitnessChain is the -why acceptance case: the helper
+// whose summary reaches time.Now two calls down must explain itself
+// with the full chain.
+func TestWhyPrintsWitnessChain(t *testing.T) {
+	dir := dirtyModule(t)
+	out, _, code := run(t, "-C", dir, "-why", "timeutil.Stamp", "./...")
+	if code != 0 {
+		t.Fatalf("-why exit %d, want 0\n%s", code, out)
+	}
+	for _, needle := range []string{
+		"internal/timeutil.Stamp",
+		"reaches a wall-clock read: internal/timeutil.Stamp → internal/timeutil.nowUnix → time.Now",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("-why output missing %q:\n%s", needle, out)
+		}
+	}
+	// The in-scope caller explains with the same chain, one hop longer.
+	out, _, code = run(t, "-C", dir, "-why", "audit.Choose", "./...")
+	if code != 0 || !strings.Contains(out, "audit.Choose → internal/timeutil.Stamp → internal/timeutil.nowUnix → time.Now") {
+		t.Errorf("-why audit.Choose: exit %d, missing chain:\n%s", code, out)
+	}
+}
+
+type report struct {
+	Schema    int      `json:"schema"`
+	Analyzers []string `json:"analyzers"`
+	Packages  []string `json:"packages"`
+	Cache     string   `json:"cache"`
+	Findings  []struct {
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+		Witness  []struct {
+			Func string `json:"func"`
+			Note string `json:"note"`
+		} `json:"witness"`
+	} `json:"findings"`
+}
+
+func decodeReport(t *testing.T, out string) report {
+	t.Helper()
+	var r report
+	if err := json.Unmarshal([]byte(out), &r); err != nil {
+		t.Fatalf("decoding -json output: %v\n%s", err, out)
+	}
+	return r
+}
+
+func TestJSONSchemaV2(t *testing.T) {
+	dir := dirtyModule(t)
+	out, _, code := run(t, "-C", dir, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("-json dirty: exit %d, want 1", code)
+	}
+	r := decodeReport(t, out)
+	if r.Schema != 2 || r.Cache != "off" || len(r.Analyzers) != 8 {
+		t.Fatalf("envelope = schema %d, cache %q, %d analyzers", r.Schema, r.Cache, len(r.Analyzers))
+	}
+	if len(r.Findings) == 0 {
+		t.Fatal("no findings in the JSON report")
+	}
+	f := r.Findings[0]
+	if f.Analyzer != "detrand" || len(f.Witness) < 3 || f.Witness[len(f.Witness)-1].Note != "root" {
+		t.Fatalf("finding lacks a rooted witness chain: %+v", f)
+	}
+	if !strings.Contains(strings.Join(r.Packages, " "), "queryaudit/internal/audit") {
+		t.Fatalf("packages list missing the analyzed package: %v", r.Packages)
+	}
+}
+
+func TestCacheHitAndInvalidation(t *testing.T) {
+	dir := dirtyModule(t)
+	out1, _, code1 := run(t, "-C", dir, "-cache", "-json", "./...")
+	r1 := decodeReport(t, out1)
+	if code1 != 1 || r1.Cache != "miss" {
+		t.Fatalf("cold run: exit %d, cache %q; want 1, miss", code1, r1.Cache)
+	}
+	out2, _, code2 := run(t, "-C", dir, "-cache", "-json", "./...")
+	r2 := decodeReport(t, out2)
+	if code2 != 1 || r2.Cache != "hit" {
+		t.Fatalf("warm run: exit %d, cache %q; want 1, hit", code2, r2.Cache)
+	}
+	if len(r2.Findings) != len(r1.Findings) || r2.Findings[0].Message != r1.Findings[0].Message {
+		t.Fatal("cached findings differ from the analyzed ones")
+	}
+	// The exit code must come from the cached findings too — and editing
+	// a file must invalidate.
+	decide := filepath.Join(dir, "internal", "audit", "decide.go")
+	fixed := "package audit\n\n// Choose no longer consults the clock.\n" +
+		"func Choose(n int) int64 {\n\tif n > 0 {\n\t\treturn int64(n)\n\t}\n\treturn 0\n}\n"
+	if err := os.WriteFile(decide, []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out3, errOut3, code3 := run(t, "-C", dir, "-cache", "-json", "./...")
+	r3 := decodeReport(t, out3)
+	if code3 != 0 || r3.Cache != "miss" || len(r3.Findings) != 0 {
+		t.Fatalf("edited run: exit %d, cache %q, %d findings; want 0, miss, 0", code3, r3.Cache, len(r3.Findings))
+	}
+	if !strings.Contains(errOut3, "queryaudit/internal/audit") {
+		t.Errorf("miss diagnostic does not name the invalidating package: %s", errOut3)
+	}
+}
+
+// TestCacheWarmFasterThanCold is the CI smoke assertion: over the real
+// module, a warm cache run must beat the cold one. Wall-clock
+// assertions belong on a quiet machine, so it is env-gated
+// (LINT_CACHE_SMOKE=1, `make lint-cache-smoke`).
+func TestCacheWarmFasterThanCold(t *testing.T) {
+	if os.Getenv("LINT_CACHE_SMOKE") == "" {
+		t.Skip("set LINT_CACHE_SMOKE=1 to run the warm-vs-cold wall-clock smoke")
+	}
+	root := "../.."
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	timed := func() time.Duration {
+		t.Helper()
+		start := time.Now()
+		if _, errOut, code := run(t, "-C", root, "-cache", "-cache-dir", cacheDir, "./..."); code != 0 {
+			t.Fatalf("lint over the repo: exit %d\n%s", code, errOut)
+		}
+		return time.Since(start)
+	}
+	cold := timed()
+	warm := timed()
+	t.Logf("cold %v, warm %v", cold, warm)
+	if warm >= cold {
+		t.Fatalf("warm run (%v) not faster than cold (%v)", warm, cold)
+	}
+}

@@ -252,7 +252,7 @@ func (rt *router) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_, _ = w.Write(buf.Bytes())
+	_, _ = w.Write(buf.Bytes()) //auditlint:allow errsink client disconnect mid-response is the client's failure to retry, not router state
 }
 
 // bufferBody reads the request body so it can be replayed on a retry
@@ -369,7 +369,7 @@ func (rt *router) relay(w http.ResponseWriter, r *http.Request, st *shardState, 
 			// Unfollowable (or second) 421: relay it for the client.
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusMisdirectedRequest)
-			_, _ = w.Write(raw)
+			_, _ = w.Write(raw) //auditlint:allow errsink relaying an upstream 421 body; a client disconnect here loses only the error detail
 			return
 		}
 		st.reportSuccess(url)
@@ -383,7 +383,11 @@ func (rt *router) relay(w http.ResponseWriter, r *http.Request, st *shardState, 
 	}
 }
 
-// copyResponse relays an upstream response verbatim.
+// copyResponse relays an upstream response verbatim. If the upstream
+// body breaks mid-stream the handler is aborted so the client sees a
+// broken connection, not a clean EOF: a silently truncated audit
+// response (a partial decision list, half a snapshot) is worse than an
+// error the client can retry.
 func copyResponse(w http.ResponseWriter, resp *http.Response) {
 	defer resp.Body.Close()
 	for k, vs := range resp.Header {
@@ -392,7 +396,9 @@ func copyResponse(w http.ResponseWriter, resp *http.Response) {
 		}
 	}
 	w.WriteHeader(resp.StatusCode)
-	_, _ = io.Copy(w, resp.Body)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		panic(http.ErrAbortHandler)
+	}
 }
 
 // shardCall is relay without a ResponseWriter: one shard round trip
@@ -508,9 +514,17 @@ func (rt *router) handleSessions(w http.ResponseWriter, r *http.Request) {
 
 func (rt *router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		// Buffer-first, as in the server: a render failure is a clean
+		// 500, never a torn 200 the scraper ingests as a partial set.
+		var buf bytes.Buffer
+		if err := metrics.WritePrometheus(&buf, rt.reg.Snapshot()); err != nil {
+			http.Error(w, "metrics render failed", http.StatusInternalServerError)
+			return
+		}
 		w.Header().Set("Content-Type", metrics.PrometheusContentType)
+		w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 		w.WriteHeader(http.StatusOK)
-		_ = metrics.WritePrometheus(w, rt.reg.Snapshot())
+		_, _ = w.Write(buf.Bytes()) //auditlint:allow errsink a failed scrape write is the scraper's disconnect; nothing durable depends on it
 		return
 	}
 	rt.writeJSON(w, http.StatusOK, rt.reg.Snapshot())

@@ -421,3 +421,55 @@ func TestRouterRebalanceScaleOut(t *testing.T) {
 		t.Fatalf("second rebalance: %+v, want no moves and no failures", rr)
 	}
 }
+
+// failingBody yields some bytes, then an error, simulating an upstream
+// replica dying mid-response.
+type failingBody struct {
+	data string
+	read bool
+}
+
+func (f *failingBody) Read(p []byte) (int, error) {
+	if !f.read {
+		f.read = true
+		return copy(p, f.data), nil
+	}
+	return 0, io.ErrUnexpectedEOF
+}
+
+func (f *failingBody) Close() error { return nil }
+
+// copyResponse used to swallow mid-stream copy errors, relaying a
+// truncated body under a clean 200 (errsink finding). It must now abort
+// the handler so the client sees a broken connection it can retry.
+func TestCopyResponseAbortsOnTruncatedUpstream(t *testing.T) {
+	rec := httptest.NewRecorder()
+	resp := &http.Response{
+		StatusCode: http.StatusOK,
+		Header:     http.Header{"Content-Type": {"application/json"}},
+		Body:       &failingBody{data: `{"partial":`},
+	}
+	defer func() {
+		if r := recover(); r != http.ErrAbortHandler {
+			t.Fatalf("recovered %v, want http.ErrAbortHandler", r)
+		}
+	}()
+	copyResponse(rec, resp)
+	t.Fatal("copyResponse returned normally on a truncated upstream body")
+}
+
+func TestCopyResponseRelaysIntactUpstream(t *testing.T) {
+	rec := httptest.NewRecorder()
+	resp := &http.Response{
+		StatusCode: http.StatusAccepted,
+		Header:     http.Header{"X-Shard-ID": {"s1"}},
+		Body:       io.NopCloser(strings.NewReader("whole body")),
+	}
+	copyResponse(rec, resp)
+	if rec.Code != http.StatusAccepted || rec.Body.String() != "whole body" {
+		t.Fatalf("relayed %d %q", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Shard-ID"); got != "s1" {
+		t.Fatalf("X-Shard-ID = %q, want s1", got)
+	}
+}

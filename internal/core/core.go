@@ -308,7 +308,7 @@ func (e *Engine) Ask(q query.Query) (Response, error) {
 // askObservedLocked wraps askLocked with the instrumentation hook; it reports only
 // top-level queries (the Avg→Sum recursion inside ask stays one event).
 func (e *Engine) askObservedLocked(q query.Query) (Response, error) {
-	start := time.Now()
+	start := time.Now() //auditlint:allow detrand latency metric stamp for the observer hook; never a decision input
 	resp, err := e.askLocked(q)
 	if e.obs != nil && err == nil {
 		e.obs.ObserveDecision(q.Kind, resp.Denied, time.Since(start))

@@ -34,7 +34,18 @@ var FloatEqPrefixes = []string{
 // PersistPaths is the one package allowed to touch files directly.
 var PersistPaths = []string{"queryaudit/internal/persist"}
 
-// DefaultAnalyzers returns the five analyzers configured for this
+// CtxLeakPrefixes are the long-running service packages whose background
+// goroutines must be lifecycle-bounded: a demoted or draining node with
+// ghost workers still mutating state is a forked history. ctxleak runs
+// here.
+var CtxLeakPrefixes = []string{
+	"queryaudit/internal/replica",
+	"queryaudit/internal/cluster",
+	"queryaudit/internal/server",
+	"queryaudit/internal/auditlog",
+}
+
+// DefaultAnalyzers returns the eight analyzers configured for this
 // module.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
@@ -43,5 +54,8 @@ func DefaultAnalyzers() []*Analyzer {
 		Lockcheck(),
 		AtomicWrite(PersistPaths),
 		FloatEq(FloatEqPrefixes),
+		LockOrder(),
+		CtxLeak(CtxLeakPrefixes),
+		ErrSink(PersistPaths),
 	}
 }

@@ -1,0 +1,176 @@
+package lint
+
+// The summary cache. Analysis is a pure function of its inputs: the
+// analyzer set, the source of every main-module package, and the
+// compiler export data of every out-of-module dependency. Fingerprint
+// hashes exactly those inputs from the `go list` phase alone — no
+// parsing, no type-checking — and the CLI reuses the previous run's
+// findings when the fingerprint matches.
+//
+// Reuse is deliberately all-or-nothing. Per-package reuse would need
+// each package's findings keyed by its import-graph cone, but the
+// engine's call graph is NOT confined to that cone: interface-dispatch
+// edges run from a package to implementations in packages that import
+// it (a lock cycle can span two packages connected only dynamically),
+// so a change anywhere in the module can change findings everywhere.
+// The manifest still records the per-package hashes so a miss can say
+// which packages invalidated it.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"queryaudit/internal/persist"
+)
+
+// cacheSchema versions the manifest layout AND the analysis semantics:
+// bump it whenever an analyzer's behavior changes, so stale caches
+// self-invalidate without anyone remembering to clear them.
+const cacheSchema = 2
+
+// Fingerprint hashes every analysis input: the cache schema, the
+// analyzer names, and — per listed package, sorted by import path —
+// main-module source bytes or dependency export data. It returns the
+// combined key and the per-package hashes (import path → hex digest)
+// for miss diagnostics.
+func (pl *PackageList) Fingerprint(analyzers []string) (string, map[string]string, error) {
+	perPkg := map[string]string{}
+	sorted := append([]*listPkg(nil), pl.pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ImportPath < sorted[j].ImportPath })
+	top := sha256.New()
+	fmt.Fprintf(top, "schema %d\n", cacheSchema)
+	names := append([]string(nil), analyzers...)
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(top, "analyzer %s\n", n)
+	}
+	for _, p := range sorted {
+		h := sha256.New()
+		if p.Module != nil && p.Module.Main {
+			files := append([]string(nil), p.GoFiles...)
+			sort.Strings(files)
+			for _, name := range files {
+				fmt.Fprintf(h, "file %s\n", name)
+				if err := hashFile(h, filepath.Join(p.Dir, name)); err != nil {
+					return "", nil, err
+				}
+			}
+		} else if p.Export != "" {
+			if err := hashFile(h, p.Export); err != nil {
+				return "", nil, err
+			}
+		}
+		digest := hex.EncodeToString(h.Sum(nil))
+		perPkg[p.ImportPath] = digest
+		fmt.Fprintf(top, "pkg %s %s\n", p.ImportPath, digest)
+	}
+	return hex.EncodeToString(top.Sum(nil)), perPkg, nil
+}
+
+func hashFile(h io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("auditlint: fingerprint: %w", err)
+	}
+	defer f.Close()
+	_, err = io.Copy(h, f)
+	return err
+}
+
+// Cache is a findings cache rooted at a directory (conventionally
+// <module root>/.auditlint-cache, gitignored). The manifest is written
+// through persist.WriteAtomic — the same crash-safe path the analyzers
+// police — so an interrupted lint run can never leave a torn manifest
+// that a later run trusts.
+type Cache struct {
+	Dir string
+}
+
+// DefaultCacheDir is the conventional cache location for a module root.
+func DefaultCacheDir(moduleRoot string) string {
+	return filepath.Join(moduleRoot, ".auditlint-cache")
+}
+
+// cacheManifest is the on-disk layout.
+type cacheManifest struct {
+	Schema   int               `json:"schema"`
+	Key      string            `json:"key"`
+	Packages map[string]string `json:"packages"`
+	Findings []Finding         `json:"findings"`
+}
+
+func (c *Cache) manifestPath() string {
+	return filepath.Join(c.Dir, "manifest.json")
+}
+
+// Lookup returns the cached findings for key, and whether the cache
+// held them. Any unreadable, torn, or schema-mismatched manifest is a
+// miss, never an error: the cache is an accelerator, not a dependency.
+func (c *Cache) Lookup(key string) ([]Finding, bool) {
+	data, err := os.ReadFile(c.manifestPath())
+	if err != nil {
+		return nil, false
+	}
+	var m cacheManifest
+	if err := json.Unmarshal(data, &m); err != nil || m.Schema != cacheSchema || m.Key != key {
+		return nil, false
+	}
+	if m.Findings == nil {
+		m.Findings = []Finding{}
+	}
+	return m.Findings, true
+}
+
+// Store records the findings for key, replacing whatever run was cached
+// before.
+func (c *Cache) Store(key string, perPkg map[string]string, findings []Finding) error {
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return err
+	}
+	m := cacheManifest{Schema: cacheSchema, Key: key, Packages: perPkg, Findings: findings}
+	if m.Findings == nil {
+		m.Findings = []Finding{}
+	}
+	return persist.WriteAtomic(c.manifestPath(), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+}
+
+// Invalidated compares the manifest's recorded package hashes against a
+// fresh fingerprint and lists the import paths whose inputs changed
+// (added, removed, or rehashed) — the "why was this a miss" diagnostic.
+func (c *Cache) Invalidated(perPkg map[string]string) []string {
+	data, err := os.ReadFile(c.manifestPath())
+	if err != nil {
+		return nil
+	}
+	var m cacheManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil
+	}
+	changed := map[string]bool{}
+	for path, h := range perPkg {
+		if m.Packages[path] != h {
+			changed[path] = true
+		}
+	}
+	for path := range m.Packages {
+		if _, ok := perPkg[path]; !ok {
+			changed[path] = true
+		}
+	}
+	var out []string
+	for path := range changed {
+		out = append(out, path)
+	}
+	sort.Strings(out)
+	return out
+}

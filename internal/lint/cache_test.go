@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCacheRoundTrip(t *testing.T) {
+	c := &Cache{Dir: filepath.Join(t.TempDir(), "cache")}
+	if _, ok := c.Lookup("k1"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	findings := []Finding{{
+		Analyzer: "detrand",
+		Pos:      token.Position{Filename: "a.go", Line: 3, Column: 2},
+		Message:  "wall-clock read time.Now in a decision path",
+		Hint:     "hoist it",
+		Witness: []WitnessStep{
+			{Func: "time.Now", Pos: token.Position{Filename: "b.go", Line: 9, Column: 1}, Note: "root"},
+		},
+	}}
+	if err := c.Store("k1", map[string]string{"p": "h"}, findings); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Lookup("k1")
+	if !ok || len(got) != 1 {
+		t.Fatalf("Lookup(k1) = %v, %v", got, ok)
+	}
+	if got[0].Message != findings[0].Message || len(got[0].Witness) != 1 ||
+		got[0].Witness[0].Func != "time.Now" || got[0].Pos.Line != 3 {
+		t.Fatalf("cached finding lost fidelity: %+v", got[0])
+	}
+	if _, ok := c.Lookup("k2"); ok {
+		t.Fatal("stale key reported a hit")
+	}
+
+	// A clean (empty) run caches as a hit too — that is the common case
+	// `make lint` accelerates.
+	if err := c.Store("k3", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.Lookup("k3"); !ok || len(got) != 0 {
+		t.Fatalf("clean-run Lookup = %v, %v; want empty hit", got, ok)
+	}
+
+	// A torn manifest is a miss, never an error.
+	if err := os.WriteFile(filepath.Join(c.Dir, "manifest.json"), []byte(`{"schema":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Lookup("k3"); ok {
+		t.Fatal("torn manifest reported a hit")
+	}
+}
+
+// writeTempModule lays out a two-package module for fingerprint tests.
+func writeTempModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod":        "module example.com/fpmod\n\ngo 1.22\n",
+		"top.go":        "package fpmod\n\nimport \"example.com/fpmod/inner\"\n\nfunc Top() int { return inner.V() }\n",
+		"inner/util.go": "package inner\n\nfunc V() int { return 1 }\n",
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestFingerprintInvalidation is the summary-cache invalidation test:
+// the key is stable across repeated lists of an unchanged module,
+// changes when any source file changes, names the invalidating package,
+// and returns to the original key when the change is reverted.
+func TestFingerprintInvalidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the go list loader; skipped in -short")
+	}
+	dir := writeTempModule(t)
+	analyzers := []string{"detrand", "errsink"}
+
+	fp := func() (string, map[string]string) {
+		t.Helper()
+		list, err := ListPackages(dir, "./...")
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, perPkg, err := list.Fingerprint(analyzers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return key, perPkg
+	}
+
+	key1, pkgs1 := fp()
+	key2, _ := fp()
+	if key1 != key2 {
+		t.Fatalf("fingerprint unstable on unchanged module: %s vs %s", key1, key2)
+	}
+	c := &Cache{Dir: filepath.Join(dir, ".auditlint-cache")}
+	if err := c.Store(key1, pkgs1, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	inner := filepath.Join(dir, "inner", "util.go")
+	orig, err := os.ReadFile(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(inner, []byte("package inner\n\nfunc V() int { return 2 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	key3, pkgs3 := fp()
+	if key3 == key1 {
+		t.Fatal("fingerprint did not change after editing a source file")
+	}
+	if _, ok := c.Lookup(key3); ok {
+		t.Fatal("edited module hit the stale cache entry")
+	}
+	stale := c.Invalidated(pkgs3)
+	if len(stale) != 1 || !strings.Contains(stale[0], "example.com/fpmod/inner") {
+		t.Fatalf("Invalidated = %v, want exactly the edited package", stale)
+	}
+
+	// A different analyzer set is a different key even on identical
+	// sources.
+	list, err := ListPackages(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyOther, _, err := list.Fingerprint([]string{"detrand"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyOther == key3 {
+		t.Fatal("analyzer set not part of the fingerprint")
+	}
+
+	if err := os.WriteFile(inner, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	key4, _ := fp()
+	if key4 != key1 {
+		t.Fatalf("fingerprint did not return after revert: %s vs %s", key4, key1)
+	}
+	if _, ok := c.Lookup(key4); !ok {
+		t.Fatal("reverted module missed the original cache entry")
+	}
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLeak returns the goroutine-lifetime analyzer for the long-running
+// service packages (those whose import path starts with one of paths).
+// The replication, sharding, and server layers spawn background
+// goroutines — followers, janitors, long-poll pumps, mirror workers —
+// and every one of them must have a lifetime bound: otherwise a node
+// that is demoted, drained, or shut down keeps ghost workers mutating
+// state behind the new primary's back, which is precisely the split
+// history the paper's simulatability property forbids.
+//
+// A `go` statement is flagged when the spawned computation loops
+// forever (an unconditional `for`/`for {}` loop, directly in the body
+// or in any module function it transitively calls) and neither the body
+// nor anything it calls observes a lifecycle bound: a ctx.Done()/Err()
+// check, a receive from a shutdown channel (struct field, package var,
+// or a local named done/stop/quit/...), or an accessor returning such a
+// channel — the reachable-Close-path idiom, since Close() closes the
+// field channel the loop selects on.
+//
+// Both facts are interprocedural, computed by the shared engine: the
+// loop may be one call deep (go n.runFollower(ctx)) and the bound two
+// calls deep. Goroutines the spawned body itself spawns are judged at
+// their own go statements, not the outer one.
+func CtxLeak(paths []string) *Analyzer {
+	return &Analyzer{
+		Name: "ctxleak",
+		Doc:  "service-layer goroutines that loop forever must be bounded by ctx, a done channel, or a Close path",
+		Run: func(prog *Program) []Finding {
+			g := prog.Engine()
+			loops := g.Propagate(loopForeverSeeds(g))
+			life := g.Propagate(lifecycleSeeds(g))
+			var out []Finding
+			for _, pkg := range prog.Pkgs {
+				if !pathMatches(pkg.Path, paths) {
+					continue
+				}
+				for _, file := range pkg.Files {
+					ast.Inspect(file, func(n ast.Node) bool {
+						gs, ok := n.(*ast.GoStmt)
+						if !ok {
+							return true
+						}
+						out = append(out, checkGoStmt(prog, g, gs, loops, life)...)
+						return true
+					})
+				}
+			}
+			return out
+		},
+	}
+}
+
+// checkGoStmt judges one go statement: does the spawned computation
+// loop forever, and if so, is it lifecycle-bounded?
+func checkGoStmt(prog *Program, g *Graph, gs *ast.GoStmt, loops, life TaintMap) []Finding {
+	info := prog.Info
+	var loopWitness []WitnessStep
+	bounded := false
+
+	considerCallee := func(fn *types.Func, pos ast.Node) {
+		if fn == nil {
+			return
+		}
+		if _, local := g.Decls[fn]; !local {
+			return
+		}
+		if loopWitness == nil && loops[fn] != nil {
+			loopWitness = append([]WitnessStep{{
+				Func: FuncDisplayName(fn),
+				Pos:  prog.Fset.Position(pos.Pos()),
+				Note: "call",
+			}}, g.Chain(fn, loops)...)
+		}
+		if life[fn] != nil {
+			bounded = true
+		}
+	}
+
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		// go func() { ... }(): judge the literal's own body plus every
+		// module function it calls.
+		if pos, ok := loopForeverIn(lit.Body); ok {
+			loopWitness = []WitnessStep{{Func: "for{}", Pos: prog.Fset.Position(pos), Note: "root"}}
+		}
+		if _, _, ok := lifecycleObsIn(info, lit.Body); ok {
+			bounded = true
+		}
+		inspectOwn(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				considerCallee(calleeFunc(info, call), call)
+			}
+			return true
+		})
+	} else {
+		// go n.run(ctx): judge the named callee's summary.
+		considerCallee(calleeFunc(info, gs.Call), gs.Call)
+	}
+
+	if loopWitness == nil || bounded {
+		return nil
+	}
+	return []Finding{{
+		Analyzer: "ctxleak",
+		Pos:      prog.Fset.Position(gs.Pos()),
+		Message: "goroutine loops forever (" + WitnessString("go", loopWitness) +
+			") with no reachable lifecycle bound",
+		Hint:    "select on ctx.Done() or a stop/done channel inside the loop, or exit when the owner's Close path closes the channel the loop reads",
+		Witness: loopWitness,
+	}}
+}

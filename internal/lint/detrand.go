@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -28,6 +29,15 @@ var wallClockFuncs = map[string]bool{
 // output ordered by map iteration. Seeded *rand.Rand / randx streams
 // threaded through the call are the sanctioned randomness.
 //
+// The pass is interprocedural: besides direct time.Now / global
+// math/rand calls, a call from a decision-path package to ANY module
+// function whose summary transitively reaches one of those roots — a
+// helper two packages away, a method dispatched through an interface
+// bound in the module — is flagged at the decision-path call site, with
+// the full witness chain down to the root. A tainted callee that is
+// itself inside the decision path is not re-flagged at its callers; the
+// finding surfaces once, at the deepest in-scope site.
+//
 // The map-iteration check is a heuristic: a `range` over a map is
 // flagged only when its body visibly builds ordered output (append, a
 // fmt print, or a channel send). Order-insensitive folds (sums, max,
@@ -35,7 +45,7 @@ var wallClockFuncs = map[string]bool{
 func Detrand(paths []string) *Analyzer {
 	return &Analyzer{
 		Name: "detrand",
-		Doc:  "no wall-clock, global math/rand, or map-ordered output in decision paths",
+		Doc:  "no wall-clock or global math/rand reads — direct or via helpers — in decision paths",
 		Run: func(prog *Program) []Finding {
 			var out []Finding
 			for _, pkg := range prog.Pkgs {
@@ -54,9 +64,65 @@ func Detrand(paths []string) *Analyzer {
 					})
 				}
 			}
+			out = append(out, detrandTaint(prog, paths)...)
 			return out
 		},
 	}
+}
+
+// detrandTaint reports decision-path call sites whose callee — resolved
+// statically or through module-bound interface dispatch — transitively
+// reaches a wall-clock read or a global math/rand draw.
+func detrandTaint(prog *Program, paths []string) []Finding {
+	g := prog.Engine()
+	kinds := []struct {
+		tm   TaintMap
+		what string
+		hint string
+	}{
+		{g.Propagate(dropAllowedSeeds(prog, "detrand", wallClockSeeds(g))), "a wall-clock read",
+			"hoist the time read to the caller or metrics layer, outside the decision path"},
+		{g.Propagate(dropAllowedSeeds(prog, "detrand", globalRandSeeds(g))), "the global math/rand source",
+			"thread a seeded *rand.Rand (randx.Stream) through the helper instead of the process-global source"},
+	}
+	var out []Finding
+	for _, fn := range g.Funcs() {
+		info := g.Decls[fn]
+		if !pathMatches(info.Pkg.Path, paths) {
+			continue
+		}
+		seen := map[token.Pos]bool{}
+		for _, e := range g.Callees(fn) {
+			calleeInfo := g.Decls[e.Callee]
+			if calleeInfo == nil || pathMatches(calleeInfo.Pkg.Path, paths) {
+				continue // in-scope callees report at their own site
+			}
+			for _, k := range kinds {
+				if k.tm[e.Callee] == nil || seen[e.Pos] {
+					continue
+				}
+				seen[e.Pos] = true
+				via := ""
+				if e.Dynamic {
+					via = " (via interface dispatch)"
+				}
+				witness := append([]WitnessStep{{
+					Func: FuncDisplayName(e.Callee),
+					Pos:  prog.Fset.Position(e.Pos),
+					Note: "call" + via,
+				}}, g.Chain(e.Callee, k.tm)...)
+				out = append(out, Finding{
+					Analyzer: "detrand",
+					Pos:      prog.Fset.Position(e.Pos),
+					Message: "call to " + FuncDisplayName(e.Callee) + via + " reaches " + k.what +
+						" in a decision path: " + WitnessString(FuncDisplayName(fn), witness),
+					Hint:    k.hint,
+					Witness: witness,
+				})
+			}
+		}
+	}
+	return out
 }
 
 func checkDetrandCall(prog *Program, call *ast.CallExpr) []Finding {

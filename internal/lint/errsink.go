@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrSink returns the dropped-error analyzer. An error coming back from
+// the persistence layer — a persist.WriteAtomic, a journal append, a
+// digest-chain update, a response write — is a signal that durable or
+// externally visible state may have diverged; discarding it silently
+// forks a replica or tears a response, failures the audit layers can
+// only detect long after the fact. The pass flags:
+//
+//   - a call whose results are discarded entirely (an expression
+//     statement), and
+//   - an error result assigned to the blank identifier,
+//
+// when the callee either IS a sink (a direct persist call, journal
+// append, session-log append, ResponseWriter write, or a visible
+// encode/Fprint onto one — see sinkRoot) or is a module function whose
+// engine summary transitively reaches one. Deferred calls and go
+// statements are exempt: `defer f.Close()` on a read path is idiom, and
+// a goroutine has no caller frame to return the error to — both get
+// their own discipline elsewhere (ctxleak, atomicwrite).
+func ErrSink(persistPaths []string) *Analyzer {
+	return &Analyzer{
+		Name: "errsink",
+		Doc:  "no ignored error results from calls that reach persist writes, journal appends, or response writes",
+		Run: func(prog *Program) []Finding {
+			g := prog.Engine()
+			sinks := g.Propagate(persistSinkSeeds(g, persistPaths))
+			var out []Finding
+			for _, fn := range g.Funcs() {
+				body := g.Decls[fn].Decl.Body
+				inspectOwn(body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.DeferStmt:
+						return false
+					case *ast.ExprStmt:
+						if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+							out = append(out, checkSinkCall(prog, g, sinks, call, persistPaths)...)
+							// Still descend: the call's arguments may
+							// themselves contain flaggable calls.
+						}
+					case *ast.AssignStmt:
+						out = append(out, checkBlankErr(prog, g, sinks, n, persistPaths)...)
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
+
+// sinkReach reports whether call's error is one that must not be
+// dropped, with the witness chain to the sink root.
+func sinkReach(prog *Program, g *Graph, sinks TaintMap, call *ast.CallExpr, persistPaths []string) ([]WitnessStep, bool) {
+	fn := calleeFunc(prog.Info, call)
+	if fn == nil {
+		return nil, false
+	}
+	// Site-level evidence first: the call itself may visibly be a sink
+	// (a ResponseWriter argument, a persist call) even when no summary
+	// exists for the callee.
+	if root, ok := sinkRoot(prog, call, persistPaths); ok {
+		return []WitnessStep{{Func: root, Pos: prog.Fset.Position(call.Pos()), Note: "root"}}, true
+	}
+	if _, local := g.Decls[fn]; local && sinks[fn] != nil {
+		witness := append([]WitnessStep{{
+			Func: FuncDisplayName(fn),
+			Pos:  prog.Fset.Position(call.Pos()),
+			Note: "call",
+		}}, g.Chain(fn, sinks)...)
+		return witness, true
+	}
+	return nil, false
+}
+
+// checkSinkCall flags an expression-statement call that discards an
+// error result while reaching a sink.
+func checkSinkCall(prog *Program, g *Graph, sinks TaintMap, call *ast.CallExpr, persistPaths []string) []Finding {
+	fn := calleeFunc(prog.Info, call)
+	if fn == nil || !returnsError(fn) {
+		return nil
+	}
+	witness, ok := sinkReach(prog, g, sinks, call, persistPaths)
+	if !ok {
+		return nil
+	}
+	return []Finding{{
+		Analyzer: "errsink",
+		Pos:      prog.Fset.Position(call.Pos()),
+		Message: "error from " + FuncDisplayName(fn) + " discarded; the call reaches " +
+			witness[len(witness)-1].Func,
+		Hint:    "handle or propagate the error — a dropped write failure silently diverges durable state",
+		Witness: witness,
+	}}
+}
+
+// checkBlankErr flags `_ = f()` / `v, _ := f()` where the blanked
+// result is an error and f reaches a sink.
+func checkBlankErr(prog *Program, g *Graph, sinks TaintMap, as *ast.AssignStmt, persistPaths []string) []Finding {
+	if len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := calleeFunc(prog.Info, call)
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	res := sig.Results()
+	if res.Len() != len(as.Lhs) {
+		return nil
+	}
+	blankedErr := false
+	for i := 0; i < res.Len(); i++ {
+		if !isErrorType(res.At(i).Type()) {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			blankedErr = true
+		}
+	}
+	if !blankedErr {
+		return nil
+	}
+	witness, ok := sinkReach(prog, g, sinks, call, persistPaths)
+	if !ok {
+		return nil
+	}
+	return []Finding{{
+		Analyzer: "errsink",
+		Pos:      prog.Fset.Position(as.Pos()),
+		Message: "error from " + FuncDisplayName(fn) + " assigned to _; the call reaches " +
+			witness[len(witness)-1].Func,
+		Hint:    "handle or propagate the error — a dropped write failure silently diverges durable state",
+		Witness: witness,
+	}}
+}
+
+// returnsError reports whether fn's signature includes an error result.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }

@@ -30,3 +30,31 @@ func TestDecisionPathsStayDeterministic(t *testing.T) {
 		t.Log("fix the nondeterminism (preferred) or justify it with //auditlint:allow <analyzer> <reason>")
 	}
 }
+
+// TestServiceLayersStayConcurrencyClean pins the concurrency-discipline
+// invariants the same way: the replication and sharding layers — the
+// packages that spawn followers, janitors and mirror workers and nest
+// the deepest lock chains — must stay free of unsuppressed ctxleak and
+// lockorder findings. A ghost goroutine surviving a demotion, or a
+// lock-order cycle between the journal and the session table, is a
+// split-history bug replication cannot detect from inside.
+func TestServiceLayersStayConcurrencyClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the go list loader; skipped in -short")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := LoadPackages(root, "./internal/replica/...", "./internal/cluster/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(prog, []*Analyzer{CtxLeak(CtxLeakPrefixes), LockOrder()})
+	for _, f := range findings {
+		t.Errorf("service layer regression: %s", f)
+	}
+	if len(findings) > 0 {
+		t.Log("bound the goroutine / order the locks (preferred) or justify with //auditlint:allow <analyzer> <reason>")
+	}
+}

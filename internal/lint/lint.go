@@ -32,12 +32,25 @@ import (
 	"strings"
 )
 
-// Finding is one diagnostic: where, which analyzer, what, and how to fix.
+// Finding is one diagnostic: where, which analyzer, what, and how to
+// fix. Interprocedural findings carry the witness call chain from the
+// flagged site down to the root fact (a time.Now call, a Lock, a raw
+// write) so the diagnostic is checkable by a reader without rerunning
+// the analysis.
 type Finding struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
-	Hint     string
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+	Hint     string         `json:"hint,omitempty"`
+	Witness  []WitnessStep  `json:"witness,omitempty"`
+}
+
+// WitnessStep is one hop of a witness chain: the function (or root
+// fact) reached, at which position, and why it is on the chain.
+type WitnessStep struct {
+	Func string         `json:"func"`
+	Pos  token.Position `json:"pos"`
+	Note string         `json:"note,omitempty"`
 }
 
 func (f Finding) String() string {
@@ -45,7 +58,17 @@ func (f Finding) String() string {
 	if f.Hint != "" {
 		s += " (fix: " + f.Hint + ")"
 	}
+	for _, w := range f.Witness {
+		s += fmt.Sprintf("\n\t%s: %s (%s)", w.Pos, w.Func, w.Note)
+	}
 	return s
+}
+
+// sameFinding reports duplicate diagnostics (a file shared by two load
+// patterns); witness chains are derived, so position+message identity is
+// enough.
+func sameFinding(a, b Finding) bool {
+	return a.Analyzer == b.Analyzer && a.Pos == b.Pos && a.Message == b.Message && a.Hint == b.Hint
 }
 
 // Package is one type-checked package of the program under analysis.
@@ -63,6 +86,29 @@ type Program struct {
 	Fset *token.FileSet
 	Pkgs []*Package
 	Info *types.Info
+
+	// eng lazily holds the interprocedural engine shared by the
+	// summary-based analyzers; see Program.Engine.
+	eng *engine
+	// allows lazily caches the //auditlint:allow index for Allowed.
+	allows allowSet
+}
+
+// Allowed reports whether an //auditlint:allow <analyzer> ... comment
+// covers pos. Run applies allows to finding sites; the interprocedural
+// seed collectors use Allowed to apply them to ROOT facts as well, so
+// one reasoned allow at the root (a metric time stamp, say) suppresses
+// the whole reachability cone instead of forcing an annotation at every
+// transitive call site.
+func (p *Program) Allowed(analyzer string, pos token.Pos) bool {
+	if p.allows == nil {
+		set, _ := collectAllows(p)
+		if set == nil {
+			set = allowSet{}
+		}
+		p.allows = set
+	}
+	return p.allows.suppressed(analyzer, p.Fset.Position(pos))
 }
 
 // Analyzer is one named pass. Run sees the whole program so passes like
@@ -104,7 +150,7 @@ func Run(prog *Program, analyzers []*Analyzer) []Finding {
 	// Dedup identical diagnostics (a file shared by two load patterns).
 	dedup := out[:0]
 	for i, f := range out {
-		if i > 0 && f == out[i-1] {
+		if i > 0 && sameFinding(f, out[i-1]) {
 			continue
 		}
 		dedup = append(dedup, f)

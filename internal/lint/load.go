@@ -150,11 +150,19 @@ func goList(dir string, args ...string) ([]*listPkg, error) {
 	return pkgs, nil
 }
 
-// LoadPackages loads the main-module packages matched by patterns
-// (plus, from source, any main-module packages they depend on), rooted
-// at dir. Out-of-module dependencies are satisfied by compiler export
-// data and do not appear in the returned Program.
-func LoadPackages(dir string, patterns ...string) (*Program, error) {
+// PackageList is the result of the `go list` phase, before any parsing
+// or type-checking: enough to fingerprint every analysis input (see
+// Fingerprint) without paying for a load, and to Load the Program when
+// the fingerprint misses the cache.
+type PackageList struct {
+	dir  string
+	pkgs []*listPkg
+}
+
+// ListPackages enumerates the package graph for the main-module
+// packages matched by patterns, rooted at dir. This is the cheap half
+// of LoadPackages: no file is parsed or type-checked.
+func ListPackages(dir string, patterns ...string) (*PackageList, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -163,12 +171,34 @@ func LoadPackages(dir string, patterns ...string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := newLoader(token.NewFileSet())
-	var order []string
 	for _, p := range pkgs {
 		if p.Error != nil {
 			return nil, errors.New("go list: " + p.Error.Err)
 		}
+	}
+	return &PackageList{dir: dir, pkgs: pkgs}, nil
+}
+
+// MainPackages returns the import paths of the listed main-module
+// packages (the ones analysis covers), sorted.
+func (pl *PackageList) MainPackages() []string {
+	var out []string
+	for _, p := range pl.pkgs {
+		if p.Module != nil && p.Module.Main {
+			out = append(out, p.ImportPath)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load parses and type-checks the listed main-module packages into a
+// Program. Out-of-module dependencies are satisfied by compiler export
+// data and do not appear in the returned Program.
+func (pl *PackageList) Load() (*Program, error) {
+	l := newLoader(token.NewFileSet())
+	var order []string
+	for _, p := range pl.pkgs {
 		if p.Module != nil && p.Module.Main {
 			l.locals[p.ImportPath] = p
 			order = append(order, p.ImportPath)
@@ -177,7 +207,7 @@ func LoadPackages(dir string, patterns ...string) (*Program, error) {
 		}
 	}
 	if len(order) == 0 {
-		return nil, fmt.Errorf("auditlint: no main-module packages match %v", patterns)
+		return nil, fmt.Errorf("auditlint: no main-module packages listed")
 	}
 	prog := &Program{Fset: l.fset, Info: l.info}
 	// -deps emits dependencies first, so iterating in order type-checks
@@ -191,6 +221,17 @@ func LoadPackages(dir string, patterns ...string) (*Program, error) {
 	}
 	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
 	return prog, nil
+}
+
+// LoadPackages loads the main-module packages matched by patterns
+// (plus, from source, any main-module packages they depend on), rooted
+// at dir: ListPackages followed by Load.
+func LoadPackages(dir string, patterns ...string) (*Program, error) {
+	pl, err := ListPackages(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Load()
 }
 
 // LoadDir loads the single package in dir (non-test files only) under
@@ -260,6 +301,93 @@ func LoadDir(dir, importPath string) (*Program, error) {
 		Info: l.info,
 		Pkgs: []*Package{{Path: importPath, Dir: dir, Files: files, Pkg: tpkg}},
 	}, nil
+}
+
+// FixturePkg names one fixture package for LoadDirs: where its sources
+// live and the import path it is type-checked under. The path is
+// caller-chosen for the same reason as LoadDir's: path-scoped analyzers
+// can be pointed at or away from the fixture — including a fixture that
+// impersonates a module package (queryaudit/internal/persist/...) so
+// cross-package seeds fire without importing the real module.
+type FixturePkg struct {
+	Dir        string
+	ImportPath string
+}
+
+// LoadDirs loads several fixture packages into ONE Program sharing a
+// FileSet and types.Info, resolving imports between them by their
+// declared import paths. This is the cross-package golden harness: a
+// taint root in one fixture package, the flagged call site in another.
+// Packages must be listed dependencies-first; imports that are neither
+// a listed fixture nor standard library are an error.
+func LoadDirs(pkgs []FixturePkg) (*Program, error) {
+	l := newLoader(token.NewFileSet())
+	fixture := map[string]bool{}
+	for _, fp := range pkgs {
+		fixture[fp.ImportPath] = true
+	}
+	imports := map[string]bool{}
+	for _, fp := range pkgs {
+		entries, err := os.ReadDir(fp.Dir)
+		if err != nil {
+			return nil, err
+		}
+		lp := &listPkg{Dir: fp.Dir, ImportPath: fp.ImportPath}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(l.fset, filepath.Join(fp.Dir, name), nil, parser.ImportsOnly)
+			if err != nil {
+				return nil, err
+			}
+			lp.GoFiles = append(lp.GoFiles, name)
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					return nil, err
+				}
+				if !fixture[path] && path != "unsafe" {
+					imports[path] = true
+				}
+			}
+		}
+		if len(lp.GoFiles) == 0 {
+			return nil, fmt.Errorf("auditlint: no Go files in %s", fp.Dir)
+		}
+		l.locals[fp.ImportPath] = lp
+	}
+	if len(imports) > 0 {
+		var paths []string
+		for p := range imports {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		listed, err := goList(pkgs[0].Dir, append([]string{"-deps", "-export", "-json=ImportPath,Export,Standard,Error"}, paths...)...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Error != nil {
+				return nil, errors.New("go list: " + p.Error.Err)
+			}
+			if !p.Standard {
+				return nil, fmt.Errorf("auditlint: fixture package imports non-stdlib, non-fixture %q", p.ImportPath)
+			}
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	prog := &Program{Fset: l.fset, Info: l.info}
+	for _, fp := range pkgs {
+		p, err := l.check(l.locals[fp.ImportPath])
+		if err != nil {
+			return nil, err
+		}
+		prog.Pkgs = append(prog.Pkgs, p)
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	return prog, nil
 }
 
 // ModuleRoot walks up from start to the directory containing go.mod.

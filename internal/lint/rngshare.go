@@ -20,12 +20,19 @@ import (
 //     riding inside one can silently cross a goroutine boundary. Types
 //     that are genuinely confined to one worker (e.g. a per-worker
 //     sampler) document that with //auditlint:allow rngshare <reason>.
+//
+//   - interprocedurally: a goroutine body that OBTAINS a *rand.Rand by
+//     calling a function whose summary says the returned generator is
+//     stored state (a field accessor, or a wrapper forwarding one) —
+//     the escape the two lexical checks cannot see, because the closure
+//     captures the struct, not the Rand.
 func RNGShare() *Analyzer {
 	return &Analyzer{
 		Name: "rngshare",
-		Doc:  "no *rand.Rand captured by goroutine closures or smuggled in struct fields",
+		Doc:  "no *rand.Rand captured by goroutine closures, smuggled in struct fields, or drawn from escaping accessors",
 		Run: func(prog *Program) []Finding {
 			var out []Finding
+			shared := sharedRandReturns(prog.Engine())
 			for _, pkg := range prog.Pkgs {
 				for _, file := range pkg.Files {
 					ast.Inspect(file, func(n ast.Node) bool {
@@ -33,6 +40,7 @@ func RNGShare() *Analyzer {
 						case *ast.GoStmt:
 							if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
 								out = append(out, checkGoCapture(prog, lit)...)
+								out = append(out, checkGoObtains(prog, lit, shared)...)
 							}
 						case *ast.StructType:
 							out = append(out, checkRandField(prog, n)...)
@@ -44,6 +52,38 @@ func RNGShare() *Analyzer {
 			return out
 		},
 	}
+}
+
+// checkGoObtains reports calls inside a goroutine literal that obtain a
+// *rand.Rand from a function returning stored (shared) generator state.
+func checkGoObtains(prog *Program, lit *ast.FuncLit, shared TaintMap) []Finding {
+	g := prog.Engine()
+	var out []Finding
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(prog.Info, call)
+		if fn == nil || shared[fn] == nil {
+			return true
+		}
+		witness := append([]WitnessStep{{
+			Func: FuncDisplayName(fn),
+			Pos:  prog.Fset.Position(call.Pos()),
+			Note: "call",
+		}}, g.Chain(fn, shared)...)
+		out = append(out, Finding{
+			Analyzer: "rngshare",
+			Pos:      prog.Fset.Position(call.Pos()),
+			Message: "goroutine obtains a *rand.Rand from " + FuncDisplayName(fn) +
+				", which returns stored generator state shared with other holders",
+			Hint:    "derive a per-goroutine stream (randx.Stream / randx.Split) instead of sharing the stored generator",
+			Witness: witness,
+		})
+		return true
+	})
+	return out
 }
 
 // checkGoCapture reports free *rand.Rand variables used inside a

@@ -1,0 +1,473 @@
+package lint
+
+// Seed collectors for the summary-based analyzers: each walks every
+// module function body once, recording the functions that DIRECTLY
+// perform some fact (read the wall clock, draw from the global RNG,
+// write through the persistence layer, loop forever, check a lifecycle
+// signal). Graph.Propagate then lifts the fact to transitive callers.
+// Keeping the collectors here, next to each other, makes the seed
+// definitions — the analyzers' trusted computing base — reviewable in
+// one screen per fact.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// wallClockSeeds returns the functions that directly read the wall
+// clock (time.Now/Since/Until), seeded at the first such call.
+func wallClockSeeds(g *Graph) TaintMap {
+	return directCallSeeds(g, func(info *types.Info, call *ast.CallExpr) (string, bool) {
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			return "", false
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return "", false
+		}
+		if !wallClockFuncs[fn.Name()] {
+			return "", false
+		}
+		return "time." + fn.Name(), true
+	})
+}
+
+// globalRandSeeds returns the functions that directly draw from the
+// process-global math/rand source.
+func globalRandSeeds(g *Graph) TaintMap {
+	return directCallSeeds(g, func(info *types.Info, call *ast.CallExpr) (string, bool) {
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "math/rand" {
+			return "", false
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return "", false
+		}
+		if !globalRandFuncs[fn.Name()] {
+			return "", false
+		}
+		return "math/rand." + fn.Name(), true
+	})
+}
+
+// dropAllowedSeeds removes seeds whose root position carries a valid
+// //auditlint:allow for the analyzer: the human certified the root fact,
+// so nothing should propagate from it.
+func dropAllowedSeeds(prog *Program, analyzer string, seeds TaintMap) TaintMap {
+	for fn, t := range seeds {
+		if prog.Allowed(analyzer, t.Pos) {
+			delete(seeds, fn)
+		}
+	}
+	return seeds
+}
+
+// directCallSeeds walks every function body and seeds fn at its first
+// call matched by match (first in source order — bodies are walked in
+// syntax order).
+func directCallSeeds(g *Graph, match func(*types.Info, *ast.CallExpr) (string, bool)) TaintMap {
+	seeds := TaintMap{}
+	for _, fn := range g.Funcs() {
+		info := g.Decls[fn]
+		ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+			if _, done := seeds[fn]; done {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if root, ok := match(g.prog.Info, call); ok {
+				seeds[fn] = &Taint{Root: root, Pos: call.Pos()}
+				return false
+			}
+			return true
+		})
+	}
+	return seeds
+}
+
+// sinkRoot classifies one call as a durable or externally visible write
+// whose failure must not be dropped: a call into internal/persist, a
+// raw os file mutation, a journal append/mirror, a digest-carrying
+// session-log append, or a write onto an http.ResponseWriter. errsink
+// seeds on these and propagates to callers: dropping the error of any
+// function that reaches one silently forks a replica or tears a
+// response.
+func sinkRoot(prog *Program, call *ast.CallExpr, persistPaths []string) (string, bool) {
+	fn := calleeFunc(prog.Info, call)
+	if fn == nil {
+		return "", false
+	}
+	// Any call into the persistence layer.
+	if fn.Pkg() != nil && pathMatches(fn.Pkg().Path(), persistPaths) {
+		return "persist." + fn.Name(), true
+	}
+	// Raw file mutations (already confined to internal/persist by
+	// atomicwrite, but the seed keeps errsink self-contained).
+	if name, bad := rawWriteCall(prog, call); bad {
+		return "os." + name, true
+	}
+	// Any error-returning function handed an http.ResponseWriter where
+	// it expects a writer: fmt.Fprintf(w, ...), io.Copy(w, body),
+	// metrics.WritePrometheus(w, snap). The callee's write failure IS a
+	// response-write failure at this site, whatever the callee is.
+	if returnsError(fn) {
+		for _, arg := range call.Args {
+			if tv, ok := prog.Info.Types[arg]; ok && isResponseWriter(tv.Type) {
+				return FuncDisplayName(fn) + "(ResponseWriter)", true
+			}
+		}
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	// Writes onto an http.ResponseWriter.
+	if isResponseWriter(recv) && (fn.Name() == "Write" || fn.Name() == "WriteHeader") {
+		return "http.ResponseWriter." + fn.Name(), true
+	}
+	// (*os.File).Sync: an fsync is only ever issued for durability, so a
+	// dropped Sync error always drops a durability violation.
+	if named := namedOf(recv); named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File" && fn.Name() == "Sync" {
+		return "os.File.Sync", true
+	}
+	// json.NewEncoder(w).Encode(v): an encode whose destination is
+	// visibly a ResponseWriter.
+	if named := namedOf(recv); named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "encoding/json" && named.Obj().Name() == "Encoder" && fn.Name() == "Encode" {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if inner, ok := ast.Unparen(sel.X).(*ast.CallExpr); ok &&
+				stdCall(prog.Info, inner, "encoding/json", "NewEncoder") && len(inner.Args) == 1 {
+				if tv, ok := prog.Info.Types[inner.Args[0]]; ok && isResponseWriter(tv.Type) {
+					return "json.Encoder.Encode(ResponseWriter)", true
+				}
+			}
+		}
+	}
+	// Journal appends and digest-chain updates: the replication journal
+	// and the per-session transcript chain.
+	if named := namedOf(recv); named != nil && named.Obj().Pkg() != nil {
+		pkg, typ := named.Obj().Pkg().Path(), named.Obj().Name()
+		switch {
+		case pkg == "queryaudit/internal/replica" && typ == "Journal" &&
+			(fn.Name() == "Append" || fn.Name() == "Mirror"):
+			return "replica.Journal." + fn.Name(), true
+		case pkg == "queryaudit/internal/session" && typ == "Log" &&
+			(fn.Name() == "RecordDecision" || fn.Name() == "AppendUpdate"):
+			return "session.Log." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// persistSinkSeeds seeds every function that directly performs a sink
+// write (see sinkRoot).
+func persistSinkSeeds(g *Graph, persistPaths []string) TaintMap {
+	return directCallSeeds(g, func(_ *types.Info, call *ast.CallExpr) (string, bool) {
+		return sinkRoot(g.prog, call, persistPaths)
+	})
+}
+
+// isResponseWriter reports whether t is (or points at) the
+// net/http.ResponseWriter interface.
+func isResponseWriter(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "ResponseWriter"
+}
+
+// namedOf unwraps pointers to the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// inspectOwn walks n skipping the bodies of nested go statements: code
+// a function merely spawns runs on its own schedule, so it neither
+// blocks the spawner (loops) nor bounds it (lifecycle checks).
+func inspectOwn(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		return f(n)
+	})
+}
+
+// loopForeverIn returns the first `for {}`/`for { ... }` loop with no
+// condition and no range clause in n — the shape of retry and tail
+// loops — outside any nested go statement.
+func loopForeverIn(n ast.Node) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	inspectOwn(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if loop, ok := n.(*ast.ForStmt); ok && loop.Cond == nil {
+			pos, found = loop.For, true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}
+
+// loopForeverSeeds returns the functions whose own body (goroutines
+// they spawn excluded) contains an unconditional loop. The seed
+// position is the loop keyword.
+func loopForeverSeeds(g *Graph) TaintMap {
+	seeds := TaintMap{}
+	for _, fn := range g.Funcs() {
+		if pos, ok := loopForeverIn(g.Decls[fn].Decl.Body); ok {
+			seeds[fn] = &Taint{Root: "for{}", Pos: pos}
+		}
+	}
+	return seeds
+}
+
+// lifecycleObsIn returns the first lifecycle observation in n: a
+// ctx.Done()/ctx.Err()/ctx.Deadline() call on a context.Context, or a
+// receive from a channel that plausibly signals shutdown (a struct
+// field, a package-level variable, or a local whose name says so —
+// done, stop, quit, closed, exit). Receives from arbitrary local data
+// channels do not count: blocking on data is exactly the leak shape.
+func lifecycleObsIn(info *types.Info, n ast.Node) (string, token.Pos, bool) {
+	var root string
+	var pos token.Pos
+	found := false
+	inspectOwn(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if m := calleeFunc(info, n); m != nil {
+				if sig, ok := m.Type().(*types.Signature); ok && sig.Recv() != nil &&
+					isContext(sig.Recv().Type()) && (m.Name() == "Done" || m.Name() == "Err" || m.Name() == "Deadline") {
+					root, pos, found = "ctx."+m.Name(), n.Pos(), true
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isLifecycleChan(info, n.X) {
+				root, pos, found = "<-"+exprString(n.X), n.Pos(), true
+				return false
+			}
+		}
+		return true
+	})
+	return root, pos, found
+}
+
+// lifecycleSeeds returns the functions whose own body directly observes
+// a lifecycle bound (see lifecycleObsIn).
+func lifecycleSeeds(g *Graph) TaintMap {
+	seeds := TaintMap{}
+	for _, fn := range g.Funcs() {
+		if root, pos, ok := lifecycleObsIn(g.prog.Info, g.Decls[fn].Decl.Body); ok {
+			seeds[fn] = &Taint{Root: root, Pos: pos}
+		}
+	}
+	return seeds
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// lifecycleChanNames mark local channel variables that read as shutdown
+// signals.
+var lifecycleChanNames = map[string]bool{
+	"done": true, "stop": true, "stopped": true, "quit": true,
+	"closed": true, "closing": true, "exit": true, "shutdown": true,
+}
+
+// isLifecycleChan reports whether e is a channel-typed expression that
+// plausibly signals shutdown: a struct field (the Manager.stop idiom),
+// a package-level var, or a local named like a shutdown signal. The
+// result of a method call (j.waitChan()) also counts — accessors hide
+// the field.
+func isLifecycleChan(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return false
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+			return true
+		}
+		return false
+	case *ast.Ident:
+		v, ok := info.Uses[e].(*types.Var)
+		if !ok {
+			return false
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-level signal var
+		}
+		return lifecycleChanNames[v.Name()]
+	case *ast.CallExpr:
+		return true // accessor returning the signal channel
+	}
+	return false
+}
+
+// sharedRandReturns computes the functions whose results include a
+// *rand.Rand that is NOT freshly constructed — an accessor leaking a
+// stored generator, or a wrapper forwarding one. Drawing from such a
+// Rand inside a goroutine shares the draw sequence with everything else
+// holding the underlying state, exactly the scheduler-dependence
+// rngshare exists to stop. Unlike Propagate (all call edges), sharedness
+// flows only through RETURN-position calls, so the fixed point is
+// computed here directly.
+func sharedRandReturns(g *Graph) TaintMap {
+	info := g.prog.Info
+	shared := TaintMap{}
+	type retCall struct {
+		callee *types.Func
+		pos    token.Pos
+	}
+	forwards := map[*types.Func][]retCall{}
+	for _, fn := range g.Funcs() {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || !signatureReturnsRand(sig) {
+			continue
+		}
+		fi := g.Decls[fn]
+		// Locals assigned from a fresh constructor stay clean on return.
+		fresh := map[*types.Var]bool{}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if !isFreshRandExpr(info, rhs) {
+					continue
+				}
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					if v, ok := info.Defs[id].(*types.Var); ok {
+						fresh[v] = true
+					} else if v, ok := info.Uses[id].(*types.Var); ok {
+						fresh[v] = true
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			if _, done := shared[fn]; done {
+				return false
+			}
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				tv, ok := info.Types[res]
+				if !ok || !isRandRand(tv.Type) {
+					continue
+				}
+				if isFreshRandExpr(info, res) {
+					continue
+				}
+				if call, ok := ast.Unparen(res).(*ast.CallExpr); ok {
+					callee := calleeFunc(info, call)
+					if callee != nil {
+						if _, local := g.Decls[callee]; local {
+							// Forwarding a module function's result: shared
+							// iff the callee turns out shared (fixed point).
+							forwards[fn] = append(forwards[fn], retCall{callee: callee, pos: res.Pos()})
+							continue
+						}
+					}
+					// An external call we cannot see into: conservative.
+					if g.prog.Allowed("rngshare", res.Pos()) {
+						continue
+					}
+					shared[fn] = &Taint{Root: "externally obtained *rand.Rand", Pos: res.Pos()}
+					return false
+				}
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+					if v, ok := info.Uses[id].(*types.Var); ok && fresh[v] {
+						continue
+					}
+				}
+				if g.prog.Allowed("rngshare", res.Pos()) {
+					continue
+				}
+				shared[fn] = &Taint{Root: "stored *rand.Rand", Pos: res.Pos()}
+				return false
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range g.Funcs() {
+			if shared[fn] != nil {
+				continue
+			}
+			for _, rc := range forwards[fn] {
+				if t := shared[rc.callee]; t != nil {
+					shared[fn] = &Taint{Root: t.Root, Pos: rc.pos, Next: rc.callee}
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return shared
+}
+
+func signatureReturnsRand(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isRandRand(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isFreshRandExpr reports whether e constructs a new generator:
+// rand.New(...) or a call into internal/randx (whose streams are
+// derived, never shared).
+func isFreshRandExpr(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand":
+		return fn.Name() == "New"
+	case "queryaudit/internal/randx":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,99 @@
+// Package fixture exercises the ctxleak analyzer: forever-looping
+// goroutines with and without a lifecycle bound, with the loop and the
+// bound both directly in the spawned body and one call deep.
+package fixture
+
+import "context"
+
+// Pump owns background workers and a stop channel its Close path
+// closes.
+type Pump struct {
+	stop chan struct{}
+	work chan int
+}
+
+// Leak spawns an inline forever loop with no bound — flagged. (A
+// receive from a struct-field channel would read as the Close-path
+// idiom, so the leaky loop polls instead.)
+func (p *Pump) Leak() {
+	go func() { // want `goroutine loops forever \(go → for\{\}\) with no reachable lifecycle bound`
+		for {
+			process(poll())
+		}
+	}()
+}
+
+// BoundedByCtx selects on ctx.Done inside the loop — clean.
+func (p *Pump) BoundedByCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-p.work:
+				process(v)
+			}
+		}
+	}()
+}
+
+// BoundedByStop receives from the stop field channel — clean: Close
+// closes p.stop and the loop exits.
+func (p *Pump) BoundedByStop() {
+	go func() {
+		for {
+			select {
+			case <-p.stop:
+				return
+			case v := <-p.work:
+				process(v)
+			}
+		}
+	}()
+}
+
+// LeakDeep spawns a named runner whose loop is one call deep and
+// unbounded — flagged, with the witness naming the runner.
+func (p *Pump) LeakDeep() {
+	go p.spin() // want `goroutine loops forever \(go → .*Pump\)\.spin → for\{\}\) with no reachable lifecycle bound`
+}
+
+func (p *Pump) spin() {
+	for {
+		process(poll())
+	}
+}
+
+// RunDeep spawns a runner that loops one call deep but threads ctx
+// down and observes it two calls deep — clean.
+func (p *Pump) RunDeep(ctx context.Context) {
+	go p.run(ctx)
+}
+
+func (p *Pump) run(ctx context.Context) {
+	for {
+		if stopped(ctx) {
+			return
+		}
+		process(poll())
+	}
+}
+
+func stopped(ctx context.Context) bool {
+	return ctx.Err() != nil
+}
+
+// Finite spawns a bounded-iteration goroutine — clean: no forever
+// loop, nothing to bound.
+func (p *Pump) Finite() {
+	go func() {
+		for i := 0; i < 8; i++ {
+			process(i)
+		}
+	}()
+}
+
+func process(int) {}
+
+// poll stands in for draining an external source.
+func poll() int { return 0 }

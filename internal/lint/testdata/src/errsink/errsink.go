@@ -1,0 +1,61 @@
+// Package fixture exercises the errsink analyzer: discarded and
+// blanked errors from calls that visibly write a response or fsync a
+// file, directly and through a helper whose summary reaches the sink,
+// plus the defer exemption and a reasoned allow.
+package fixture
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+)
+
+// Handler drops response-write errors three ways — all flagged — and
+// handles one properly.
+func Handler(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte("hi")) // want `error from \(net/http\.ResponseWriter\)\.Write discarded; the call reaches http\.ResponseWriter\.Write`
+
+	_, _ = fmt.Fprintf(w, "n=%d\n", 7) // want `error from fmt\.Fprintf assigned to _; the call reaches fmt\.Fprintf\(ResponseWriter\)`
+
+	json.NewEncoder(w).Encode(r.URL.Query()) // want `error from \(\*encoding/json\.Encoder\)\.Encode discarded; the call reaches json\.Encoder\.Encode\(ResponseWriter\)`
+
+	if _, err := w.Write([]byte("bye")); err != nil { // handled — clean
+		return
+	}
+
+	//auditlint:allow errsink best-effort trailer after the body committed
+	_, _ = w.Write([]byte("\n"))
+}
+
+// Relay drops a helper's error; the site itself is the evidence — an
+// error-returning function handed the ResponseWriter.
+func Relay(w http.ResponseWriter) {
+	writeGreeting(w) // want `error from .*writeGreeting discarded; the call reaches .*writeGreeting\(ResponseWriter\)`
+}
+
+func writeGreeting(w http.ResponseWriter) error {
+	_, err := fmt.Fprintf(w, "hello\n")
+	return err
+}
+
+// Flush drops an fsync error — flagged: a Sync is only ever issued for
+// durability.
+func Flush(f *os.File) {
+	f.Sync()        // want `error from \(\*os\.File\)\.Sync discarded; the call reaches os\.File\.Sync`
+	defer f.Close() // defer is exempt — clean
+}
+
+// Settle drops the error of a helper with no sink visible at the site:
+// only the helper's engine summary knows it reaches an fsync — flagged
+// with the witness chain.
+func Settle(f *os.File) {
+	settleFile(f) // want `error from .*settleFile discarded; the call reaches os\.File\.Sync`
+}
+
+func settleFile(f *os.File) error {
+	if _, err := f.Write([]byte{0}); err != nil {
+		return err
+	}
+	return f.Sync()
+}

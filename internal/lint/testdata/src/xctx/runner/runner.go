@@ -1,0 +1,25 @@
+// Package runner is the out-of-scope half of the cross-package ctxleak
+// fixture: the forever loops live here, one call away from the service
+// package that spawns them.
+package runner
+
+import "context"
+
+// Loop runs forever with no lifecycle bound.
+func Loop() {
+	for {
+		tick()
+	}
+}
+
+// LoopCtx runs forever but observes ctx each iteration.
+func LoopCtx(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		tick()
+	}
+}
+
+func tick() {}

@@ -1,0 +1,21 @@
+// Package svc is the in-scope half of the cross-package ctxleak
+// fixture: it spawns runner loops with the ctx threaded through — or
+// dropped on the floor.
+package svc
+
+import (
+	"context"
+
+	"example.com/xctx/runner"
+)
+
+// StartLeak has a ctx and doesn't pass it down: the spawned loop is
+// unbounded — flagged.
+func StartLeak(ctx context.Context) {
+	go runner.Loop() // want `goroutine loops forever \(go → example\.com/xctx/runner\.Loop → for\{\}\) with no reachable lifecycle bound`
+}
+
+// StartBounded threads the same ctx one call deep — clean.
+func StartBounded(ctx context.Context) {
+	go runner.LoopCtx(ctx)
+}

@@ -1,0 +1,11 @@
+// Package clockutil is the out-of-scope helper package for the
+// cross-package detrand fixture: the wall-clock read is two calls deep
+// behind Stamp, in a package no analyzer scopes to.
+package clockutil
+
+import "time"
+
+// Stamp returns the current unix time via a private helper.
+func Stamp() int64 { return nowUnix() }
+
+func nowUnix() int64 { return time.Now().Unix() }

@@ -1,0 +1,14 @@
+// Package decide is the in-scope half of the cross-package detrand
+// fixture: loaded under a decision-path import path, its call into
+// clockutil must be flagged with the full two-hop witness chain.
+package decide
+
+import "example.com/clockutil"
+
+// Choose is decision logic that (wrongly) folds a timestamp in.
+func Choose(n int) int64 {
+	if n > 0 {
+		return clockutil.Stamp() // want `call to example\.com/clockutil\.Stamp reaches a wall-clock read in a decision path`
+	}
+	return 0
+}

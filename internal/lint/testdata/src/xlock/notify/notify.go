@@ -1,0 +1,32 @@
+// Package notify is the other half of the cross-package lockorder
+// fixture: Hub.Notify (dispatched from store while Store.mu is held)
+// takes Hub.mu, and Refresh takes Hub.mu then calls back into the
+// store — closing the two-package cycle.
+package notify
+
+import (
+	"sync"
+
+	"example.com/xlock/store"
+)
+
+// Hub mirrors the store's counter under its own lock.
+type Hub struct {
+	mu   sync.Mutex
+	last int
+	src  *store.Store
+}
+
+// Notify implements store.Notifier.
+func (h *Hub) Notify() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.last++
+}
+
+// Refresh holds Hub.mu across a Snapshot — the Hub.mu → Store.mu edge.
+func (h *Hub) Refresh() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.last = h.src.Snapshot()
+}

@@ -1,0 +1,37 @@
+// Package store is half of the cross-package lockorder fixture: it
+// holds Store.mu while notifying subscribers through an interface, so
+// the reverse edge only exists via dynamic dispatch to a type declared
+// in the notify package.
+package store
+
+import "sync"
+
+// Notifier is implemented (only) by notify.Hub.
+type Notifier interface {
+	Notify()
+}
+
+// Store guards its counter and subscriber list with mu.
+type Store struct {
+	mu   sync.Mutex
+	n    int
+	subs []Notifier
+}
+
+// Add mutates under the lock and notifies subscribers while still
+// holding it — the Store.mu → Hub.mu edge, via interface dispatch.
+func (s *Store) Add(delta int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n += delta
+	for _, sub := range s.subs {
+		sub.Notify() // want `lock-order cycle \(deadlock risk\): example\.com/xlock/store\.Store\.mu → example\.com/xlock/notify\.Hub\.mu → example\.com/xlock/store\.Store\.mu`
+	}
+}
+
+// Snapshot reads the counter under the lock.
+func (s *Store) Snapshot() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}

@@ -1,10 +1,12 @@
 package persist
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 )
 
 // WriteAtomic writes a snapshot file durably: the payload goes to a
@@ -40,11 +42,28 @@ func WriteAtomic(path string, write func(io.Writer) error) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("persist: rename %s -> %s: %w", tmpName, path, err)
 	}
-	// Sync the directory so the rename itself survives a crash. Some
-	// platforms cannot fsync a directory; treat that as best-effort.
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		d.Close()
+	// Sync the directory so the rename itself survives a crash. The new
+	// file is already in place, but reporting success on a failed entry
+	// sync would let a crash resurrect the OLD snapshot after callers
+	// (journal truncation, digest anchoring) acted on the new one.
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("persist: sync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory entry. Platforms (and some filesystems)
+// that cannot fsync a directory report EINVAL/ENOTSUP; only those are
+// tolerated — a real I/O error means the rename may not be durable and
+// must surface.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
 	}
 	return nil
 }

@@ -1,0 +1,39 @@
+package persist
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// A dropped directory-sync error used to let WriteAtomic report success
+// for a rename that might not survive a crash (errsink finding, fixed by
+// propagating everything except fsync-unsupported). syncDir must surface
+// real failures.
+func TestSyncDirPropagatesRealErrors(t *testing.T) {
+	if err := syncDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("syncDir on a missing directory returned nil")
+	}
+}
+
+func TestSyncDirCleanOnRealDirectory(t *testing.T) {
+	if err := syncDir(t.TempDir()); err != nil {
+		t.Fatalf("syncDir on a real directory: %v", err)
+	}
+}
+
+func TestWriteAtomicStillSucceeds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload"))
+		return err
+	})
+	if err != nil {
+		t.Fatalf("WriteAtomic: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+}

@@ -72,7 +72,7 @@ type cachedStatement struct {
 
 // NewResolver builds the index over ds and wraps it with empty caches.
 func NewResolver(ds *dataset.Dataset, opt Options) *Resolver {
-	start := time.Now()
+	start := time.Now() //auditlint:allow detrand build-duration stat for ops visibility; never read by resolution or decisions
 	idx := Build(ds)
 	r := &Resolver{
 		idx:          idx,

@@ -1,9 +1,11 @@
 package replica
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -21,13 +23,23 @@ func (n *Node) Handler() http.Handler {
 	return mux
 }
 
-// writeJSON mirrors the server package's envelope discipline.
+// writeJSON mirrors the server package's envelope discipline, including
+// its buffer-first rule: the status line goes out only after the body
+// has encoded cleanly, so an encode failure surfaces as a logged 500
+// instead of a torn 200 body a follower would half-parse.
 func (n *Node) writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
 		n.logger.Printf("replica: encoding response: %v", err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte(`{"error":"internal error encoding response"}` + "\n")) //auditlint:allow errsink client disconnect on the error path; the failure is already logged
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes()) //auditlint:allow errsink client disconnect mid-response is the follower's failure to retry, not torn state
 }
 
 // misdirected answers 421 with enough context for the caller to find the

@@ -1,0 +1,34 @@
+package replica
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+)
+
+// writeJSON used to stream the encoder straight into the ResponseWriter
+// after the status line, so an encode failure produced a torn 200 body a
+// follower would half-parse. It now buffers first: encode failures are a
+// clean 500, successes carry a Content-Length.
+func TestWriteJSONBufferFirst(t *testing.T) {
+	n := &Node{logger: quiet}
+
+	rec := httptest.NewRecorder()
+	n.writeJSON(rec, http.StatusOK, math.NaN()) // NaN is unencodable
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("encode failure produced status %d, want 500", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	n.writeJSON(rec, http.StatusOK, map[string]int{"seq": 7})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	body, _ := io.ReadAll(rec.Body)
+	if cl := rec.Header().Get("Content-Length"); cl != strconv.Itoa(len(body)) {
+		t.Fatalf("Content-Length = %q, body is %d bytes", cl, len(body))
+	}
+}

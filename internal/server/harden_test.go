@@ -247,6 +247,37 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestMetricsPromScrapeBuffered: the Prometheus exposition is rendered
+// to a buffer before the status line goes out (errsink finding: a
+// mid-render failure used to tear the 200 body), so a successful scrape
+// carries a Content-Length the scraper can verify.
+func TestMetricsPromScrapeBuffered(t *testing.T) {
+	srv, _ := newTestServer(t, 20)
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape status = %d", resp.StatusCode)
+	}
+	if resp.ContentLength != int64(len(body)) {
+		t.Fatalf("Content-Length = %d, body is %d bytes", resp.ContentLength, len(body))
+	}
+	if !strings.Contains(string(body), "http_requests_total") {
+		t.Fatalf("exposition missing counters:\n%s", body)
+	}
+}
+
 // newLimitedServer builds a server with tight limits for the 413/429
 // tests.
 func newLimitedServer(t *testing.T, opts Options) *httptest.Server {

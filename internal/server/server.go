@@ -416,13 +416,13 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 		encodeBufs.Put(buf)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusInternalServerError)
-		_, _ = w.Write([]byte(`{"error":"internal error encoding response"}` + "\n"))
+		_, _ = w.Write([]byte(`{"error":"internal error encoding response"}` + "\n")) //auditlint:allow errsink client disconnect on the error path; the failure is already counted and logged
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	_, _ = w.Write(buf.Bytes())
+	_, _ = w.Write(buf.Bytes()) //auditlint:allow errsink client disconnect mid-response is the peer's failure; Content-Length lets it detect the truncation
 	if buf.Cap() <= maxPooledEncodeBuf {
 		encodeBufs.Put(buf)
 	}
@@ -733,9 +733,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 // a Prometheus scrape sends) selects the text exposition format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if acceptsPromText(r.Header.Get("Accept")) {
+		// Render to a buffer first: a mid-render failure must be a clean
+		// 500, not a torn 200 the scraper ingests as a partial snapshot,
+		// and the Content-Length lets the scraper detect truncation.
+		var buf bytes.Buffer
+		if err := metrics.WritePrometheus(&buf, s.reg.Snapshot()); err != nil {
+			s.logf("metrics render failed: %v", err)
+			http.Error(w, "metrics render failed", http.StatusInternalServerError)
+			return
+		}
 		w.Header().Set("Content-Type", metrics.PrometheusContentType)
+		w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 		w.WriteHeader(http.StatusOK)
-		_ = metrics.WritePrometheus(w, s.reg.Snapshot())
+		_, _ = w.Write(buf.Bytes()) //auditlint:allow errsink a failed scrape write is the scraper's disconnect; nothing durable depends on it
 		return
 	}
 	s.writeJSON(w, http.StatusOK, s.reg.Snapshot())
