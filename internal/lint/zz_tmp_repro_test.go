@@ -1,0 +1,17 @@
+package lint
+
+import "testing"
+
+func TestTryEdgeShadowsBlocking(t *testing.T) {
+	prog, err := LoadDir("/tmp/lofix", "example.com/lofix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Run(prog, []*Analyzer{LockOrder()})
+	for _, f := range fs {
+		t.Logf("finding: %s", f)
+	}
+	if len(fs) == 0 {
+		t.Errorf("no lockorder finding: blocking A->B (Second) + B->A (Third) cycle missed")
+	}
+}
